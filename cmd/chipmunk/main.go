@@ -1,0 +1,183 @@
+// Command chipmunk runs Chipmunk crash-consistency test suites against a
+// PM file system, like the paper's ACE frontend (§3.4.1):
+//
+//	chipmunk -fs nova -suite seq1               # developer loop: < seconds
+//	chipmunk -fs nova -bugs all -suite seq2     # as-published NOVA, all pairs
+//	chipmunk -fs pmfs -bugs 13,16 -suite seq1   # selected injected bugs
+//	chipmunk -fs ext4-dax -suite seq1dax        # weak system, fsync-gated
+//
+// The -bugs flag selects which of the paper's Table 1 bugs are injected:
+// "none" (the fixed systems, default), "all" (as published), or a
+// comma-separated ID list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"chipmunk/internal/ace"
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+	"chipmunk/internal/harness"
+	"chipmunk/internal/report"
+	"chipmunk/internal/workload"
+)
+
+func main() {
+	var (
+		fsName  = flag.String("fs", "nova", "file system: nova, nova-fortis, pmfs, winefs, splitfs, ext4-dax, xfs-dax")
+		bugSpec = flag.String("bugs", "none", `injected bugs: "none", "all", or comma-separated IDs (e.g. "4,5")`)
+		suite   = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
+		cap     = flag.Int("cap", 0, "max in-flight writes replayed per crash state (0 = exhaustive)")
+		max     = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
+		verbose = flag.Bool("v", false, "print every violation")
+		stopOne = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
+		repro   = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
+		jobs    = flag.Int("j", 1, "parallel workers (like the paper's VM sharding; disables progress/stop-on-bug)")
+		outDir  = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
+	)
+	flag.Parse()
+
+	sys, err := harness.SystemByName(*fsName)
+	fatalIf(err)
+	set, err := parseBugs(*bugSpec)
+	fatalIf(err)
+	var suiteWs []workload.Workload
+	if *repro != "" {
+		data, err := os.ReadFile(*repro)
+		fatalIf(err)
+		w, err := workload.Parse(string(data))
+		fatalIf(err)
+		if w.Name == "" {
+			w.Name = *repro
+		}
+		suiteWs = []workload.Workload{w}
+		*suite = "repro"
+	} else {
+		suiteWs, err = pickSuite(*suite)
+		fatalIf(err)
+	}
+	if *max > 0 && *max < len(suiteWs) {
+		suiteWs = suiteWs[:*max]
+	}
+
+	cfg := harness.ConfigFor(sys, set, *cap)
+	fmt.Printf("chipmunk: %s (bugs %s), suite %s: %d workloads, cap=%d\n",
+		sys.Name, set, *suite, len(suiteWs), *cap)
+
+	if *jobs > 1 {
+		census, viol, err := harness.RunSuiteParallel(cfg, suiteWs, *jobs)
+		fatalIf(err)
+		clusters := core.Triage(viol)
+		fmt.Printf("\ndone: %d workloads, %d crash states, %v (x%d workers)\n",
+			census.Workloads, census.StatesChecked, census.Elapsed.Round(time.Millisecond), *jobs)
+		fmt.Printf("reports: %d; triaged clusters: %d\n", len(viol), len(clusters))
+		for i, c := range clusters {
+			fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
+		}
+		writeReports(*outDir, sys.Name, clusters)
+		if len(viol) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	var states, buggyWorkloads int
+	var all []core.Violation
+	for i, w := range suiteWs {
+		res, err := core.Run(cfg, w)
+		fatalIf(err)
+		states += res.StatesChecked
+		if res.Buggy() {
+			buggyWorkloads++
+			all = append(all, res.Violations...)
+			if *verbose {
+				for _, v := range res.Violations {
+					fmt.Printf("\n%s\n", v)
+				}
+			} else {
+				fmt.Printf("  BUG on %s: %s (%s)\n", w.Name, res.Violations[0].Kind, res.Violations[0].SysName)
+			}
+			if *stopOne {
+				break
+			}
+		}
+		if (i+1)%500 == 0 {
+			fmt.Printf("  ... %d/%d workloads, %d crash states\n", i+1, len(suiteWs), states)
+		}
+	}
+	elapsed := time.Since(start)
+
+	clusters := core.Triage(all)
+	fmt.Printf("\ndone: %d workloads, %d crash states, %v\n", len(suiteWs), states, elapsed.Round(time.Millisecond))
+	fmt.Printf("violating workloads: %d; reports: %d; triaged clusters: %d\n", buggyWorkloads, len(all), len(clusters))
+	for i, c := range clusters {
+		fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
+	}
+	writeReports(*outDir, sys.Name, clusters)
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeReports persists triaged clusters when -o is given.
+func writeReports(dir, fsName string, clusters []*core.Cluster) {
+	if dir == "" || len(clusters) == 0 {
+		return
+	}
+	wr, err := report.NewWriter(dir)
+	fatalIf(err)
+	paths, err := wr.WriteClusters(fsName, clusters)
+	fatalIf(err)
+	fmt.Printf("\nwrote %d report directories under %s\n", len(paths), dir)
+}
+
+func parseBugs(spec string) (bugs.Set, error) {
+	switch spec {
+	case "none", "":
+		return bugs.None(), nil
+	case "all":
+		return bugs.AllSet(), nil
+	}
+	set := bugs.Set{}
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad bug id %q", part)
+		}
+		if _, ok := bugs.Lookup(bugs.ID(id)); !ok {
+			return nil, fmt.Errorf("unknown bug id %d", id)
+		}
+		set = set.With(bugs.ID(id))
+	}
+	return set, nil
+}
+
+func pickSuite(name string) ([]workload.Workload, error) {
+	switch name {
+	case "seq1":
+		return ace.Seq1(), nil
+	case "seq2":
+		return ace.Seq2(), nil
+	case "seq3m":
+		return ace.Seq3Metadata(), nil
+	case "seq1dax":
+		return ace.Seq1Dax(), nil
+	case "seq2dax":
+		return ace.Seq2Dax(), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q", name)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipmunk:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,124 @@
+// Command chipmunkfuzz is the gray-box fuzzing frontend, the counterpart of
+// the paper's modified Syzkaller (§3.4.2):
+//
+//	chipmunkfuzz -fs splitfs -bugs all -execs 2000
+//
+// It mutates workloads under trace-shape coverage feedback, runs each
+// through the Chipmunk engine with the paper's cap of two replayed writes
+// per crash state, and prints the triaged bug-report clusters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/fuzz"
+	"chipmunk/internal/harness"
+	"chipmunk/internal/report"
+	"chipmunk/internal/workload"
+)
+
+func main() {
+	var (
+		fsName   = flag.String("fs", "nova", "file system under test")
+		bugSpec  = flag.String("bugs", "all", `injected bugs: "none", "all", or comma-separated IDs`)
+		execs    = flag.Int("execs", 500, "number of fuzzer executions")
+		seed     = flag.Int64("seed", 1, "fuzzer RNG seed")
+		cap      = flag.Int("cap", 2, "crash-state write cap (paper uses 2 for fuzzing)")
+		minimize = flag.Bool("minimize", true, "minimize each cluster's reproducer workload")
+		outDir   = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
+		corpus   = flag.String("corpus", "", "load seeds from / save the corpus to this directory")
+	)
+	flag.Parse()
+
+	sys, err := harness.SystemByName(*fsName)
+	fatalIf(err)
+	set, err := parseBugs(*bugSpec)
+	fatalIf(err)
+
+	cfg := harness.ConfigFor(sys, set, *cap)
+	var seeds []workload.Workload
+	if *corpus != "" {
+		if loaded, skipped, err := fuzz.LoadCorpus(*corpus); err == nil {
+			seeds = loaded
+			if len(skipped) > 0 {
+				fmt.Printf("corpus: skipped %d unparseable files\n", len(skipped))
+			}
+			fmt.Printf("corpus: loaded %d seeds from %s\n", len(seeds), *corpus)
+		}
+	}
+	fz := fuzz.New(cfg, *seed, seeds)
+	fmt.Printf("chipmunkfuzz: %s (bugs %s), %d execs, cap=%d, seed=%d\n",
+		sys.Name, set, *execs, *cap, *seed)
+
+	start := time.Now()
+	for i := 0; i < *execs; i++ {
+		_, _, err := fz.Step()
+		fatalIf(err)
+		if (i+1)%100 == 0 {
+			fmt.Printf("  %5d execs | corpus %4d | coverage %5d | states %8d | clusters %d\n",
+				i+1, fz.CorpusSize(), fz.CoverageSize(), fz.StatesChecked, len(fz.Clusters))
+		}
+	}
+	fmt.Printf("\ndone in %v: %d crash states checked, %d reports in %d clusters\n",
+		time.Since(start).Round(time.Millisecond), fz.StatesChecked, len(fz.Violations), len(fz.Clusters))
+	for i, c := range fz.Clusters {
+		fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
+		if *minimize {
+			min, execs, err := fuzz.Minimize(cfg, c.Representative.Workload, 60)
+			if err == nil && len(min.Ops) < len(c.Representative.Workload.Ops) {
+				fmt.Printf("\nminimized reproducer (%d execs):\n%s", execs, workload.Format(min))
+			}
+		}
+	}
+	if *corpus != "" {
+		if err := fz.SaveCorpus(*corpus); err != nil {
+			fmt.Fprintln(os.Stderr, "corpus save:", err)
+		} else {
+			fmt.Printf("corpus: saved %d workloads to %s\n", fz.CorpusSize(), *corpus)
+		}
+	}
+	if *outDir != "" && len(fz.Clusters) > 0 {
+		wr, err := report.NewWriter(*outDir)
+		fatalIf(err)
+		paths, err := wr.WriteClusters(sys.Name, fz.Clusters)
+		fatalIf(err)
+		fmt.Printf("\nwrote %d report directories under %s\n", len(paths), *outDir)
+	}
+	if len(fz.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseBugs(spec string) (bugs.Set, error) {
+	switch spec {
+	case "none", "":
+		return bugs.None(), nil
+	case "all":
+		return bugs.AllSet(), nil
+	}
+	set := bugs.Set{}
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad bug id %q", part)
+		}
+		if _, ok := bugs.Lookup(bugs.ID(id)); !ok {
+			return nil, fmt.Errorf("unknown bug id %d", id)
+		}
+		set = set.With(bugs.ID(id))
+	}
+	return set, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipmunkfuzz:", err)
+		os.Exit(2)
+	}
+}

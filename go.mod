@@ -1,0 +1,3 @@
+module chipmunk
+
+go 1.22

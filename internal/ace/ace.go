@@ -1,0 +1,364 @@
+// Package ace reimplements the Automatic Crash Explorer workload generator
+// [Mohan et al., CrashMonkey/ACE] as adapted by the Chipmunk paper (§3.4.1):
+// it exhaustively enumerates small workloads — sequences of 1, 2, or 3 core
+// file-system operations over a tiny predetermined file universe — and
+// satisfies dependencies by creating the files and directories an operation
+// needs.
+//
+// Two modes mirror the paper's: the PM mode emits no fsync calls (for
+// systems with strong guarantees), and the DAX mode appends fsync/sync
+// variants for ext4-DAX and XFS-DAX.
+//
+// The PM-mode operation space is tuned to exactly 56 seq-1 variants and
+// therefore 56² = 3136 seq-2 workloads, the counts reported in §3.4.1. The
+// seq-3 "metadata" mode uses only pwrite, link, unlink, and rename, like
+// the paper's seq-3 runs (our metadata variant count is 22, giving 22³ =
+// 10648 workloads versus the paper's 50650 — same structure, smaller
+// argument space).
+//
+// ACE deliberately explores a coarse argument lattice: offsets and sizes
+// are multiples of the 8-byte PM atomicity unit, and every file is accessed
+// through a single descriptor. Those are exactly the blind spots §4.3
+// attributes the four fuzzer-only bugs to.
+package ace
+
+import (
+	"fmt"
+
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// The file universe: two top-level files, two directories, one nested file.
+const (
+	fileA  = "/f0"
+	fileB  = "/f1"
+	dirA   = "/d0"
+	dirB   = "/d1"
+	nested = "/d0/f3"
+)
+
+// Variant is one core operation with concrete arguments.
+type Variant struct {
+	Op workload.Op
+	// Needs lists paths that must exist (with their types) before the op.
+	Needs []need
+	// Metadata marks the variant as part of the seq-3 metadata subset.
+	Metadata bool
+}
+
+type need struct {
+	path string
+	typ  vfs.FileType
+}
+
+func fileNeed(p string) need { return need{p, vfs.TypeRegular} }
+func dirNeed(p string) need  { return need{p, vfs.TypeDir} }
+
+// Variants enumerates the 56 seq-1 operation variants of the PM mode.
+func Variants() []Variant {
+	var v []Variant
+	seed := uint32(1)
+	op := func(o workload.Op, meta bool, needs ...need) {
+		o.Seed = seed
+		seed++
+		v = append(v, Variant{Op: o, Needs: needs, Metadata: meta})
+	}
+
+	// creat: 4 variants.
+	op(workload.Op{Kind: workload.OpCreat, Path: fileA, FDSlot: -1}, false)
+	op(workload.Op{Kind: workload.OpCreat, Path: fileB, FDSlot: -1}, false)
+	op(workload.Op{Kind: workload.OpCreat, Path: "/d0/f2", FDSlot: -1}, false, dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpCreat, Path: "/d1/f2", FDSlot: -1}, false, dirNeed(dirB))
+
+	// mkdir: 4 variants.
+	op(workload.Op{Kind: workload.OpMkdir, Path: dirA}, false)
+	op(workload.Op{Kind: workload.OpMkdir, Path: dirB}, false)
+	op(workload.Op{Kind: workload.OpMkdir, Path: "/d0/d2"}, false, dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpMkdir, Path: "/d1/d2"}, false, dirNeed(dirB))
+
+	// fallocate: 6 variants.
+	for _, c := range []struct {
+		path     string
+		off, len int64
+		needs    []need
+	}{
+		{fileA, 0, 4096, []need{fileNeed(fileA)}},
+		{fileA, 0, 8192, []need{fileNeed(fileA)}},
+		{fileA, 2048, 4096, []need{fileNeed(fileA)}},
+		{fileA, 4096, 4096, []need{fileNeed(fileA)}},
+		{fileB, 0, 4096, []need{fileNeed(fileB)}},
+		{nested, 0, 4096, []need{dirNeed(dirA), fileNeed(nested)}},
+	} {
+		op(workload.Op{Kind: workload.OpFalloc, Path: c.path, FDSlot: -1, Off: c.off, Size: c.len}, false, c.needs...)
+	}
+
+	// write (append): 9 variants.
+	for _, path := range []string{fileA, fileB, nested} {
+		needs := []need{fileNeed(path)}
+		if path == nested {
+			needs = []need{dirNeed(dirA), fileNeed(nested)}
+		}
+		for _, size := range []int64{1024, 4096, 8192} {
+			op(workload.Op{Kind: workload.OpWrite, Path: path, FDSlot: -1, Size: size}, false, needs...)
+		}
+	}
+
+	// pwrite: 9 variants (metadata subset).
+	for _, c := range []struct {
+		path      string
+		off, size int64
+	}{
+		{fileA, 0, 1024}, {fileA, 2048, 1024}, {fileA, 0, 4096}, {fileA, 4096, 1024}, {fileA, 1024, 1024},
+		{fileB, 0, 1024}, {fileB, 0, 4096},
+		{nested, 0, 1024}, {nested, 2048, 1024},
+	} {
+		needs := []need{fileNeed(c.path)}
+		if c.path == nested {
+			needs = []need{dirNeed(dirA), fileNeed(nested)}
+		}
+		op(workload.Op{Kind: workload.OpPwrite, Path: c.path, FDSlot: -1, Off: c.off, Size: c.size}, true, needs...)
+	}
+
+	// link: 4 variants (metadata subset).
+	op(workload.Op{Kind: workload.OpLink, Path: fileA, Path2: "/l0"}, true, fileNeed(fileA))
+	op(workload.Op{Kind: workload.OpLink, Path: fileA, Path2: "/d0/l1"}, true, fileNeed(fileA), dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpLink, Path: nested, Path2: "/l0"}, true, dirNeed(dirA), fileNeed(nested))
+	op(workload.Op{Kind: workload.OpLink, Path: fileB, Path2: "/l0"}, true, fileNeed(fileB))
+
+	// unlink: 3 variants (metadata subset).
+	op(workload.Op{Kind: workload.OpUnlink, Path: fileA}, true, fileNeed(fileA))
+	op(workload.Op{Kind: workload.OpUnlink, Path: fileB}, true, fileNeed(fileB))
+	op(workload.Op{Kind: workload.OpUnlink, Path: nested}, true, dirNeed(dirA), fileNeed(nested))
+
+	// remove: 3 variants.
+	op(workload.Op{Kind: workload.OpRemove, Path: fileA}, false, fileNeed(fileA))
+	op(workload.Op{Kind: workload.OpRemove, Path: dirA}, false, dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpRemove, Path: dirB}, false, dirNeed(dirB))
+
+	// rename: 6 variants (metadata subset).
+	op(workload.Op{Kind: workload.OpRename, Path: fileA, Path2: fileB}, true, fileNeed(fileA))
+	op(workload.Op{Kind: workload.OpRename, Path: fileA, Path2: nested}, true, fileNeed(fileA), dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpRename, Path: nested, Path2: fileA}, true, dirNeed(dirA), fileNeed(nested))
+	op(workload.Op{Kind: workload.OpRename, Path: dirA, Path2: dirB}, true, dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpRename, Path: fileA, Path2: "/d1/f4"}, true, fileNeed(fileA), dirNeed(dirB))
+	op(workload.Op{Kind: workload.OpRename, Path: dirB, Path2: dirA}, true, dirNeed(dirB))
+
+	// truncate: 6 variants.
+	for _, c := range []struct {
+		path string
+		size int64
+	}{
+		{fileA, 0}, {fileA, 2048}, {fileA, 8192},
+		{fileB, 0}, {fileB, 2048},
+		{nested, 0},
+	} {
+		needs := []need{fileNeed(c.path)}
+		if c.path == nested {
+			needs = []need{dirNeed(dirA), fileNeed(nested)}
+		}
+		op(workload.Op{Kind: workload.OpTruncate, Path: c.path, FDSlot: -1, Size: c.size}, false, needs...)
+	}
+
+	// rmdir: 2 variants.
+	op(workload.Op{Kind: workload.OpRmdir, Path: dirA}, false, dirNeed(dirA))
+	op(workload.Op{Kind: workload.OpRmdir, Path: dirB}, false, dirNeed(dirB))
+
+	return v
+}
+
+// symState tracks the symbolic file-system state used to satisfy
+// dependencies while assembling a workload.
+type symState struct {
+	exists map[string]vfs.FileType
+	seed   uint32
+}
+
+func newSymState() *symState {
+	return &symState{exists: map[string]vfs.FileType{"/": vfs.TypeDir}, seed: 1000}
+}
+
+// satisfy appends the dependency ops (mkdir/creat) that make n hold.
+func (st *symState) satisfy(ops []workload.Op, n need) []workload.Op {
+	dir, _ := vfs.SplitPath(n.path)
+	if dir != "/" {
+		if _, ok := st.exists[dir]; !ok {
+			ops = st.satisfy(ops, dirNeed(dir))
+		}
+	}
+	if typ, ok := st.exists[n.path]; ok && typ == n.typ {
+		return ops
+	}
+	if n.typ == vfs.TypeDir {
+		ops = append(ops, workload.Op{Kind: workload.OpMkdir, Path: n.path})
+	} else {
+		// Files get a small initial extent so truncate/overwrite variants
+		// have data to lose, mirroring ACE's file-setup phase.
+		ops = append(ops,
+			workload.Op{Kind: workload.OpCreat, Path: n.path, FDSlot: -1},
+			workload.Op{Kind: workload.OpWrite, Path: n.path, FDSlot: -1, Size: 4096, Seed: st.seed},
+		)
+		st.seed++
+	}
+	st.exists[n.path] = n.typ
+	return ops
+}
+
+// apply updates the symbolic state for a core op.
+func (st *symState) apply(op workload.Op) {
+	switch op.Kind {
+	case workload.OpCreat:
+		st.exists[vfs.Clean(op.Path)] = vfs.TypeRegular
+	case workload.OpMkdir:
+		st.exists[vfs.Clean(op.Path)] = vfs.TypeDir
+	case workload.OpUnlink, workload.OpRmdir, workload.OpRemove:
+		delete(st.exists, vfs.Clean(op.Path))
+	case workload.OpRename:
+		from, to := vfs.Clean(op.Path), vfs.Clean(op.Path2)
+		if typ, ok := st.exists[from]; ok {
+			delete(st.exists, from)
+			st.exists[to] = typ
+		}
+	case workload.OpLink:
+		st.exists[vfs.Clean(op.Path2)] = vfs.TypeRegular
+	}
+}
+
+// build assembles a workload from a sequence of variants, inserting
+// dependency operations.
+func build(name string, variants []Variant) workload.Workload {
+	st := newSymState()
+	var ops []workload.Op
+	for _, v := range variants {
+		for _, n := range v.Needs {
+			ops = st.satisfy(ops, n)
+		}
+		ops = append(ops, v.Op)
+		st.apply(v.Op)
+	}
+	return workload.Workload{Name: name, Ops: ops}
+}
+
+// Seq1 returns the 56 seq-1 PM-mode workloads.
+func Seq1() []workload.Workload {
+	vars := Variants()
+	out := make([]workload.Workload, 0, len(vars))
+	for i, v := range vars {
+		out = append(out, build(fmt.Sprintf("seq1-%03d", i), []Variant{v}))
+	}
+	return out
+}
+
+// Seq2 returns the 3136 seq-2 PM-mode workloads (every ordered pair).
+func Seq2() []workload.Workload {
+	vars := Variants()
+	out := make([]workload.Workload, 0, len(vars)*len(vars))
+	for i, a := range vars {
+		for j, b := range vars {
+			out = append(out, build(fmt.Sprintf("seq2-%03d-%03d", i, j), []Variant{a, b}))
+		}
+	}
+	return out
+}
+
+// Seq3Metadata returns the seq-3 workloads over the metadata subset
+// (pwrite, link, unlink, rename), as in the paper's seq-3 runs.
+func Seq3Metadata() []workload.Workload {
+	var meta []Variant
+	for _, v := range Variants() {
+		if v.Metadata {
+			meta = append(meta, v)
+		}
+	}
+	out := make([]workload.Workload, 0, len(meta)*len(meta)*len(meta))
+	for i, a := range meta {
+		for j, b := range meta {
+			for k, c := range meta {
+				out = append(out, build(fmt.Sprintf("seq3m-%02d-%02d-%02d", i, j, k), []Variant{a, b, c}))
+			}
+		}
+	}
+	return out
+}
+
+// MetadataVariantCount reports the size of the seq-3 metadata op space.
+func MetadataVariantCount() int {
+	n := 0
+	for _, v := range Variants() {
+		if v.Metadata {
+			n++
+		}
+	}
+	return n
+}
+
+// withSyncTail appends the DAX-mode persistence ops to a workload: one
+// variant fsyncs the file the final op touched, one issues a global sync
+// (the paper's default ACE mode inserts at least one fsync-family call).
+func withSyncTail(w workload.Workload, idx int) []workload.Workload {
+	fsyncTarget := ""
+	for i := len(w.Ops) - 1; i >= 0; i-- {
+		op := w.Ops[i]
+		switch op.Kind {
+		case workload.OpWrite, workload.OpPwrite, workload.OpCreat, workload.OpFalloc, workload.OpTruncate:
+			fsyncTarget = op.Path
+		case workload.OpRename, workload.OpLink:
+			fsyncTarget = op.Path2
+		}
+		if fsyncTarget != "" {
+			break
+		}
+	}
+	syncW := workload.Workload{Name: fmt.Sprintf("%s-sync", w.Name), Ops: append(append([]workload.Op{}, w.Ops...), workload.Op{Kind: workload.OpSync})}
+	if fsyncTarget == "" {
+		return []workload.Workload{syncW}
+	}
+	fsyncW := workload.Workload{Name: fmt.Sprintf("%s-fsync", w.Name), Ops: append(append([]workload.Op{}, w.Ops...), workload.Op{Kind: workload.OpFsync, Path: fsyncTarget, FDSlot: -1})}
+	return []workload.Workload{fsyncW, syncW}
+}
+
+// Seq1Dax returns the DAX-mode seq-1 workloads: fsync/sync variants of the
+// PM-mode ops plus the setxattr/removexattr variants the paper adds for
+// ext4-DAX and XFS-DAX (§4.1).
+func Seq1Dax() []workload.Workload {
+	var out []workload.Workload
+	for i, w := range Seq1() {
+		out = append(out, withSyncTail(w, i)...)
+	}
+	for i, v := range daxXattrVariants() {
+		out = append(out, withSyncTail(build(fmt.Sprintf("seq1x-%02d", i), []Variant{v}), i)...)
+	}
+	return out
+}
+
+// daxXattrVariants enumerates the setxattr/removexattr operations tested
+// only on the DAX systems.
+func daxXattrVariants() []Variant {
+	var v []Variant
+	for _, c := range []struct {
+		kind  workload.OpKind
+		path  string
+		attr  string
+		needs []need
+	}{
+		{workload.OpSetxattr, fileA, "user.attr1", []need{fileNeed(fileA)}},
+		{workload.OpSetxattr, fileA, "user.attr2", []need{fileNeed(fileA)}},
+		{workload.OpSetxattr, dirA, "user.attr1", []need{dirNeed(dirA)}},
+		{workload.OpRemovexattr, fileA, "user.attr1", []need{fileNeed(fileA)}},
+	} {
+		v = append(v, Variant{
+			Op:    workload.Op{Kind: c.kind, Path: c.path, Path2: c.attr, FDSlot: -1, Seed: 77},
+			Needs: c.needs,
+		})
+	}
+	return v
+}
+
+// Seq2Dax returns the DAX-mode seq-2 workloads.
+func Seq2Dax() []workload.Workload {
+	var out []workload.Workload
+	for i, w := range Seq2() {
+		out = append(out, withSyncTail(w, i)...)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package ace
+
+import (
+	"testing"
+
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// TestSeq1Count verifies the paper's §3.4.1 count: 56 seq-1 workloads.
+func TestSeq1Count(t *testing.T) {
+	if got := len(Seq1()); got != 56 {
+		t.Fatalf("seq-1 count = %d, want 56", got)
+	}
+	if got := len(Variants()); got != 56 {
+		t.Fatalf("variant count = %d, want 56", got)
+	}
+}
+
+// TestSeq2Count: 56² = 3136.
+func TestSeq2Count(t *testing.T) {
+	if got := len(Seq2()); got != 3136 {
+		t.Fatalf("seq-2 count = %d, want 3136", got)
+	}
+}
+
+// TestSeq3MetadataCount: metadata subset cubed.
+func TestSeq3MetadataCount(t *testing.T) {
+	m := MetadataVariantCount()
+	if m != 22 {
+		t.Fatalf("metadata variants = %d, want 22", m)
+	}
+	if got := len(Seq3Metadata()); got != m*m*m {
+		t.Fatalf("seq-3 metadata count = %d, want %d", got, m*m*m)
+	}
+}
+
+// TestMetadataSubsetOps: the seq-3 subset contains only the four ops the
+// paper names.
+func TestMetadataSubsetOps(t *testing.T) {
+	allowed := map[workload.OpKind]bool{
+		workload.OpPwrite: true, workload.OpLink: true,
+		workload.OpUnlink: true, workload.OpRename: true,
+	}
+	for _, v := range Variants() {
+		if v.Metadata && !allowed[v.Op.Kind] {
+			t.Errorf("metadata subset contains %v", v.Op.Kind)
+		}
+	}
+}
+
+// TestAlignmentAndSingleFD: ACE's blind spots by construction — every
+// offset/size is 8-byte aligned and no workload opens two FDs on one file.
+// These are exactly why four bugs are fuzzer-only (§4.3).
+func TestAlignmentAndSingleFD(t *testing.T) {
+	for _, w := range Seq2() {
+		for _, op := range w.Ops {
+			if op.Off%8 != 0 || op.Size%8 != 0 {
+				t.Fatalf("%s: unaligned op %s", w.Name, op)
+			}
+			if op.FDSlot > 0 {
+				t.Fatalf("%s: multi-slot op %s", w.Name, op)
+			}
+		}
+	}
+}
+
+// TestDependenciesSatisfied: every generated workload runs on the reference
+// model with all CORE ops succeeding (dependency ops may be no-ops that
+// fail, core ops must not fail for lack of dependencies). We require that
+// path-not-found never happens.
+func TestDependenciesSatisfied(t *testing.T) {
+	suites := [][]workload.Workload{Seq1(), Seq2()}
+	for _, suite := range suites {
+		for _, w := range suite {
+			fs := memfs.New()
+			fs.Mkfs()
+			res := workload.Run(fs, w, workload.Hooks{})
+			for i, r := range res {
+				if r.Err == vfs.ErrNotExist {
+					t.Fatalf("%s op %d (%s): dependency not satisfied: %v", w.Name, i, r.Op, r.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestSeq3DependenciesSampled: spot-check the large seq-3 space.
+func TestSeq3DependenciesSampled(t *testing.T) {
+	all := Seq3Metadata()
+	for i := 0; i < len(all); i += 97 {
+		w := all[i]
+		fs := memfs.New()
+		fs.Mkfs()
+		res := workload.Run(fs, w, workload.Hooks{})
+		for j, r := range res {
+			if r.Err == vfs.ErrNotExist {
+				t.Fatalf("%s op %d (%s): %v", w.Name, j, r.Op, r.Err)
+			}
+		}
+	}
+}
+
+// TestDaxModeInsertsSync: every DAX-mode workload ends with fsync or sync.
+func TestDaxModeInsertsSync(t *testing.T) {
+	for _, w := range Seq1Dax() {
+		last := w.Ops[len(w.Ops)-1]
+		if last.Kind != workload.OpFsync && last.Kind != workload.OpSync {
+			t.Fatalf("%s does not end with a persistence op: %s", w.Name, last)
+		}
+	}
+	if len(Seq1Dax()) <= len(Seq1()) {
+		t.Fatal("DAX mode should generate more variants than PM mode")
+	}
+}
+
+// TestWorkloadNamesUnique guards against generator collisions.
+func TestWorkloadNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Seq2() {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}

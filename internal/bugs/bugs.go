@@ -1,0 +1,270 @@
+// Package bugs catalogues the 23 unique crash-consistency bugs from Table 1
+// of the Chipmunk paper and the per-bug attributes behind the observations
+// in Table 2. Each file-system implementation takes a Set of enabled bugs:
+// the enabled path reproduces the published (buggy) algorithm, the disabled
+// path reproduces the developers' fix. The Chipmunk engine knows nothing
+// about these flags — it must rediscover every bug through its generic
+// checks, which is the soundness claim this reproduction validates.
+package bugs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies a unique bug. Values track the row numbers of Table 1;
+// rows 14&15 and 17&18 of the table are single bugs affecting two file
+// systems and carry one ID each.
+type ID int
+
+// Bug IDs, named after their Table 1 rows.
+const (
+	// NovaTailBeforeLink (bug 1): inode-table log tail persisted before the
+	// new log page's link is flushed; recovery scans garbage. Unmountable.
+	NovaTailBeforeLink ID = 1
+	// NovaInodeInitNoFlush (bug 2): newly initialized inode not flushed;
+	// file unreadable and undeletable. PM bug.
+	NovaInodeInitNoFlush ID = 2
+	// NovaEntryAfterTail (bug 3): log entry written after tail update;
+	// recovery reads an invalid entry. Unmountable.
+	NovaEntryAfterTail ID = 3
+	// NovaRenameInPlaceDelete (bug 4): rename removes the old dentry
+	// in-place before the journal commits; crash loses the file entirely.
+	NovaRenameInPlaceDelete ID = 4
+	// NovaRenameOldSurvives (bug 5): rename persists the new dentry but a
+	// crash before old-dentry invalidation leaves both names after recovery.
+	NovaRenameOldSurvives ID = 5
+	// NovaLinkCountEarly (bug 6): link bumps the inode link count in place
+	// before the new dentry is durable.
+	NovaLinkCountEarly ID = 6
+	// NovaTruncateRebuildLoss (bug 7): DRAM-index rebuild after truncate
+	// drops valid data pages. File data lost.
+	NovaTruncateRebuildLoss ID = 7
+	// NovaFallocUnfenced (bug 8): fallocate publishes the write entry tail
+	// without fencing the entry. File data lost.
+	NovaFallocUnfenced ID = 8
+	// FortisCsumNoFlush (bug 9): NOVA-Fortis updates a checksum without
+	// flushing it. Unreadable directory or data loss. PM bug.
+	FortisCsumNoFlush ID = 9
+	// FortisReplicaSkew (bug 10): replica inode not updated atomically with
+	// the primary; mismatch makes the file undeletable.
+	FortisReplicaSkew ID = 10
+	// FortisDoubleFree (bug 11): truncate recovery deallocates blocks that
+	// are already free.
+	FortisDoubleFree ID = 11
+	// FortisCsumStaleData (bug 12): truncate updates size before the data
+	// checksum; mismatch makes the file unreadable.
+	FortisCsumStaleData ID = 12
+	// PmfsTruncateListNull (bug 13): truncate-list replay dereferences the
+	// DRAM free list before it is rebuilt. Unmountable.
+	PmfsTruncateListNull ID = 13
+	// WriteNotSync (bugs 14 & 15, PMFS and WineFS): the final extent of a
+	// data write is not flushed before return; write not synchronous. PM bug.
+	WriteNotSync ID = 14
+	// PmfsJournalOOB (bug 16): journal replay trusts an on-media length and
+	// reads outside the journal area. Affects all system calls.
+	PmfsJournalOOB ID = 16
+	// NTTailNotFenced (bugs 17 & 18, PMFS and WineFS): the non-temporal
+	// copy fast path skips the fence for sub-cache-line tails. Data lost.
+	// PM bug. Requires non-8-byte-aligned writes — ACE cannot trigger it.
+	NTTailNotFenced ID = 17
+	// WinefsJournalIndex (bug 19): recovery indexes the per-CPU journal
+	// array with the live CPU id instead of the stored id; journaled
+	// updates lost. File unreadable and undeletable.
+	WinefsJournalIndex ID = 19
+	// WinefsStrictInPlace (bug 20): strict mode falls back to an in-place
+	// data write for aligned extents, breaking write atomicity. Requires
+	// unaligned/misfit writes to expose — ACE cannot trigger it.
+	WinefsStrictInPlace ID = 20
+	// SplitfsOplogUnfenced (bug 21): metadata operation-log entry not
+	// fenced before the call returns; operation not synchronous.
+	SplitfsOplogUnfenced ID = 21
+	// SplitfsStagePerFD (bug 22): staged extents are tracked per file
+	// descriptor; writes through a second FD clobber the first stage on
+	// relink. Data lost. Requires two FDs on one file — ACE cannot trigger.
+	SplitfsStagePerFD ID = 22
+	// SplitfsRelinkSkip (bug 23): append-log replay skips entries whose
+	// predecessor crossed a staging boundary. Data lost. Requires two FDs.
+	SplitfsRelinkSkip ID = 23
+	// SplitfsTailBeforeCsum (bug 24): op-log tail published before the
+	// entry checksum; recovery silently drops ops. Not synchronous.
+	SplitfsTailBeforeCsum ID = 24
+	// SplitfsRenameOldSurvives (bug 25): logged rename replays the create
+	// but a crash loses the delete of the old name.
+	SplitfsRenameOldSurvives ID = 25
+)
+
+// Type classifies a bug per Table 1.
+type Type uint8
+
+const (
+	// Logic bugs cannot be fixed by adding flushes or fences.
+	Logic Type = iota
+	// PM bugs are missing/misordered flushes or fences.
+	PM
+)
+
+func (t Type) String() string {
+	if t == PM {
+		return "PM"
+	}
+	return "Logic"
+}
+
+// Info is the registry entry for a bug: the Table 1 row plus the Table 2
+// observation attributes used by the analysis experiments.
+type Info struct {
+	ID          ID
+	FileSystems []string // systems affected ("nova", "nova-fortis", ...)
+	Consequence string   // Table 1 consequence text
+	Syscalls    []string // affected system calls
+	Type        Type
+
+	// Table 2 observation attributes.
+	InPlaceUpdate  bool // Obs 2: caused by an in-place update optimization
+	RecoveryRebuil bool // Obs 3: in volatile-state rebuilding/recovery code
+	Resilience     bool // Obs 4: introduced by resilience mechanisms
+	NeedsMidCrash  bool // Obs 5: only exposed by a crash during a syscall
+	ShortWorkload  bool // Obs 6: discoverable by an ACE workload (seq<=3)
+	MinWrites      int  // Obs 7: smallest in-flight subset size that exposes it (0 = exposed by the empty subset / post-syscall state)
+
+	// ACEReachable mirrors §4.3: 19 of 23 bugs are in ACE's pattern space;
+	// the other four need unaligned writes or multiple FDs per file.
+	ACEReachable bool
+}
+
+// registry holds every unique bug, ordered by ID.
+var registry = []Info{
+	{ID: NovaTailBeforeLink, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "File system unmountable", Syscalls: []string{"all"}, Type: Logic, RecoveryRebuil: true, NeedsMidCrash: false, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: NovaInodeInitNoFlush, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "File is unreadable and undeletable", Syscalls: []string{"mkdir", "creat"}, Type: PM, Resilience: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: NovaEntryAfterTail, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "File system unmountable", Syscalls: []string{"write", "pwrite", "link", "unlink", "rename"}, Type: Logic, RecoveryRebuil: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: NovaRenameInPlaceDelete, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "Rename atomicity broken (file disappears)", Syscalls: []string{"rename"}, Type: Logic, InPlaceUpdate: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: NovaRenameOldSurvives, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "Rename atomicity broken (old file still present)", Syscalls: []string{"rename"}, Type: Logic, InPlaceUpdate: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: NovaLinkCountEarly, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "Link count incremented before new file appears", Syscalls: []string{"link"}, Type: Logic, InPlaceUpdate: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: NovaTruncateRebuildLoss, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "File data lost", Syscalls: []string{"truncate"}, Type: Logic, InPlaceUpdate: true, RecoveryRebuil: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: NovaFallocUnfenced, FileSystems: []string{"nova", "nova-fortis"}, Consequence: "File data lost", Syscalls: []string{"fallocate"}, Type: Logic, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: FortisCsumNoFlush, FileSystems: []string{"nova-fortis"}, Consequence: "Unreadable directory or file data loss", Syscalls: []string{"unlink", "rmdir", "truncate"}, Type: PM, Resilience: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: FortisReplicaSkew, FileSystems: []string{"nova-fortis"}, Consequence: "File is undeletable", Syscalls: []string{"write", "pwrite", "link", "rename"}, Type: Logic, Resilience: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: FortisDoubleFree, FileSystems: []string{"nova-fortis"}, Consequence: "FS attempts to deallocate free blocks", Syscalls: []string{"truncate"}, Type: Logic, Resilience: true, RecoveryRebuil: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: FortisCsumStaleData, FileSystems: []string{"nova-fortis"}, Consequence: "File is unreadable", Syscalls: []string{"truncate"}, Type: Logic, Resilience: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: PmfsTruncateListNull, FileSystems: []string{"pmfs"}, Consequence: "File system unmountable", Syscalls: []string{"truncate", "unlink", "rmdir", "rename"}, Type: Logic, RecoveryRebuil: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: WriteNotSync, FileSystems: []string{"pmfs", "winefs"}, Consequence: "Write is not synchronous", Syscalls: []string{"write", "pwrite"}, Type: PM, InPlaceUpdate: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: PmfsJournalOOB, FileSystems: []string{"pmfs"}, Consequence: "Out-of-bounds memory access", Syscalls: []string{"all"}, Type: Logic, RecoveryRebuil: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: NTTailNotFenced, FileSystems: []string{"pmfs", "winefs"}, Consequence: "File data lost", Syscalls: []string{"write", "pwrite"}, Type: PM, ShortWorkload: true, MinWrites: 0, ACEReachable: false},
+	{ID: WinefsJournalIndex, FileSystems: []string{"winefs"}, Consequence: "File is unreadable and undeletable", Syscalls: []string{"all"}, Type: Logic, RecoveryRebuil: true, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 1, ACEReachable: true},
+	{ID: WinefsStrictInPlace, FileSystems: []string{"winefs"}, Consequence: "Data write is not atomic in strict mode", Syscalls: []string{"write", "pwrite"}, Type: Logic, NeedsMidCrash: true, ShortWorkload: true, MinWrites: 2, ACEReachable: false},
+	{ID: SplitfsOplogUnfenced, FileSystems: []string{"splitfs"}, Consequence: "Operation is not synchronous", Syscalls: []string{"all metadata"}, Type: Logic, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: SplitfsStagePerFD, FileSystems: []string{"splitfs"}, Consequence: "File data lost", Syscalls: []string{"write", "pwrite"}, Type: Logic, ShortWorkload: true, MinWrites: 0, ACEReachable: false},
+	{ID: SplitfsRelinkSkip, FileSystems: []string{"splitfs"}, Consequence: "File data lost", Syscalls: []string{"write", "pwrite"}, Type: Logic, ShortWorkload: true, MinWrites: 0, ACEReachable: false},
+	{ID: SplitfsTailBeforeCsum, FileSystems: []string{"splitfs"}, Consequence: "Operation is not synchronous", Syscalls: []string{"all"}, Type: Logic, RecoveryRebuil: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+	{ID: SplitfsRenameOldSurvives, FileSystems: []string{"splitfs"}, Consequence: "Rename atomicity broken (old file still present)", Syscalls: []string{"rename"}, Type: Logic, RecoveryRebuil: true, ShortWorkload: true, MinWrites: 0, ACEReachable: true},
+}
+
+// All returns every unique bug, ordered by ID.
+func All() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the registry entry for id.
+func Lookup(id ID) (Info, bool) {
+	for _, b := range registry {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Info{}, false
+}
+
+// ForFS returns the bugs affecting the named file system.
+func ForFS(name string) []Info {
+	var out []Info
+	for _, b := range registry {
+		for _, f := range b.FileSystems {
+			if f == name {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Set is a collection of enabled (injected) bugs.
+type Set map[ID]bool
+
+// None returns an empty set: every code path takes the fixed branch.
+func None() Set { return Set{} }
+
+// AllSet returns a set with every registry bug enabled: the as-published
+// file systems.
+func AllSet() Set {
+	s := Set{}
+	for _, b := range registry {
+		s[b.ID] = true
+	}
+	return s
+}
+
+// Of builds a set from explicit IDs.
+func Of(ids ...ID) Set {
+	s := Set{}
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Has reports whether id is enabled.
+func (s Set) Has(id ID) bool { return s != nil && s[id] }
+
+// With returns a copy of s with id enabled.
+func (s Set) With(id ID) Set {
+	out := Set{}
+	for k, v := range s {
+		out[k] = v
+	}
+	out[id] = true
+	return out
+}
+
+// Without returns a copy of s with id disabled.
+func (s Set) Without(id ID) Set {
+	out := Set{}
+	for k, v := range s {
+		if k != id {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// IDs returns the enabled IDs in ascending order.
+func (s Set) IDs() []ID {
+	var out []ID
+	for id, on := range s {
+		if on {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s Set) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// TableRow renders the Table 1 row for a bug.
+func (b Info) TableRow() string {
+	return fmt.Sprintf("%-2d | %-14s | %-50s | %-40s | %s",
+		b.ID, strings.Join(b.FileSystems, ","), b.Consequence,
+		strings.Join(b.Syscalls, ", "), b.Type)
+}

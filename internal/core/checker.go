@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chipmunk/internal/persist"
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// check mounts the target file system on one crash state and applies the
+// consistency checks of §3.3: mountability, oracle comparison (synchrony
+// for post-syscall states, atomicity for mid-syscall states), and the
+// usability probe. The first failed check produces the state's report.
+func (ck *checker) check(img []byte, ctx crashCtx) {
+	ck.res.StatesChecked++
+	dev := pmem.FromImage(img)
+	fs := ck.cfg.NewFS(persist.New(dev))
+
+	if err := fs.Mount(); err != nil {
+		ck.report(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err))
+		return
+	}
+	st, err := vfs.Capture(fs)
+	if err != nil {
+		ck.report(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err))
+		return
+	}
+
+	switch ctx.phase {
+	case PhasePost:
+		if ctx.oracleIdx >= 0 && ctx.oracleIdx < len(ck.states) {
+			if d := vfs.Diff(st, ck.states[ctx.oracleIdx]); d != "" {
+				ck.report(ctx, VSynchrony, d)
+				return
+			}
+		}
+	case PhaseMid:
+		if detail := ck.checkAtomic(st, ctx); detail != "" {
+			ck.report(ctx, VAtomicity, detail)
+			return
+		}
+	}
+
+	if !ck.cfg.SkipUsability {
+		if detail := ck.usability(fs, st); detail != "" {
+			ck.report(ctx, VUsability, detail)
+		}
+	}
+}
+
+// checkAtomic validates a mid-syscall crash state: every file the call
+// modifies must match either the pre-call or post-call oracle version, all
+// of them the same version; untouched files must be untouched (§3.3
+// "Testing crash states").
+func (ck *checker) checkAtomic(crash vfs.State, ctx crashCtx) string {
+	if ctx.sys < 0 || ctx.sys+1 >= len(ck.states) {
+		return ""
+	}
+	pre := ck.states[ctx.sys]
+	post := ck.states[ctx.sys+1]
+
+	paths := map[string]bool{}
+	for p := range pre {
+		paths[p] = true
+	}
+	for p := range post {
+		paths[p] = true
+	}
+	for p := range crash {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	var sawPre, sawPost []string
+	for _, p := range sorted {
+		preF, inPre := pre[p]
+		postF, inPost := post[p]
+		crashF, inCrash := crash[p]
+
+		modified := inPre != inPost || (inPre && inPost && !preF.Equal(postF))
+		if !modified {
+			// Untouched by this call: must match exactly (or be equally
+			// absent).
+			if inPre != inCrash {
+				return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", p, inCrash)
+			}
+			if inPre && !preF.Equal(crashF) {
+				return fmt.Sprintf("%s: untouched file changed\n  crash:  %s\n  oracle: %s",
+					p, crashF.Describe(), preF.Describe())
+			}
+			continue
+		}
+
+		matchPre := inPre == inCrash && (!inPre || preF.Equal(crashF))
+		matchPost := inPost == inCrash && (!inPost || postF.Equal(crashF))
+		switch {
+		case matchPre:
+			sawPre = append(sawPre, p)
+		case matchPost:
+			sawPost = append(sawPost, p)
+		case ck.mixAllowed(ctx, p) && inCrash && byteMixOK(preF, postF, crashF, inPre, inPost):
+			// A torn data write on a system without atomic writes: legal,
+			// and consistent with either version.
+		default:
+			detail := fmt.Sprintf("%s: matches neither pre- nor post-op state", p)
+			if inCrash {
+				detail += "\n  crash:  " + crashF.Describe()
+			} else {
+				detail += "\n  crash:  (missing)"
+			}
+			if inPre {
+				detail += "\n  pre:    " + preF.Describe()
+			} else {
+				detail += "\n  pre:    (absent)"
+			}
+			if inPost {
+				detail += "\n  post:   " + postF.Describe()
+			} else {
+				detail += "\n  post:   (absent)"
+			}
+			return detail
+		}
+	}
+	if len(sawPre) > 0 && len(sawPost) > 0 {
+		return fmt.Sprintf("operation not atomic: %s at pre-op state while %s at post-op state",
+			strings.Join(sawPre, ","), strings.Join(sawPost, ","))
+	}
+	return ""
+}
+
+// mixAllowed reports whether path may legally hold a mix of old and new
+// bytes in this crash state: the system does not guarantee atomic data
+// writes and path names the file the in-flight write/fallocate targets —
+// either directly or as a hard-link alias (a torn write is visible under
+// every name of the inode).
+func (ck *checker) mixAllowed(ctx crashCtx, path string) bool {
+	if ck.caps.AtomicWrite {
+		return false
+	}
+	if ctx.sys < 0 || ctx.sys >= len(ck.w.Ops) {
+		return false
+	}
+	op := ck.w.Ops[ctx.sys]
+	switch op.Kind {
+	case workload.OpWrite, workload.OpPwrite, workload.OpFalloc:
+	default:
+		return false
+	}
+	if op.FDSlot >= 0 {
+		// Descriptor-based write: the target path is not recorded in the
+		// op, so any regular file may legally be torn (conservative).
+		return true
+	}
+	target := vfs.Clean(op.Path)
+	if target == path {
+		return true
+	}
+	if ctx.sys+1 < len(ck.states) {
+		if ck.states[ctx.sys].SameInode(target, path) ||
+			ck.states[ctx.sys+1].SameInode(target, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// byteMixOK accepts a torn data write: the size is the old or the new one,
+// the link count unchanged, and every byte matches the old or the new
+// content (bytes beyond a version's size count as zero).
+func byteMixOK(pre, post, crash vfs.FileState, inPre, inPost bool) bool {
+	if !inPost || crash.Type != vfs.TypeRegular || post.Type != vfs.TypeRegular {
+		return false
+	}
+	if !inPre {
+		// File created by this op: old content is "absent"; a torn state
+		// still has the file with partial data.
+		pre = vfs.FileState{Type: vfs.TypeRegular, Nlink: post.Nlink}
+	}
+	if pre.Type != vfs.TypeRegular {
+		return false
+	}
+	if crash.Size != pre.Size && crash.Size != post.Size {
+		return false
+	}
+	if crash.Nlink != post.Nlink {
+		return false
+	}
+	byteAt := func(f vfs.FileState, i int64) byte {
+		if i < int64(len(f.Data)) {
+			return f.Data[i]
+		}
+		return 0
+	}
+	for i := int64(0); i < crash.Size; i++ {
+		b := crash.Data[i]
+		if b != byteAt(pre, i) && b != byteAt(post, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// usability validates that the recovered file system is actually usable
+// (§3.3): create a file in every directory, write and read it back, then
+// delete every file and directory. The mutations land on this state's
+// private device copy.
+func (ck *checker) usability(fs vfs.FS, st vfs.State) string {
+	var dirs, files []string
+	for p, f := range st {
+		if f.Type == vfs.TypeDir {
+			dirs = append(dirs, p)
+		} else {
+			files = append(files, p)
+		}
+	}
+	sort.Strings(dirs)
+
+	probe := "chipmunk_probe"
+	for _, d := range dirs {
+		path := vfs.Join(d, probe)
+		fd, err := fs.Create(path)
+		if err != nil {
+			return fmt.Sprintf("creating %s failed: %v", path, err)
+		}
+		if _, err := fs.Pwrite(fd, []byte("probe"), 0); err != nil {
+			fs.Close(fd)
+			return fmt.Sprintf("writing %s failed: %v", path, err)
+		}
+		buf := make([]byte, 5)
+		if _, err := fs.Pread(fd, buf, 0); err != nil {
+			fs.Close(fd)
+			return fmt.Sprintf("reading %s back failed: %v", path, err)
+		}
+		if string(buf) != "probe" {
+			fs.Close(fd)
+			return fmt.Sprintf("read-back of %s returned %q", path, buf)
+		}
+		if err := fs.Close(fd); err != nil {
+			return fmt.Sprintf("closing %s failed: %v", path, err)
+		}
+		files = append(files, path)
+	}
+
+	sort.Strings(files)
+	for _, p := range files {
+		if err := fs.Unlink(p); err != nil {
+			return fmt.Sprintf("deleting %s failed: %v", p, err)
+		}
+	}
+	// Directories deepest-first; the root stays.
+	sort.Slice(dirs, func(i, j int) bool { return len(dirs[i]) > len(dirs[j]) })
+	for _, d := range dirs {
+		if d == "/" {
+			continue
+		}
+		if err := fs.Rmdir(d); err != nil {
+			return fmt.Sprintf("removing directory %s failed: %v", d, err)
+		}
+	}
+	return ""
+}
+
+// recoveryReadSet mounts the base image once with PM reads recorded,
+// returning the cache lines recovery consulted — the Vinter heuristic's
+// input. A failed mount returns nil (no filtering: everything is relevant
+// when recovery itself is broken).
+func (ck *checker) recoveryReadSet(img []byte) *persist.ReadSet {
+	dev := pmem.FromImage(img)
+	pm := persist.New(dev)
+	reads := persist.NewReadSet()
+	pm.Attach(reads)
+	fs := ck.cfg.NewFS(pm)
+	if err := fs.Mount(); err != nil {
+		return nil
+	}
+	return reads
+}
+
+// report records a violation (bounded; overflow is counted).
+func (ck *checker) report(ctx crashCtx, kind ViolationKind, detail string) {
+	if len(ck.res.Violations) >= maxViolationsPerRun {
+		ck.res.SuppressedViolations++
+		return
+	}
+	sysName := ""
+	if ctx.sys >= 0 && ctx.sys < len(ck.w.Ops) {
+		sysName = ck.w.Ops[ctx.sys].String()
+	}
+	ck.res.Violations = append(ck.res.Violations, Violation{
+		FS:       ck.caps.Name,
+		Workload: ck.w,
+		Syscall:  ctx.sys,
+		SysName:  sysName,
+		Phase:    ctx.phase,
+		Subset:   ctx.subset,
+		Kind:     kind,
+		Detail:   detail,
+	})
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"chipmunk/internal/trace"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// crashCtx says which crash point a state belongs to.
+type crashCtx struct {
+	phase     Phase
+	sys       int   // syscall index (-1 outside any call)
+	oracleIdx int   // index into checker.states used for comparison
+	subset    []int // replayed in-flight write indices (nil = all fenced)
+}
+
+// maxViolationsPerRun bounds report memory; overflow is counted, never
+// silently dropped.
+const maxViolationsPerRun = 200
+
+type checker struct {
+	cfg    Config
+	caps   vfs.Caps
+	w      workload.Workload
+	res    *Result
+	states []vfs.State
+
+	scratch []byte
+}
+
+// walk replays the trace, generating crash states at every fence and after
+// every system call (§3.3 "Constructing crash states").
+//
+// At a fence with n in-flight writes the engine checks the 2^n - 1
+// non-empty subsets (in increasing subset-size order, which Observation 7
+// shows finds bugs earliest), bounded by the configured cap; the full set is
+// always checked because it is the next persistent base. Crash points after
+// system calls use the current persistent image: writes that were never
+// fenced are — correctly — absent, which is how missing-fence bugs surface.
+func (ck *checker) walk(baseline []byte, log *trace.Log) {
+	img := append([]byte(nil), baseline...)
+	ck.scratch = make([]byte, len(img))
+	var pending []int
+	lastDone := -1
+	sig := fnv.New64a()
+
+	for _, e := range log.Entries() {
+		if e.Sys >= 0 && e.Kind != trace.KindSyscallBegin && e.Kind != trace.KindSyscallEnd {
+			// Fold the event shape into the enclosing call's signature.
+			var shape [3]byte
+			shape[0] = byte(e.Kind)
+			shape[1] = sizeBucket(len(e.Data))
+			shape[2] = byte(e.Off % 64)
+			sig.Write(shape[:])
+		}
+		switch e.Kind {
+		case trace.KindSyscallBegin:
+			sig.Reset()
+			sig.Write([]byte(e.Name))
+		case trace.KindSyscallEnd:
+			ck.res.SyscallSigs = append(ck.res.SyscallSigs, sig.Sum64())
+		}
+		switch e.Kind {
+		case trace.KindNT, trace.KindFlush:
+			pending = append(pending, e.Seq)
+		case trace.KindStore:
+			ck.res.StoreEntries++
+		case trace.KindFence:
+			ck.res.Fences++
+			ck.noteInFlight(len(pending))
+			if len(pending) > 0 && ck.caps.Strong && !ck.cfg.PostOnly {
+				ck.enumerate(img, log, pending, e.Sys, lastDone)
+			}
+			for _, idx := range pending {
+				trace.Apply(img, log.At(idx))
+			}
+			pending = pending[:0]
+		case trace.KindSyscallEnd:
+			lastDone = e.Sys
+			if ck.shouldCheckPost(e.Sys) {
+				ck.check(img, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
+			}
+		}
+	}
+}
+
+// shouldCheckPost selects post-syscall crash points: every call for strong
+// systems, fsync-family calls for weak ones (§3.3, §4.1).
+func (ck *checker) shouldCheckPost(sys int) bool {
+	if sys < 0 || sys >= len(ck.w.Ops) {
+		return false
+	}
+	if ck.caps.Strong {
+		return true
+	}
+	switch ck.w.Ops[sys].Kind {
+	case workload.OpFsync, workload.OpFdatasync, workload.OpSync:
+		return ck.res.OpResults[sys].Err == nil
+	default:
+		return false
+	}
+}
+
+// enumerate generates and checks the crash states of one fence.
+func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, lastDone int) {
+	full := pending
+	if ck.cfg.VinterFilter {
+		reads := ck.recoveryReadSet(img)
+		kept := pending[:0:len(pending)]
+		for _, idx := range pending {
+			e := log.At(idx)
+			if reads == nil || reads.Overlaps(e.Off, len(e.Data)) {
+				kept = append(kept, idx)
+			} else {
+				ck.res.FilteredWrites++
+			}
+		}
+		pending = kept
+		if len(pending) == 0 {
+			// Nothing recovery-relevant in flight; still check the
+			// post-fence state (the full set).
+			ctx := fenceCtx(sys, lastDone)
+			fullSet := append([]int(nil), full...)
+			ck.checkSubset(img, log, fullSet, ctx)
+			return
+		}
+	}
+	n := len(pending)
+	cap := ck.cfg.Cap
+	truncated := false
+	if cap == 0 {
+		if n > exhaustiveLimit {
+			cap = safetyCap
+			truncated = true
+		} else {
+			cap = n
+		}
+	}
+	if cap > n {
+		cap = n
+	}
+	if truncated {
+		ck.res.TruncatedFences++
+	}
+
+	ctx := fenceCtx(sys, lastDone)
+
+	subset := make([]int, 0, n)
+	for size := 1; size <= cap; size++ {
+		ck.combinations(img, log, pending, subset, 0, size, ctx)
+	}
+	if cap < n || len(full) != len(pending) {
+		// The full set is the next persistent base; always check it.
+		fullSet := append([]int(nil), full...)
+		ck.checkSubset(img, log, fullSet, ctx)
+	}
+}
+
+// fenceCtx builds the crash context for a fence inside syscall sys (or
+// deferred work after lastDone).
+func fenceCtx(sys, lastDone int) crashCtx {
+	if sys < 0 {
+		return crashCtx{phase: PhasePost, sys: lastDone, oracleIdx: lastDone + 1}
+	}
+	return crashCtx{phase: PhaseMid, sys: sys, oracleIdx: sys}
+}
+
+// combinations enumerates size-k subsets of pending[from:] recursively.
+func (ck *checker) combinations(img []byte, log *trace.Log, pending, subset []int, from, size int, ctx crashCtx) {
+	if size == 0 {
+		ck.checkSubset(img, log, subset, ctx)
+		return
+	}
+	for i := from; i <= len(pending)-size; i++ {
+		ck.combinations(img, log, pending, append(subset, pending[i]), i+1, size-1, ctx)
+	}
+}
+
+// checkSubset materializes base-image + subset and checks it.
+func (ck *checker) checkSubset(img []byte, log *trace.Log, subset []int, ctx crashCtx) {
+	copy(ck.scratch, img)
+	for _, idx := range subset {
+		trace.Apply(ck.scratch, log.At(idx))
+	}
+	ctx.subset = append([]int(nil), subset...)
+	ck.check(ck.scratch, ctx)
+}
+
+func (ck *checker) noteInFlight(n int) {
+	for len(ck.res.InFlightCounts) <= n {
+		ck.res.InFlightCounts = append(ck.res.InFlightCounts, 0)
+	}
+	ck.res.InFlightCounts[n]++
+	if n > ck.res.MaxInFlight {
+		ck.res.MaxInFlight = n
+	}
+}
+
+// sizeBucket maps a write size to a coarse bucket for trace signatures.
+func sizeBucket(n int) byte {
+	switch {
+	case n == 0:
+		return 0
+	case n <= 8:
+		return 1
+	case n <= 64:
+		return 2
+	case n <= 512:
+		return 3
+	case n <= 4096:
+		return 4
+	default:
+		return 5
+	}
+}

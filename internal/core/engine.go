@@ -1,0 +1,237 @@
+// Package core is the Chipmunk engine: it records the persistence-function
+// trace of a workload, constructs crash states by replaying subsets of
+// in-flight writes at every store fence, mounts the target file system on
+// each state, and checks the recovered state against an oracle (§3.3 of the
+// paper).
+package core
+
+import (
+	"fmt"
+
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/trace"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// DefaultDevSize is the simulated PM device size used for testing; the
+// paper uses two 128 MB emulated devices, scaled down here because our
+// workloads are the same small ACE/fuzzer programs.
+const DefaultDevSize = 1 << 20
+
+// exhaustiveLimit bounds exhaustive subset enumeration: fences with more
+// in-flight writes than this fall back to safetyCap and the truncation is
+// counted (never silent — Result.TruncatedFences reports it).
+const (
+	exhaustiveLimit = 14
+	safetyCap       = 3
+)
+
+// Config describes one system under test.
+type Config struct {
+	// NewFS builds the file system (with its bug set baked in) over a PM.
+	// It is called once for the execution device and once per crash state.
+	NewFS func(pm *persist.PM) vfs.FS
+	// DevSize is the simulated device size (DefaultDevSize if zero).
+	DevSize int64
+	// Cap bounds the size of replayed in-flight subsets (0 = exhaustive,
+	// the setting used for ACE runs; the paper uses 2 for fuzzing).
+	Cap int
+	// TraceStores enables instruction-level tracing (the Yat/Vinter-style
+	// ablation); the engine ignores KindStore entries, so this only adds
+	// overhead and statistics.
+	TraceStores bool
+	// SkipUsability disables the usability probe phase (used by ablations).
+	SkipUsability bool
+	// PostOnly restricts crash points to system-call boundaries even for
+	// strong systems — the policy of disk-era tools like CrashMonkey,
+	// used to measure Observation 5 (how many bugs need mid-call crashes).
+	PostOnly bool
+	// VinterFilter enables the recovery-read-set heuristic from Vinter
+	// (§6.2): at each fence the base image is mounted once with PM reads
+	// recorded, and only in-flight writes overlapping what recovery read
+	// participate in subset enumeration (the full set is always checked).
+	// This trades coverage for state count — data writes that only the
+	// post-recovery comparison reads can be filtered away, which is
+	// exactly why the paper's tool checks more states than Vinter.
+	VinterFilter bool
+}
+
+// Phase says when the simulated crash happened.
+type Phase uint8
+
+const (
+	// PhaseMid is a crash during a system call.
+	PhaseMid Phase = iota
+	// PhasePost is a crash after a system call completed.
+	PhasePost
+)
+
+func (p Phase) String() string {
+	if p == PhasePost {
+		return "post-syscall"
+	}
+	return "mid-syscall"
+}
+
+// ViolationKind classifies what the checker observed.
+type ViolationKind uint8
+
+const (
+	// VUnmountable: the file system failed to mount the crash state.
+	VUnmountable ViolationKind = iota
+	// VUnreadable: the mounted state could not be fully read (EIO).
+	VUnreadable
+	// VSynchrony: a post-syscall state differs from the oracle.
+	VSynchrony
+	// VAtomicity: a mid-syscall state mixes pre- and post-op versions or
+	// matches neither.
+	VAtomicity
+	// VUsability: creating or deleting files on the recovered state failed.
+	VUsability
+	// VOpBehavior: a system call's live result diverged from the oracle
+	// (a non-crash-consistency bug, cf. §4.4).
+	VOpBehavior
+)
+
+var kindNames = [...]string{
+	VUnmountable: "unmountable",
+	VUnreadable:  "unreadable",
+	VSynchrony:   "synchrony-violation",
+	VAtomicity:   "atomicity-violation",
+	VUsability:   "usability-failure",
+	VOpBehavior:  "op-behavior-divergence",
+}
+
+func (k ViolationKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+}
+
+// Violation is one crash-consistency bug report.
+type Violation struct {
+	FS       string
+	Workload workload.Workload
+	Syscall  int    // index of the implicated call (-1 if none)
+	SysName  string // rendering of that call
+	Phase    Phase
+	Subset   []int // in-flight write indices replayed into the crash state
+	Kind     ViolationKind
+	Detail   string
+}
+
+// String renders the report the way Chipmunk's bug reports look.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s during %q (%s, subset %v)\n  workload: %s\n  detail: %s",
+		v.FS, v.Kind, v.SysName, v.Phase, v.Subset, v.Workload, v.Detail)
+}
+
+// Result aggregates one workload run.
+type Result struct {
+	Violations      []Violation
+	StatesChecked   int
+	Fences          int
+	TruncatedFences int
+	// InFlightCounts histograms the in-flight set size at each fence
+	// (Observation 7 / §3.2 measurements).
+	InFlightCounts []int
+	// MaxInFlight is the largest in-flight set observed.
+	MaxInFlight int
+	// StoreEntries counts KindStore trace entries (per-store ablation).
+	StoreEntries int
+	// FilteredWrites counts in-flight writes the Vinter read-set heuristic
+	// excluded from subset enumeration.
+	FilteredWrites int
+	// SuppressedViolations counts reports beyond the per-run bound.
+	SuppressedViolations int
+	OpResults            []workload.Result
+	// SyscallSigs holds one hash per system call summarizing the shape of
+	// its persistence-function trace (kinds, bucketed sizes, fences). The
+	// fuzzer uses these as its gray-box coverage signal: Go cannot
+	// self-instrument kernel-style kcov, so trace-shape novelty stands in
+	// for branch coverage (see DESIGN.md).
+	SyscallSigs []uint64
+}
+
+// Buggy reports whether any violation was found.
+func (r *Result) Buggy() bool { return len(r.Violations) > 0 }
+
+// Run executes the full Chipmunk pipeline for one workload.
+func Run(cfg Config, w workload.Workload) (*Result, error) {
+	devSize := cfg.DevSize
+	if devSize == 0 {
+		devSize = DefaultDevSize
+	}
+
+	// --- Oracle pass: run the workload on the reference model, recording
+	// the observable state around every system call.
+	oracle := memfs.New()
+	if err := oracle.Mkfs(); err != nil {
+		return nil, fmt.Errorf("oracle mkfs: %w", err)
+	}
+	states := make([]vfs.State, 0, len(w.Ops)+1)
+	var oracleErr error
+	oracleResults := workload.Run(oracle, w, workload.Hooks{
+		Before: func(i int, op workload.Op) {
+			st, err := vfs.Capture(oracle)
+			if err != nil && oracleErr == nil {
+				oracleErr = err
+			}
+			states = append(states, st)
+		},
+	})
+	if oracleErr != nil {
+		return nil, fmt.Errorf("oracle capture: %w", oracleErr)
+	}
+	final, err := vfs.Capture(oracle)
+	if err != nil {
+		return nil, fmt.Errorf("oracle final capture: %w", err)
+	}
+	states = append(states, final)
+
+	// --- Record pass: run the workload on the target, tracing writes.
+	dev := pmem.NewDevice(devSize)
+	pm := persist.New(dev)
+	pm.TraceStores = cfg.TraceStores
+	target := cfg.NewFS(pm)
+	if err := target.Mkfs(); err != nil {
+		return nil, fmt.Errorf("target mkfs: %w", err)
+	}
+	baseline := dev.CrashImage()
+	log := trace.NewLog()
+	rec := persist.NewRecorder(log)
+	pm.Attach(rec)
+	targetResults := workload.Run(target, w, workload.Hooks{
+		Before: func(i int, op workload.Op) { log.BeginSyscall(i, op.String()) },
+		After:  func(i int, op workload.Op, err error) { log.EndSyscall(i, op.String()) },
+	})
+	pm.Detach(rec)
+	caps := target.Caps()
+
+	res := &Result{OpResults: targetResults}
+
+	// --- Live-behaviour comparison (non-crash bugs).
+	for i := range targetResults {
+		te, oe := targetResults[i].Err, oracleResults[i].Err
+		if te != nil && te == vfs.ErrNoSpace {
+			continue // the reference model has unbounded space
+		}
+		if (te == nil) != (oe == nil) {
+			res.Violations = append(res.Violations, Violation{
+				FS: caps.Name, Workload: w, Syscall: i,
+				SysName: targetResults[i].Op.String(), Phase: PhasePost,
+				Kind:   VOpBehavior,
+				Detail: fmt.Sprintf("live result %v, oracle %v", te, oe),
+			})
+		}
+	}
+
+	// --- Crash-state construction and checking.
+	ck := &checker{cfg: cfg, caps: caps, w: w, states: states, res: res}
+	ck.walk(baseline, log)
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cluster groups near-identical violations, mirroring the lexical-similarity
+// triage the paper added to Syzkaller (§3.4.2): fuzzers generate many
+// duplicate reports, and multiple crash states often trigger the same bug.
+type Cluster struct {
+	Representative Violation
+	Count          int
+	tokens         map[string]bool
+}
+
+// triageThreshold is the token-Jaccard similarity above which two reports
+// are considered duplicates.
+const triageThreshold = 0.55
+
+// Triage clusters violations by lexical similarity of their kind + detail.
+func Triage(violations []Violation) []*Cluster {
+	var clusters []*Cluster
+	for _, v := range violations {
+		toks := tokenize(v)
+		placed := false
+		for _, c := range clusters {
+			if jaccard(c.tokens, toks) >= triageThreshold {
+				c.Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &Cluster{Representative: v, Count: 1, tokens: toks})
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].Count > clusters[j].Count })
+	return clusters
+}
+
+// tokenize reduces a violation to its signature tokens. Volatile details
+// (offsets, page numbers, subset indices) are dropped so that the same root
+// cause clusters across crash states.
+func tokenize(v Violation) map[string]bool {
+	out := map[string]bool{
+		"kind:" + v.Kind.String():   true,
+		"phase:" + v.Phase.String(): true,
+	}
+	if v.Syscall >= 0 && v.Syscall < len(v.Workload.Ops) {
+		out["op:"+v.Workload.Ops[v.Syscall].Kind.String()] = true
+	}
+	for _, raw := range strings.FieldsFunc(v.Detail, func(r rune) bool {
+		return r == ' ' || r == '\n' || r == ':' || r == ',' || r == '(' || r == ')' || r == '='
+	}) {
+		if raw == "" || isNumeric(raw) || len(raw) > 16 || looksHex(raw) {
+			continue
+		}
+		out["w:"+raw] = true
+	}
+	return out
+}
+
+// looksHex drops data-dump tokens (file contents differ per crash state but
+// do not distinguish root causes).
+func looksHex(s string) bool {
+	if len(s) < 8 {
+		return false
+	}
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f' || r == '=') {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && r != '-' && r != '#' && r != 'x' {
+			return false
+		}
+	}
+	return true
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"chipmunk/internal/workload"
+)
+
+func mkViolation(kind ViolationKind, phase Phase, op workload.OpKind, detail string) Violation {
+	return Violation{
+		FS:       "nova",
+		Kind:     kind,
+		Phase:    phase,
+		Syscall:  0,
+		Workload: workload.Workload{Ops: []workload.Op{{Kind: op}}},
+		Detail:   detail,
+	}
+}
+
+func TestTriageMergesSameRootCause(t *testing.T) {
+	var vs []Violation
+	for i := 0; i < 10; i++ {
+		vs = append(vs, mkViolation(VAtomicity, PhaseMid, workload.OpRename,
+			fmt.Sprintf("/: matches neither pre- nor post-op state\n  crash: dir nlink=2 entries=[] offset %d", i)))
+	}
+	clusters := Triage(vs)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(clusters))
+	}
+	if clusters[0].Count != 10 {
+		t.Fatalf("count = %d", clusters[0].Count)
+	}
+}
+
+func TestTriageSeparatesDifferentKinds(t *testing.T) {
+	vs := []Violation{
+		mkViolation(VUnmountable, PhaseMid, workload.OpWrite, "mount failed: bad log link"),
+		mkViolation(VSynchrony, PhasePost, workload.OpPwrite, "/f0: mismatch size"),
+		mkViolation(VUsability, PhaseMid, workload.OpUnlink, "deleting /f0 failed: input/output error"),
+	}
+	clusters := Triage(vs)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d, want 3", len(clusters))
+	}
+}
+
+func TestTriageIgnoresHexDumps(t *testing.T) {
+	a := mkViolation(VSynchrony, PhasePost, workload.OpPwrite,
+		"/f0: mismatch\n crash: file size=100 data=aabbccddeeff00112233445566778899\n oracle: file size=200 data=99887766554433221100ffeeddccbbaa")
+	b := mkViolation(VSynchrony, PhasePost, workload.OpPwrite,
+		"/f0: mismatch\n crash: file size=150 data=0102030405060708090a0b0c0d0e0f10\n oracle: file size=300 data=100f0e0d0c0b0a090807060504030201")
+	clusters := Triage([]Violation{a, b})
+	if len(clusters) != 1 {
+		t.Fatalf("hex-differing duplicates not merged: %d clusters", len(clusters))
+	}
+}
+
+func TestTriageOrderedByCount(t *testing.T) {
+	var vs []Violation
+	for i := 0; i < 5; i++ {
+		vs = append(vs, mkViolation(VAtomicity, PhaseMid, workload.OpRename, "common failure A"))
+	}
+	vs = append(vs, mkViolation(VUnmountable, PhaseMid, workload.OpWrite, "rare failure B"))
+	clusters := Triage(vs)
+	if len(clusters) != 2 || clusters[0].Count < clusters[1].Count {
+		t.Fatalf("clusters not ordered: %+v", clusters)
+	}
+}
+
+func TestJaccardEdgeCases(t *testing.T) {
+	if jaccard(nil, nil) != 1 {
+		t.Fatal("empty/empty")
+	}
+	a := map[string]bool{"x": true}
+	if jaccard(a, map[string]bool{}) != 0 {
+		t.Fatal("disjoint")
+	}
+	if jaccard(a, a) != 1 {
+		t.Fatal("identical")
+	}
+}
+
+func TestIsNumericAndLooksHex(t *testing.T) {
+	if !isNumeric("123") || !isNumeric("-5") || isNumeric("abc") {
+		t.Fatal("isNumeric")
+	}
+	if !looksHex("aabbccdd") || looksHex("not-hex!") || looksHex("ab") {
+		t.Fatal("looksHex")
+	}
+}

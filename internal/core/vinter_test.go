@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/fs/nova"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+)
+
+// TestVinterFilterReducesStatesKeepsRecoveryBugs: the read-set heuristic
+// must cut the crash-state count while still finding bugs whose in-flight
+// writes recovery reads (the rename bug's dentry and journal words are all
+// consumed by the rebuild scan).
+func TestVinterFilterReducesStatesKeepsRecoveryBugs(t *testing.T) {
+	w := renameWorkload()
+	mk := func(filter bool) *Result {
+		res := mustRun(t, Config{
+			NewFS: func(pm *persist.PM) vfs.FS {
+				return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+			},
+			VinterFilter: filter,
+		}, w)
+		return res
+	}
+	plain := mk(false)
+	filtered := mk(true)
+	if !plain.Buggy() || !filtered.Buggy() {
+		t.Fatalf("bug 4 detection: plain=%v filtered=%v", plain.Buggy(), filtered.Buggy())
+	}
+	if filtered.StatesChecked > plain.StatesChecked {
+		t.Fatalf("filter increased states: %d > %d", filtered.StatesChecked, plain.StatesChecked)
+	}
+	t.Logf("states plain=%d filtered=%d (filtered writes: %d)",
+		plain.StatesChecked, filtered.StatesChecked, filtered.FilteredWrites)
+}
+
+// TestVinterFilterCleanOnFixed: the heuristic must not create false
+// positives (fewer states can only hide bugs, not invent them).
+func TestVinterFilterCleanOnFixed(t *testing.T) {
+	res := mustRun(t, Config{
+		NewFS:        func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+		VinterFilter: true,
+	}, mixedWorkload())
+	for _, v := range res.Violations {
+		t.Errorf("false positive under filter: %s", v)
+	}
+}
+
+// TestVinterFilterCountsFilteredWrites: on a data-heavy workload the filter
+// actually excludes writes (NOVA recovery reads logs and inodes, not file
+// data pages).
+func TestVinterFilterCountsFilteredWrites(t *testing.T) {
+	w := mixedWorkload()
+	res := mustRun(t, Config{
+		NewFS: func(pm *persist.PM) vfs.FS {
+			return nova.New(pm, bugs.None())
+		},
+		VinterFilter: true,
+	}, w)
+	if res.FilteredWrites == 0 {
+		t.Fatal("filter excluded nothing on a data workload")
+	}
+}

@@ -1,0 +1,68 @@
+package extdax
+
+import "chipmunk/internal/vfs"
+
+// The methods below exist for SplitFS: its operation-log replay addresses
+// files by kernel inode number (paths can have changed between a staged
+// write and the crash), mirroring how the real SplitFS relinks staged
+// extents into inodes rather than paths.
+
+// HasIno reports whether ino names a live node.
+func (f *FS) HasIno(ino uint64) bool { return f.nodes[ino] != nil }
+
+// InoOf resolves a path to its inode number.
+func (f *FS) InoOf(path string) (uint64, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	return n.ino, nil
+}
+
+// PwriteIno writes data at off into the node with the given inode number.
+func (f *FS) PwriteIno(ino uint64, data []byte, off int64) error {
+	n := f.nodes[ino]
+	if n == nil {
+		return vfs.ErrNotExist
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	end := off + int64(len(data))
+	if end > int64(len(n.data)) {
+		n.data = append(n.data, make([]byte, end-int64(len(n.data)))...)
+	}
+	copy(n.data[off:], data)
+	f.dirty[ino] = true
+	return nil
+}
+
+// ExtendIno grows the node to at least size bytes (fallocate replay).
+func (f *FS) ExtendIno(ino uint64, size int64) error {
+	n := f.nodes[ino]
+	if n == nil {
+		return vfs.ErrNotExist
+	}
+	if int64(len(n.data)) < size {
+		n.data = append(n.data, make([]byte, size-int64(len(n.data)))...)
+	}
+	f.dirty[ino] = true
+	return nil
+}
+
+// TruncateIno sets the node's size (truncate replay).
+func (f *FS) TruncateIno(ino uint64, size int64) error {
+	n := f.nodes[ino]
+	if n == nil {
+		return vfs.ErrNotExist
+	}
+	cur := int64(len(n.data))
+	switch {
+	case size < cur:
+		n.data = n.data[:size]
+	case size > cur:
+		n.data = append(n.data, make([]byte, size-cur)...)
+	}
+	f.dirty[ino] = true
+	return nil
+}

@@ -1,0 +1,442 @@
+// Package memfs is a purely in-memory POSIX file-system model. Chipmunk
+// uses it as the oracle: the workload runs on a memfs instance in parallel
+// with crash-state replay, and per-syscall snapshots of memfs define the
+// legal states a crashed-and-recovered file system may present (§3.3).
+//
+// It is also the reference model for differential testing: every PM file
+// system in fixed mode must be observationally equivalent to memfs.
+package memfs
+
+import (
+	"sort"
+
+	"chipmunk/internal/vfs"
+)
+
+type node struct {
+	ino      uint64
+	typ      vfs.FileType
+	nlink    uint32
+	data     []byte
+	children map[string]*node // directories
+	parent   *node            // directories
+	xattrs   map[string]string
+}
+
+// FS is the in-memory file system.
+type FS struct {
+	root    *node
+	nextIno uint64
+	fds     map[vfs.FD]*node
+	nextFD  vfs.FD
+	mounted bool
+}
+
+// New returns an unformatted memfs.
+func New() *FS { return &FS{} }
+
+// Caps implements vfs.FS. memfs is trivially "strong": it has no
+// persistence at all, so every completed operation is final.
+func (f *FS) Caps() vfs.Caps {
+	return vfs.Caps{Name: "memfs", Strong: true, AtomicWrite: true, SyncDataWrites: true}
+}
+
+// Mkfs implements vfs.FS.
+func (f *FS) Mkfs() error {
+	f.root = &node{ino: 1, typ: vfs.TypeDir, nlink: 2, children: map[string]*node{}}
+	f.root.parent = f.root
+	f.nextIno = 2
+	f.fds = map[vfs.FD]*node{}
+	f.nextFD = 3
+	f.mounted = true
+	return nil
+}
+
+// Mount implements vfs.FS. memfs has no media, so mounting an unformatted
+// instance formats it.
+func (f *FS) Mount() error {
+	if f.root == nil {
+		return f.Mkfs()
+	}
+	f.fds = map[vfs.FD]*node{}
+	f.mounted = true
+	return nil
+}
+
+// Unmount implements vfs.FS.
+func (f *FS) Unmount() error {
+	f.mounted = false
+	f.fds = map[vfs.FD]*node{}
+	return nil
+}
+
+// lookup resolves path to a node.
+func (f *FS) lookup(path string) (*node, error) {
+	n := f.root
+	for _, c := range vfs.Components(path) {
+		if n.typ != vfs.TypeDir {
+			return nil, vfs.ErrNotDir
+		}
+		child, ok := n.children[c]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// lookupParent resolves the parent directory and final name of path.
+func (f *FS) lookupParent(path string) (*node, string, error) {
+	dir, name := vfs.SplitPath(path)
+	if name == "" {
+		return nil, "", vfs.ErrInvalid
+	}
+	if !vfs.ValidName(name) {
+		return nil, "", vfs.ErrNameTooLong
+	}
+	p, err := f.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.typ != vfs.TypeDir {
+		return nil, "", vfs.ErrNotDir
+	}
+	return p, name, nil
+}
+
+// Create implements vfs.FS (O_CREAT|O_EXCL semantics, like ACE's creat).
+func (f *FS) Create(path string) (vfs.FD, error) {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return -1, err
+	}
+	if _, ok := p.children[name]; ok {
+		return -1, vfs.ErrExist
+	}
+	n := &node{ino: f.nextIno, typ: vfs.TypeRegular, nlink: 1}
+	f.nextIno++
+	p.children[name] = n
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = n
+	return fd, nil
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(path string) (vfs.FD, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return -1, err
+	}
+	if n.typ == vfs.TypeDir {
+		return -1, vfs.ErrIsDir
+	}
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = n
+	return fd, nil
+}
+
+// Close implements vfs.FS.
+func (f *FS) Close(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	delete(f.fds, fd)
+	return nil
+}
+
+// Mkdir implements vfs.FS.
+func (f *FS) Mkdir(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.children[name]; ok {
+		return vfs.ErrExist
+	}
+	n := &node{ino: f.nextIno, typ: vfs.TypeDir, nlink: 2, children: map[string]*node{}, parent: p}
+	f.nextIno++
+	p.children[name] = n
+	p.nlink++
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (f *FS) Rmdir(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := p.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if n.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if len(n.children) > 0 {
+		return vfs.ErrNotEmpty
+	}
+	delete(p.children, name)
+	p.nlink--
+	return nil
+}
+
+// Link implements vfs.FS.
+func (f *FS) Link(oldPath, newPath string) error {
+	n, err := f.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	p, name, err := f.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.children[name]; ok {
+		return vfs.ErrExist
+	}
+	p.children[name] = n
+	n.nlink++
+	return nil
+}
+
+// Unlink implements vfs.FS.
+func (f *FS) Unlink(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := p.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	delete(p.children, name)
+	n.nlink--
+	return nil
+}
+
+// Rename implements vfs.FS.
+func (f *FS) Rename(oldPath, newPath string) error {
+	oldPath, newPath = vfs.Clean(oldPath), vfs.Clean(newPath)
+	if oldPath == newPath {
+		return nil
+	}
+	if vfs.IsAncestor(oldPath, newPath) {
+		return vfs.ErrInvalid
+	}
+	op, oname, err := f.lookupParent(oldPath)
+	if err != nil {
+		return err
+	}
+	n, ok := op.children[oname]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	np, nname, err := f.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if existing, ok := np.children[nname]; ok {
+		if n.typ == vfs.TypeDir {
+			if existing.typ != vfs.TypeDir {
+				return vfs.ErrNotDir
+			}
+			if len(existing.children) > 0 {
+				return vfs.ErrNotEmpty
+			}
+			np.nlink--
+		} else {
+			if existing.typ == vfs.TypeDir {
+				return vfs.ErrIsDir
+			}
+			existing.nlink--
+		}
+	}
+	delete(op.children, oname)
+	np.children[nname] = n
+	if n.typ == vfs.TypeDir {
+		op.nlink--
+		np.nlink++
+		n.parent = np
+	}
+	return nil
+}
+
+// Truncate implements vfs.FS.
+func (f *FS) Truncate(path string, size int64) error {
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
+	n, err := f.lookup(path)
+	if err != nil {
+		return err
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	n.setSize(size)
+	return nil
+}
+
+func (n *node) setSize(size int64) {
+	cur := int64(len(n.data))
+	switch {
+	case size < cur:
+		n.data = n.data[:size]
+	case size > cur:
+		n.data = append(n.data, make([]byte, size-cur)...)
+	}
+}
+
+// Fallocate implements vfs.FS (mode 0: allocate, extending size).
+func (f *FS) Fallocate(fd vfs.FD, off, length int64) error {
+	n, ok := f.fds[fd]
+	if !ok {
+		return vfs.ErrBadFD
+	}
+	if off < 0 || length <= 0 {
+		return vfs.ErrInvalid
+	}
+	if off+length > int64(len(n.data)) {
+		n.setSize(off + length)
+	}
+	return nil
+}
+
+// Pwrite implements vfs.FS.
+func (f *FS) Pwrite(fd vfs.FD, data []byte, off int64) (int, error) {
+	n, ok := f.fds[fd]
+	if !ok {
+		return 0, vfs.ErrBadFD
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	end := off + int64(len(data))
+	if end > int64(len(n.data)) {
+		n.setSize(end)
+	}
+	copy(n.data[off:], data)
+	return len(data), nil
+}
+
+// Pread implements vfs.FS.
+func (f *FS) Pread(fd vfs.FD, buf []byte, off int64) (int, error) {
+	n, ok := f.fds[fd]
+	if !ok {
+		return 0, vfs.ErrBadFD
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if off >= int64(len(n.data)) {
+		return 0, nil
+	}
+	return copy(buf, n.data[off:]), nil
+}
+
+// Fsync implements vfs.FS (no-op: memfs has no volatile/durable split).
+func (f *FS) Fsync(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	return nil
+}
+
+// Sync implements vfs.FS.
+func (f *FS) Sync() error { return nil }
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(path string) (vfs.Stat, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return vfs.Stat{Ino: n.ino, Type: n.typ, Nlink: n.nlink, Size: int64(len(n.data))}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(path string) ([]vfs.DirEnt, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	out := make([]vfs.DirEnt, 0, len(n.children))
+	for name, c := range n.children {
+		out = append(out, vfs.DirEnt{Name: name, Ino: c.ino, Type: c.typ})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Setxattr implements vfs.XattrFS.
+func (f *FS) Setxattr(path, name string, value []byte) error {
+	n, err := f.lookup(path)
+	if err != nil {
+		return err
+	}
+	if !vfs.ValidName(name) {
+		return vfs.ErrInvalid
+	}
+	if n.xattrs == nil {
+		n.xattrs = map[string]string{}
+	}
+	n.xattrs[name] = string(value)
+	return nil
+}
+
+// Getxattr implements vfs.XattrFS.
+func (f *FS) Getxattr(path, name string) ([]byte, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := n.xattrs[name]
+	if !ok {
+		return nil, vfs.ErrNotExist
+	}
+	return []byte(v), nil
+}
+
+// Removexattr implements vfs.XattrFS.
+func (f *FS) Removexattr(path, name string) error {
+	n, err := f.lookup(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := n.xattrs[name]; !ok {
+		return vfs.ErrNotExist
+	}
+	delete(n.xattrs, name)
+	return nil
+}
+
+// Listxattr implements vfs.XattrFS.
+func (f *FS) Listxattr(path string) ([]string, error) {
+	n, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(n.xattrs))
+	for name := range n.xattrs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+var (
+	_ vfs.FS      = (*FS)(nil)
+	_ vfs.XattrFS = (*FS)(nil)
+)

@@ -1,0 +1,408 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"chipmunk/internal/vfs"
+)
+
+func mustMkfs(t *testing.T) *FS {
+	t.Helper()
+	f := New()
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCreateStatUnlink(t *testing.T) {
+	f := mustMkfs(t)
+	fd, err := f.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Type != vfs.TypeRegular || st.Nlink != 1 || st.Size != 0 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if _, err := f.Create("/a"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/a"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("stat after unlink: %v", err)
+	}
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	f := mustMkfs(t)
+	fd, _ := f.Create("/a")
+	n, err := f.Pwrite(fd, []byte("hello world"), 0)
+	if err != nil || n != 11 {
+		t.Fatalf("pwrite = %d, %v", n, err)
+	}
+	// Sparse write past EOF zero-fills.
+	if _, err := f.Pwrite(fd, []byte("x"), 20); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/a")
+	if st.Size != 21 {
+		t.Fatalf("size = %d", st.Size)
+	}
+	buf := make([]byte, 21)
+	n, err = f.Pread(fd, buf, 0)
+	if err != nil || n != 21 {
+		t.Fatalf("pread = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:11], []byte("hello world")) || buf[15] != 0 || buf[20] != 'x' {
+		t.Fatalf("contents = %q", buf)
+	}
+	// Read past EOF.
+	if n, _ := f.Pread(fd, buf, 100); n != 0 {
+		t.Fatalf("read past EOF = %d", n)
+	}
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	f := mustMkfs(t)
+	if err := f.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := f.Stat("/")
+	if root.Nlink != 3 {
+		t.Fatalf("root nlink = %d, want 3", root.Nlink)
+	}
+	if _, err := f.Create("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rmdir("/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := f.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	root, _ = f.Stat("/")
+	if root.Nlink != 2 {
+		t.Fatalf("root nlink = %d, want 2", root.Nlink)
+	}
+}
+
+func TestLink(t *testing.T) {
+	f := mustMkfs(t)
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("data"), 0)
+	if err := f.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := f.Stat("/a")
+	sb, _ := f.Stat("/b")
+	if sa.Ino != sb.Ino || sa.Nlink != 2 || sb.Nlink != 2 {
+		t.Fatalf("link: %+v %+v", sa, sb)
+	}
+	if err := f.Link("/a", "/b"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("link existing: %v", err)
+	}
+	if err := f.Unlink("/a"); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ = f.Stat("/b")
+	if sb.Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d", sb.Nlink)
+	}
+	// Content still readable via the other name.
+	fd2, _ := f.Open("/b")
+	buf := make([]byte, 4)
+	f.Pread(fd2, buf, 0)
+	if !bytes.Equal(buf, []byte("data")) {
+		t.Fatal("link does not share data")
+	}
+}
+
+func TestLinkDirRejected(t *testing.T) {
+	f := mustMkfs(t)
+	f.Mkdir("/d")
+	if err := f.Link("/d", "/e"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("link dir: %v", err)
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	f := mustMkfs(t)
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("xyz"), 0)
+	if err := f.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/a"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("old name survived rename")
+	}
+	st, err := f.Stat("/b")
+	if err != nil || st.Size != 3 {
+		t.Fatalf("new name: %+v %v", st, err)
+	}
+}
+
+func TestRenameOverwrite(t *testing.T) {
+	f := mustMkfs(t)
+	fda, _ := f.Create("/a")
+	f.Pwrite(fda, []byte("new"), 0)
+	fdb, _ := f.Create("/b")
+	f.Pwrite(fdb, []byte("old-contents"), 0)
+	if err := f.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/b")
+	if st.Size != 3 {
+		t.Fatalf("overwrite rename size = %d", st.Size)
+	}
+}
+
+func TestRenameDirRules(t *testing.T) {
+	f := mustMkfs(t)
+	f.Mkdir("/d1")
+	f.Mkdir("/d2")
+	f.Create("/d2/f")
+	// Rename dir over non-empty dir fails.
+	if err := f.Rename("/d1", "/d2"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("rename over non-empty: %v", err)
+	}
+	f.Unlink("/d2/f")
+	if err := f.Rename("/d1", "/d2"); err != nil {
+		t.Fatalf("rename over empty dir: %v", err)
+	}
+	// Rename into own subtree fails.
+	f.Mkdir("/d2/sub")
+	if err := f.Rename("/d2", "/d2/sub/x"); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatalf("rename into subtree: %v", err)
+	}
+	// Directory rename across parents updates nlink.
+	f.Mkdir("/p")
+	if err := f.Rename("/d2/sub", "/p/sub"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.Stat("/p")
+	if p.Nlink != 3 {
+		t.Fatalf("new parent nlink = %d", p.Nlink)
+	}
+	d2, _ := f.Stat("/d2")
+	if d2.Nlink != 2 {
+		t.Fatalf("old parent nlink = %d", d2.Nlink)
+	}
+}
+
+func TestRenameSamePathNoop(t *testing.T) {
+	f := mustMkfs(t)
+	f.Create("/a")
+	if err := f.Rename("/a", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/a"); err != nil {
+		t.Fatal("file disappeared on self-rename")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	f := mustMkfs(t)
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("0123456789"), 0)
+	if err := f.Truncate("/a", 4); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/a")
+	if st.Size != 4 {
+		t.Fatalf("size = %d", st.Size)
+	}
+	if err := f.Truncate("/a", 8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	f.Pread(fd, buf, 0)
+	if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("truncate-extend = %q", buf)
+	}
+	if err := f.Truncate("/a", -1); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatal("negative truncate accepted")
+	}
+}
+
+func TestFallocate(t *testing.T) {
+	f := mustMkfs(t)
+	fd, _ := f.Create("/a")
+	if err := f.Fallocate(fd, 10, 20); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/a")
+	if st.Size != 30 {
+		t.Fatalf("size = %d", st.Size)
+	}
+	// Fallocate within existing size does not shrink.
+	if err := f.Fallocate(fd, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = f.Stat("/a")
+	if st.Size != 30 {
+		t.Fatalf("size shrank to %d", st.Size)
+	}
+	if err := f.Fallocate(fd, -1, 5); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatal("negative offset accepted")
+	}
+	if err := f.Fallocate(999, 0, 5); !errors.Is(err, vfs.ErrBadFD) {
+		t.Fatal("bad fd accepted")
+	}
+}
+
+func TestOpenDirAndMissing(t *testing.T) {
+	f := mustMkfs(t)
+	f.Mkdir("/d")
+	if _, err := f.Open("/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+	if _, err := f.Open("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if err := f.Close(12345); !errors.Is(err, vfs.ErrBadFD) {
+		t.Fatalf("close bad fd: %v", err)
+	}
+}
+
+func TestPathThroughFile(t *testing.T) {
+	f := mustMkfs(t)
+	f.Create("/a")
+	if _, err := f.Create("/a/b"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("create through file: %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := mustMkfs(t)
+	f.Create("/c")
+	f.Create("/a")
+	f.Mkdir("/b")
+	ents, err := f.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 || ents[0].Name != "a" || ents[1].Name != "b" || ents[2].Name != "c" {
+		t.Fatalf("ents = %+v", ents)
+	}
+	if ents[1].Type != vfs.TypeDir {
+		t.Fatal("type wrong")
+	}
+	if _, err := f.ReadDir("/a"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatal("readdir on file")
+	}
+}
+
+func TestTwoFDsSameFile(t *testing.T) {
+	f := mustMkfs(t)
+	fd1, _ := f.Create("/a")
+	fd2, _ := f.Open("/a")
+	f.Pwrite(fd1, []byte("AAAA"), 0)
+	f.Pwrite(fd2, []byte("BB"), 2)
+	buf := make([]byte, 4)
+	f.Pread(fd1, buf, 0)
+	if !bytes.Equal(buf, []byte("AABB")) {
+		t.Fatalf("contents = %q", buf)
+	}
+}
+
+func TestUnlinkDirRejected(t *testing.T) {
+	f := mustMkfs(t)
+	f.Mkdir("/d")
+	if err := f.Unlink("/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if err := f.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMountUnmountCycle(t *testing.T) {
+	f := New()
+	if err := f.Mount(); err != nil { // mount of unformatted formats
+		t.Fatal(err)
+	}
+	f.Create("/a")
+	if err := f.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/a"); err != nil {
+		t.Fatal("remount lost state (memfs keeps state per instance)")
+	}
+}
+
+func TestXattrs(t *testing.T) {
+	f := mustMkfs(t)
+	f.Create("/a")
+	if err := f.Setxattr("/a", "user.k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setxattr("/a", "user.j", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Getxattr("/a", "user.k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("getxattr = %q %v", v, err)
+	}
+	names, err := f.Listxattr("/a")
+	if err != nil || len(names) != 2 || names[0] != "user.j" {
+		t.Fatalf("listxattr = %v %v", names, err)
+	}
+	if err := f.Removexattr("/a", "user.k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Getxattr("/a", "user.k"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("removed attr: %v", err)
+	}
+	if err := f.Removexattr("/a", "user.k"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("double remove")
+	}
+	if err := f.Setxattr("/a", "bad/name", nil); !errors.Is(err, vfs.ErrInvalid) {
+		t.Fatal("bad attr name accepted")
+	}
+	if _, err := f.Getxattr("/missing", "user.k"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("xattr on missing path")
+	}
+}
+
+func TestRenameErrorPaths(t *testing.T) {
+	f := mustMkfs(t)
+	f.Mkdir("/d")
+	f.Create("/f")
+	// Rename dir over file and file over dir.
+	if err := f.Rename("/d", "/f"); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("dir over file: %v", err)
+	}
+	if err := f.Rename("/f", "/d"); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("file over dir: %v", err)
+	}
+	if err := f.Rename("/missing", "/x"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("missing source: %v", err)
+	}
+	// Rename file over file with nlink > 1 keeps the victim's other link.
+	f.Link("/f", "/f2")
+	f.Create("/g")
+	if err := f.Rename("/g", "/f"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Stat("/f2")
+	if err != nil || st.Nlink != 1 {
+		t.Fatalf("victim's other link: %+v %v", st, err)
+	}
+}

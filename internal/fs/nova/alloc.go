@@ -1,0 +1,100 @@
+package nova
+
+import "chipmunk/internal/vfs"
+
+// pageAlloc is the DRAM-only free-page bitmap. NOVA keeps allocator state
+// volatile as a performance and write-endurance optimization and rebuilds
+// it at mount by scanning inode logs (§5.1 Observation 3) — which is
+// exactly why allocator rebuild code is a bug hotspot.
+type pageAlloc struct {
+	used  []bool // indexed by absolute page number
+	start uint64 // first allocatable page
+	total uint64 // one past last allocatable page
+	hint  uint64 // next-fit rotating hint
+}
+
+func newPageAlloc(start, total uint64) *pageAlloc {
+	return &pageAlloc{used: make([]bool, total), start: start, total: total, hint: start}
+}
+
+// alloc returns a free page or ErrNoSpace.
+func (a *pageAlloc) alloc() (uint64, error) {
+	for i := uint64(0); i < a.total-a.start; i++ {
+		p := a.start + (a.hint-a.start+i)%(a.total-a.start)
+		if !a.used[p] {
+			a.used[p] = true
+			a.hint = p + 1
+			return p, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// markUsed claims a page during rebuild. It reports false if the page was
+// already claimed (a page referenced twice — corruption).
+func (a *pageAlloc) markUsed(p uint64) bool {
+	if p < a.start || p >= a.total || a.used[p] {
+		return false
+	}
+	a.used[p] = true
+	return true
+}
+
+// release frees a page. It reports false on double-free (used by the
+// Fortis free-log replay to detect bug 11's consequence).
+func (a *pageAlloc) release(p uint64) bool {
+	if p < a.start || p >= a.total || !a.used[p] {
+		return false
+	}
+	a.used[p] = false
+	return true
+}
+
+func (a *pageAlloc) inUse(p uint64) bool {
+	return p >= a.start && p < a.total && a.used[p]
+}
+
+func (a *pageAlloc) freePages() int {
+	n := 0
+	for p := a.start; p < a.total; p++ {
+		if !a.used[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// inodeAlloc hands out inode-table slots; also DRAM-only.
+type inodeAlloc struct {
+	used []bool
+}
+
+func newInodeAlloc(n int) *inodeAlloc {
+	ia := &inodeAlloc{used: make([]bool, n)}
+	ia.used[0] = true // slot 0 reserved (0 = "no inode")
+	return ia
+}
+
+func (a *inodeAlloc) alloc() (uint64, error) {
+	for i, u := range a.used {
+		if !u {
+			a.used[i] = true
+			return uint64(i), nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (a *inodeAlloc) markUsed(ino uint64) bool {
+	if ino >= uint64(len(a.used)) || a.used[ino] {
+		return false
+	}
+	a.used[ino] = true
+	return true
+}
+
+func (a *inodeAlloc) release(ino uint64) {
+	if ino < uint64(len(a.used)) {
+		a.used[ino] = false
+	}
+}

@@ -1,0 +1,335 @@
+package nova
+
+import (
+	"fmt"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+)
+
+// dirent is a directory entry held in DRAM, remembering where its
+// dentry-add log entry lives so rename can invalidate it in place
+// (the optimization behind bugs 4 and 5).
+type dirent struct {
+	ino      uint64
+	entryOff int64
+}
+
+// dnode is the DRAM inode: everything except nlink and the log pointers is
+// volatile and rebuilt at mount.
+type dnode struct {
+	ino   uint64
+	typ   vfs.FileType
+	nlink uint64
+	size  int64
+	tail  int64 // mirrors the on-PM log tail
+	head  uint64
+
+	pages    map[uint64]uint64  // file page -> pool page (regular files)
+	dirents  map[string]*dirent // name -> entry (directories)
+	logPages []uint64           // log-page chain (DRAM bookkeeping)
+
+	// bad marks an inode that a dentry references but whose on-PM state is
+	// invalid or inconsistent (bugs 2 and 10); operations return ErrIO.
+	bad bool
+	// conflicted marks a Fortis primary/replica mismatch: reads work from
+	// the primary but deletion is refused (bug 10's consequence).
+	conflicted bool
+}
+
+// FS is the NOVA / NOVA-Fortis file system.
+type FS struct {
+	pm     *persist.PM
+	bugs   bugs.Set
+	fortis bool
+
+	totalPages uint64
+	alloc      *pageAlloc
+	ialloc     *inodeAlloc
+	inodes     map[uint64]*dnode
+	fds        map[vfs.FD]uint64
+	nextFD     vfs.FD
+	mounted    bool
+
+	// lazyReplicas holds inodes whose Fortis replica update was deferred
+	// to the end of the system call (bug 10).
+	lazyReplicas []uint64
+	// deferredCsums holds entry checksums postponed past the tail publish
+	// (bug 9).
+	deferredCsums []deferredCsum
+}
+
+// inodeImage builds the 128-byte primary on-PM image for d's current DRAM
+// state, with the Fortis checksum stamped when applicable.
+func (f *FS) inodeImage(d *dnode) []byte {
+	buf := make([]byte, 128)
+	put32(buf[inoValidOff:], 1)
+	put32(buf[inoTypeOff:], uint32(d.typ))
+	put64(buf[inoNlinkOff:], d.nlink)
+	put64(buf[inoHeadOff:], d.head)
+	put64(buf[inoTailOff:], uint64(d.tail))
+	if f.fortis {
+		put32(buf[inoCsumOff:], csum32(buf[:inoCsumOff]))
+	}
+	return buf
+}
+
+// Option configures the file system.
+type Option func(*FS)
+
+// WithFortis enables NOVA-Fortis mode: inode checksums + replicas and
+// per-page data checksums.
+func WithFortis() Option { return func(f *FS) { f.fortis = true } }
+
+// New creates a NOVA instance on pm with the given injected bug set.
+// bugSet = bugs.None() builds the fixed system.
+func New(pm *persist.PM, bugSet bugs.Set, opts ...Option) *FS {
+	f := &FS{pm: pm, bugs: bugSet}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Caps implements vfs.FS.
+func (f *FS) Caps() vfs.Caps {
+	name := "nova"
+	if f.fortis {
+		name = "nova-fortis"
+	}
+	return vfs.Caps{Name: name, Strong: true, AtomicWrite: true, SyncDataWrites: true}
+}
+
+func (f *FS) has(id bugs.ID) bool { return f.bugs.Has(id) }
+
+// corrupt builds the standard unmountable error.
+func corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: "+format, append([]interface{}{vfs.ErrCorrupt}, args...)...)
+}
+
+// Mkfs implements vfs.FS: formats the device and mounts.
+func (f *FS) Mkfs() error {
+	f.totalPages = uint64(f.pm.Size()) / PageSize
+	if f.totalPages < poolStartPage+8 {
+		return vfs.ErrNoSpace
+	}
+	pm := f.pm
+	// Zero the metadata region: superblock, journal, inode table.
+	pm.MemsetNT(0, 0, (inodeTblPage+inodeTblPages)*PageSize)
+	pm.Fence()
+
+	f.alloc = newPageAlloc(poolStartPage, f.totalPages)
+	f.ialloc = newInodeAlloc(InodeCount)
+	f.ialloc.markUsed(RootIno)
+	f.inodes = map[uint64]*dnode{}
+	f.fds = map[vfs.FD]uint64{}
+	f.nextFD = 3
+
+	// Root directory inode with an empty log page.
+	headPage, err := f.alloc.alloc()
+	if err != nil {
+		return err
+	}
+	pm.MemsetNT(pageOff(headPage), 0, PageSize)
+	pm.Fence()
+	root := &dnode{
+		ino: RootIno, typ: vfs.TypeDir, nlink: 2,
+		head: headPage, tail: pageOff(headPage),
+		dirents: map[string]*dirent{},
+	}
+	f.writeInodeInit(root, true)
+	f.inodes[RootIno] = root
+
+	// Superblock last: its magic validates the whole image.
+	pm.Store64(sbMagicOff, Magic)
+	fortis := uint64(0)
+	if f.fortis {
+		fortis = 1
+	}
+	pm.Store64(sbFortisOff, fortis)
+	pm.Store64(sbPagesOff, f.totalPages)
+	pm.Store64(sbInodesOff, InodeCount)
+	pm.Store64(sbVersionOff, 1)
+	pm.Flush(0, 40)
+	pm.Fence()
+
+	f.mounted = true
+	return nil
+}
+
+// writeInodeInit persists a freshly allocated inode's on-PM state. The
+// flush is skipped under bug 2 (for non-root inodes), leaving the new inode
+// volatile — the "unreadable and undeletable file" PM bug.
+func (f *FS) writeInodeInit(d *dnode, flush bool) {
+	off := inodeOff(d.ino)
+	buf := f.inodeImage(d)
+	f.pm.Store(off, buf)
+	if flush {
+		f.pm.Flush(off, 128)
+	}
+	f.pm.Fence()
+	if f.fortis {
+		// Replica copy of the primary half.
+		f.pm.Store(off+inoReplicaOff, buf)
+		if flush {
+			f.pm.Flush(off+inoReplicaOff, 128)
+		}
+		f.pm.Fence()
+	}
+}
+
+// Unmount implements vfs.FS.
+func (f *FS) Unmount() error {
+	f.mounted = false
+	f.fds = map[vfs.FD]uint64{}
+	f.inodes = nil
+	f.alloc = nil
+	f.ialloc = nil
+	return nil
+}
+
+func (f *FS) fdInode(fd vfs.FD) (*dnode, error) {
+	ino, ok := f.fds[fd]
+	if !ok {
+		return nil, vfs.ErrBadFD
+	}
+	d := f.inodes[ino]
+	if d == nil {
+		return nil, vfs.ErrBadFD
+	}
+	return d, nil
+}
+
+// lookup resolves an absolute path.
+func (f *FS) lookup(path string) (*dnode, error) {
+	d := f.inodes[RootIno]
+	if d == nil {
+		return nil, vfs.ErrCorrupt
+	}
+	for _, c := range vfs.Components(path) {
+		if d.bad {
+			return nil, vfs.ErrIO
+		}
+		if d.typ != vfs.TypeDir {
+			return nil, vfs.ErrNotDir
+		}
+		de, ok := d.dirents[c]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		d = f.inodes[de.ino]
+		if d == nil {
+			return nil, vfs.ErrIO
+		}
+	}
+	return d, nil
+}
+
+// lookupParent resolves the parent directory and final component.
+func (f *FS) lookupParent(path string) (*dnode, string, error) {
+	dir, name := vfs.SplitPath(path)
+	if name == "" {
+		return nil, "", vfs.ErrInvalid
+	}
+	if !vfs.ValidName(name) {
+		return nil, "", vfs.ErrNameTooLong
+	}
+	p, err := f.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.bad {
+		return nil, "", vfs.ErrIO
+	}
+	if p.typ != vfs.TypeDir {
+		return nil, "", vfs.ErrNotDir
+	}
+	return p, name, nil
+}
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(path string) (vfs.Stat, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	if d.bad {
+		return vfs.Stat{}, vfs.ErrIO
+	}
+	return vfs.Stat{Ino: d.ino, Type: d.typ, Nlink: uint32(d.nlink), Size: d.size}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(path string) ([]vfs.DirEnt, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if d.bad {
+		return nil, vfs.ErrIO
+	}
+	if d.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	out := make([]vfs.DirEnt, 0, len(d.dirents))
+	for name, de := range d.dirents {
+		child := f.inodes[de.ino]
+		typ := vfs.TypeRegular
+		if child != nil {
+			typ = child.typ
+		}
+		out = append(out, vfs.DirEnt{Name: name, Ino: de.ino, Type: typ})
+	}
+	sortDirEnts(out)
+	return out, nil
+}
+
+func sortDirEnts(ents []vfs.DirEnt) {
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j].Name < ents[j-1].Name; j-- {
+			ents[j], ents[j-1] = ents[j-1], ents[j]
+		}
+	}
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(path string) (vfs.FD, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return -1, err
+	}
+	if d.bad {
+		return -1, vfs.ErrIO
+	}
+	if d.typ == vfs.TypeDir {
+		return -1, vfs.ErrIsDir
+	}
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = d.ino
+	return fd, nil
+}
+
+// Close implements vfs.FS.
+func (f *FS) Close(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	delete(f.fds, fd)
+	return nil
+}
+
+// Fsync implements vfs.FS. NOVA is synchronous: every operation is durable
+// when it returns, so fsync only validates the descriptor.
+func (f *FS) Fsync(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	return nil
+}
+
+// Sync implements vfs.FS (no-op for the same reason).
+func (f *FS) Sync() error { return nil }
+
+var _ vfs.FS = (*FS)(nil)

@@ -1,0 +1,306 @@
+package nova
+
+import (
+	"bytes"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/vfs"
+)
+
+// Mount implements vfs.FS: attach to an existing (possibly crashed) image
+// and rebuild all volatile state — the DRAM inode cache, directory maps,
+// file-page radix trees, and the free-page allocator — by scanning the
+// on-PM logs, exactly as NOVA does. This rebuild path is where Observation
+// 3's bug class lives.
+func (f *FS) Mount() error {
+	pm := f.pm
+	if pm.Load64(sbMagicOff) != Magic {
+		return corrupt("bad superblock magic %#x", pm.Load64(sbMagicOff))
+	}
+	f.fortis = pm.Load64(sbFortisOff) == 1
+	f.totalPages = pm.Load64(sbPagesOff)
+	if f.totalPages == 0 || int64(f.totalPages)*PageSize > pm.Size() {
+		return corrupt("superblock page count %d exceeds device", f.totalPages)
+	}
+
+	f.alloc = newPageAlloc(poolStartPage, f.totalPages)
+	f.ialloc = newInodeAlloc(InodeCount)
+	f.inodes = map[uint64]*dnode{}
+	f.fds = map[vfs.FD]uint64{}
+	f.nextFD = 3
+	f.lazyReplicas = nil
+	f.deferredCsums = nil
+
+	// Redo a committed journal before reading any metadata.
+	f.recoverJournal()
+
+	// Pass 1: scan the inode table.
+	for ino := uint64(1); ino < InodeCount; ino++ {
+		d, ok := f.readInode(ino)
+		if !ok {
+			continue
+		}
+		if !f.ialloc.markUsed(ino) {
+			return corrupt("inode %d claimed twice", ino)
+		}
+		f.inodes[ino] = d
+	}
+	root, ok := f.inodes[RootIno]
+	if !ok || root.typ != vfs.TypeDir {
+		return corrupt("root inode missing or not a directory")
+	}
+
+	// Pass 2: walk every inode's log.
+	for _, d := range f.inodes {
+		if err := f.rebuildLog(d); err != nil {
+			return err
+		}
+	}
+
+	// Pass 3: claim referenced pages; double references are corruption.
+	refset := map[uint64]bool{}
+	for _, d := range f.inodes {
+		for _, lp := range d.logPages {
+			if !f.alloc.markUsed(lp) {
+				return corrupt("log page %d referenced twice", lp)
+			}
+			refset[lp] = true
+		}
+		for _, pp := range d.pages {
+			if !f.alloc.markUsed(pp) {
+				return corrupt("data page %d referenced twice", pp)
+			}
+			refset[pp] = true
+		}
+	}
+
+	// Pass 4 (Fortis): replay the truncate free-log. Under bug 11 the log
+	// survives crashes that already reclaimed (or never released) the
+	// pages, and the replay tries to deallocate free or in-use blocks.
+	if f.fortis {
+		base := int64(freeLogPage) * PageSize
+		count := pm.Load64(base)
+		if count > (PageSize-8)/8 {
+			return corrupt("free-log count %d out of range", count)
+		}
+		for i := uint64(0); i < count; i++ {
+			p := pm.Load64(base + 8 + int64(i)*8)
+			if refset[p] {
+				return corrupt("free-log deallocates in-use page %d", p)
+			}
+			if !f.alloc.release(p) {
+				return corrupt("free-log deallocates already-free page %d", p)
+			}
+		}
+	}
+
+	// Pass 5: resolve directory entries; a dentry pointing at a dead inode
+	// slot (bug 2's consequence) becomes a "bad" node that fails with EIO.
+	referenced := map[uint64]bool{RootIno: true}
+	for _, d := range f.inodes {
+		if d.typ != vfs.TypeDir {
+			continue
+		}
+		for name, de := range d.dirents {
+			referenced[de.ino] = true
+			if f.inodes[de.ino] == nil {
+				f.inodes[de.ino] = &dnode{ino: de.ino, typ: vfs.TypeRegular, bad: true}
+				_ = name
+			}
+		}
+	}
+
+	// Pass 6: orphan GC — valid inodes unreachable from the root are
+	// left-overs of interrupted operations and are reclaimed.
+	reachable := map[uint64]bool{RootIno: true}
+	f.markReachable(root, reachable)
+	for ino, d := range f.inodes {
+		if reachable[ino] || d.bad {
+			continue
+		}
+		f.destroyInode(d)
+	}
+	// Bad placeholders that are not referenced by any reachable dir vanish.
+	for ino, d := range f.inodes {
+		if d.bad && !reachable[ino] {
+			delete(f.inodes, ino)
+		}
+	}
+
+	f.mounted = true
+	return nil
+}
+
+func (f *FS) markReachable(d *dnode, seen map[uint64]bool) {
+	if d.typ != vfs.TypeDir || d.bad {
+		return
+	}
+	for _, de := range d.dirents {
+		if seen[de.ino] {
+			continue
+		}
+		seen[de.ino] = true
+		if child := f.inodes[de.ino]; child != nil {
+			f.markReachable(child, seen)
+		}
+	}
+}
+
+// readInode loads inode slot ino, handling Fortis checksum validation and
+// primary/replica arbitration. ok is false for unused slots.
+func (f *FS) readInode(ino uint64) (*dnode, bool) {
+	off := inodeOff(ino)
+	primary := f.pm.Load(off, 128)
+	if !f.fortis {
+		if le32(primary[inoValidOff:]) != 1 {
+			return nil, false
+		}
+		return f.dnodeFromImage(ino, primary), true
+	}
+
+	replica := f.pm.Load(off+inoReplicaOff, 128)
+	pOK := le32(primary[inoValidOff:]) == 1 && csum32(primary[:inoCsumOff]) == le32(primary[inoCsumOff:])
+	rOK := le32(replica[inoValidOff:]) == 1 && csum32(replica[:inoCsumOff]) == le32(replica[inoCsumOff:])
+	switch {
+	case pOK && rOK:
+		d := f.dnodeFromImage(ino, primary)
+		if !bytes.Equal(primary, replica) {
+			if f.has(bugs.FortisReplicaSkew) {
+				// Bug 10: recovery never re-syncs the replica; the latent
+				// mismatch blocks later deletions.
+				d.conflicted = true
+			} else {
+				f.writeReplica(ino, primary)
+			}
+		}
+		return d, true
+	case pOK:
+		// Torn replica update: primary is authoritative; repair replica.
+		f.writeReplica(ino, primary)
+		return f.dnodeFromImage(ino, primary), true
+	case rOK:
+		// Torn primary update: roll back to the replica.
+		f.pm.Store(off, replica)
+		f.pm.Flush(off, 128)
+		f.pm.Fence()
+		return f.dnodeFromImage(ino, replica), true
+	default:
+		return nil, false
+	}
+}
+
+func (f *FS) dnodeFromImage(ino uint64, img []byte) *dnode {
+	d := &dnode{
+		ino:   ino,
+		typ:   vfs.FileType(le32(img[inoTypeOff:])),
+		nlink: le64(img[inoNlinkOff:]),
+		head:  le64(img[inoHeadOff:]),
+		tail:  int64(le64(img[inoTailOff:])),
+	}
+	if d.typ == vfs.TypeDir {
+		d.dirents = map[string]*dirent{}
+	} else {
+		d.pages = map[uint64]uint64{}
+	}
+	return d
+}
+
+// rebuildLog replays d's log into its DRAM maps, validating structure as it
+// goes. Bugs 1 and 3 surface here as corrupt-log errors; bug 9 as entries
+// whose checksum no longer matches; bugs 7 and 8 as silently wrong replay.
+func (f *FS) rebuildLog(d *dnode) error {
+	if d.head == 0 {
+		if d.tail != 0 {
+			return corrupt("inode %d: tail %d with no log", d.ino, d.tail)
+		}
+		return nil
+	}
+	if d.head < poolStartPage || d.head >= f.totalPages {
+		return corrupt("inode %d: log head %d out of range", d.ino, d.head)
+	}
+	page := d.head
+	pos := pageOff(page)
+	d.logPages = []uint64{page}
+	seen := map[uint64]bool{page: true}
+
+	for pos != d.tail {
+		if pos%PageSize == logNextOff {
+			next := f.pm.Load64(pos)
+			if next == 0 {
+				// The tail says more entries follow, but the link that
+				// reaches them was lost — bug 1's crash signature.
+				return corrupt("inode %d: log ends at %d before tail %d", d.ino, pos, d.tail)
+			}
+			if next < poolStartPage || next >= f.totalPages || seen[next] {
+				return corrupt("inode %d: bad log link %d", d.ino, next)
+			}
+			seen[next] = true
+			d.logPages = append(d.logPages, next)
+			page = next
+			pos = pageOff(page)
+			continue
+		}
+		raw := f.pm.Load(pos, EntrySize)
+		e := decodeEntry(raw)
+		if e.typ == etInvalid || e.typ > etAttr {
+			// The tail points past bytes that never became a valid entry —
+			// bug 3's crash signature.
+			return corrupt("inode %d: invalid log entry type %d at %d", d.ino, e.typ, pos)
+		}
+		if f.fortis && payloadCsum(raw) != e.csum {
+			// Bug 9: a published entry whose checksum never landed.
+			if d.typ == vfs.TypeDir {
+				d.bad = true
+				return nil
+			}
+			// File entry: treated as unreadable and skipped — data loss.
+			pos += EntrySize
+			continue
+		}
+		if !e.invalid {
+			f.replayEntry(d, e, pos)
+		}
+		pos += EntrySize
+	}
+	return nil
+}
+
+// replayEntry applies one valid entry to the DRAM state. pos is the
+// entry's device offset, remembered so later renames can invalidate the
+// dentry in place.
+func (f *FS) replayEntry(d *dnode, e entry, pos int64) {
+	switch e.typ {
+	case etDentryAdd:
+		if d.dirents != nil {
+			d.dirents[e.name] = &dirent{ino: e.ino, entryOff: pos}
+		}
+	case etDentryRemove:
+		if d.dirents != nil {
+			delete(d.dirents, e.name)
+		}
+	case etWrite:
+		if d.pages == nil {
+			return
+		}
+		if e.falloc && !f.has(bugs.NovaFallocUnfenced) {
+			// Fixed: fallocate entries only fill holes.
+			if _, mapped := d.pages[e.filePage]; !mapped {
+				d.pages[e.filePage] = e.poolPage
+			}
+		} else {
+			// Buggy (bug 8): fallocate entries clobber existing mappings.
+			d.pages[e.filePage] = e.poolPage
+		}
+		d.size = int64(e.sizeHint)
+	case etAttr:
+		d.size = int64(e.size)
+		if d.pages != nil {
+			first := uint64((d.size + PageSize - 1) / PageSize)
+			for fp := range d.pages {
+				if fp >= first {
+					delete(d.pages, fp)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package pmfs
+
+import (
+	"chipmunk/internal/vfs"
+)
+
+// direntImage encodes a 64-byte directory-entry slot.
+func direntImage(ino uint64, name string) []byte {
+	b := make([]byte, DirentSize)
+	put64(b[deInoOff:], ino)
+	b[deNameLenOff] = byte(len(name))
+	copy(b[deNameOff:], name)
+	return b
+}
+
+// findFreeSlot locates a free dirent slot in p's blocks, allocating and
+// publishing a fresh directory block if needed (via tx).
+func (f *FS) findFreeSlot(p *dnode, t *txn) (int64, error) {
+	for _, b := range p.blocks {
+		if b == 0 {
+			continue
+		}
+		for s := 0; s < direntsPerBlock; s++ {
+			off := blockOff(b) + int64(s)*DirentSize
+			if f.pm.Load64(off) == 0 && !f.slotPending(p, off) {
+				return off, nil
+			}
+		}
+	}
+	// Allocate a new directory block.
+	idx := -1
+	for i, b := range p.blocks {
+		if b == 0 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, vfs.ErrNoSpace
+	}
+	nb, err := f.alloc.alloc()
+	if err != nil {
+		return 0, err
+	}
+	f.pm.MemsetNT(blockOff(nb), 0, BlockSize)
+	f.pm.Fence()
+	p.blocks[idx] = nb
+	t.setInode(p) // publishes the new block pointer with the tx
+	return blockOff(nb), nil
+}
+
+// slotPending reports whether a slot is being consumed by the current
+// operation's DRAM state (two adds in one tx must not collide).
+func (f *FS) slotPending(p *dnode, off int64) bool {
+	for _, ref := range p.dirents {
+		if ref.off == off {
+			return true
+		}
+	}
+	return false
+}
+
+// Create implements vfs.FS.
+func (f *FS) Create(path string) (vfs.FD, error) {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return -1, err
+	}
+	if _, ok := p.dirents[name]; ok {
+		return -1, vfs.ErrExist
+	}
+	ino, err := f.allocInode()
+	if err != nil {
+		return -1, err
+	}
+	d := &dnode{ino: ino, typ: vfs.TypeRegular, nlink: 1}
+	// The inode image is journaled together with the dirent: redo replay
+	// re-applies transactions in order, so every write that can overlap a
+	// journaled target must itself be journaled (inode slots are reused).
+	t := f.beginTx()
+	t.setInode(d)
+	slot, err := f.findFreeSlot(p, t)
+	if err != nil {
+		f.ialloc[ino] = false
+		return -1, err
+	}
+	t.set(slot, direntImage(ino, name))
+	t.commit()
+
+	f.inodes[ino] = d
+	p.dirents[name] = direntRef{ino: ino, off: slot}
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = ino
+	return fd, nil
+}
+
+func (f *FS) allocInode() (uint64, error) {
+	for i, used := range f.ialloc {
+		if !used {
+			f.ialloc[i] = true
+			return uint64(i), nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// Mkdir implements vfs.FS.
+func (f *FS) Mkdir(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.dirents[name]; ok {
+		return vfs.ErrExist
+	}
+	ino, err := f.allocInode()
+	if err != nil {
+		return err
+	}
+	d := &dnode{ino: ino, typ: vfs.TypeDir, nlink: 2, dirents: map[string]direntRef{}}
+	p.nlink++
+	t := f.beginTx()
+	t.setInode(d)
+	slot, err := f.findFreeSlot(p, t)
+	if err != nil {
+		p.nlink--
+		f.ialloc[ino] = false
+		return err
+	}
+	t.set(slot, direntImage(ino, name))
+	t.setInode(p)
+	t.commit()
+
+	f.inodes[ino] = d
+	p.dirents[name] = direntRef{ino: ino, off: slot}
+	return nil
+}
+
+// Link implements vfs.FS.
+func (f *FS) Link(oldPath, newPath string) error {
+	n, err := f.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if n.bad {
+		return vfs.ErrIO
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	p, name, err := f.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := p.dirents[name]; ok {
+		return vfs.ErrExist
+	}
+	n.nlink++
+	t := f.beginTx()
+	slot, err := f.findFreeSlot(p, t)
+	if err != nil {
+		n.nlink--
+		return err
+	}
+	t.set(slot, direntImage(n.ino, name))
+	t.setInode(n)
+	t.commit()
+	p.dirents[name] = direntRef{ino: n.ino, off: slot}
+	return nil
+}
+
+// Unlink implements vfs.FS.
+func (f *FS) Unlink(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	ref, ok := p.dirents[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := f.inodes[ref.ino]
+	if n == nil || n.bad {
+		return vfs.ErrIO
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+
+	lastLink := n.nlink == 1
+	if lastLink {
+		// The inode's blocks will be freed: record it on the truncate list
+		// so an interrupted deletion can be completed at recovery.
+		f.truncAdd(n.ino)
+	}
+	n.nlink--
+	t := f.beginTx()
+	t.set(ref.off, make([]byte, DirentSize))
+	if lastLink {
+		t.set(inodeOff(n.ino), make([]byte, InodeSize))
+	} else {
+		t.setInode(n)
+	}
+	t.commit()
+	delete(p.dirents, name)
+
+	if lastLink {
+		f.destroyInode(n)
+		f.truncRemove()
+	}
+	return nil
+}
+
+// destroyInode frees an inode's DRAM state and blocks. The on-PM
+// invalidation happens inside the caller's journal transaction so that
+// redo replay stays ordered with respect to inode-slot reuse.
+func (f *FS) destroyInode(n *dnode) {
+	for _, b := range n.blocks {
+		if b != 0 {
+			f.alloc.release(b)
+		}
+	}
+	f.ialloc[n.ino] = false
+	delete(f.inodes, n.ino)
+}
+
+// Rmdir implements vfs.FS.
+func (f *FS) Rmdir(path string) error {
+	p, name, err := f.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	ref, ok := p.dirents[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := f.inodes[ref.ino]
+	if n == nil || n.bad {
+		return vfs.ErrIO
+	}
+	if n.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if len(n.dirents) > 0 {
+		return vfs.ErrNotEmpty
+	}
+
+	f.truncAdd(n.ino)
+	p.nlink--
+	n.nlink = 0
+	t := f.beginTx()
+	t.set(ref.off, make([]byte, DirentSize))
+	t.setInode(p)
+	t.set(inodeOff(n.ino), make([]byte, InodeSize))
+	t.commit()
+	delete(p.dirents, name)
+	f.destroyInode(n)
+	f.truncRemove()
+	return nil
+}
+
+// Rename implements vfs.FS. All metadata changes go through one journal
+// transaction; a victim's block reclamation is protected by the truncate
+// list like unlink.
+func (f *FS) Rename(oldPath, newPath string) error {
+	oldPath, newPath = vfs.Clean(oldPath), vfs.Clean(newPath)
+	if oldPath == newPath {
+		return nil
+	}
+	if vfs.IsAncestor(oldPath, newPath) {
+		return vfs.ErrInvalid
+	}
+	op, oname, err := f.lookupParent(oldPath)
+	if err != nil {
+		return err
+	}
+	oref, ok := op.dirents[oname]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := f.inodes[oref.ino]
+	if n == nil || n.bad {
+		return vfs.ErrIO
+	}
+	np, nname, err := f.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+
+	var victim *dnode
+	var vref direntRef
+	if vr, ok := np.dirents[nname]; ok {
+		vref = vr
+		victim = f.inodes[vr.ino]
+		if victim == nil {
+			return vfs.ErrIO
+		}
+		if n.typ == vfs.TypeDir {
+			if victim.typ != vfs.TypeDir {
+				return vfs.ErrNotDir
+			}
+			if len(victim.dirents) > 0 {
+				return vfs.ErrNotEmpty
+			}
+		} else if victim.typ == vfs.TypeDir {
+			return vfs.ErrIsDir
+		}
+	}
+
+	victimDies := victim != nil && (victim.typ == vfs.TypeDir || victim.nlink == 1)
+	if victimDies {
+		f.truncAdd(victim.ino)
+	}
+
+	t := f.beginTx()
+	// Clear the old slot; write (or overwrite) the new one.
+	t.set(oref.off, make([]byte, DirentSize))
+	var slot int64
+	if victim != nil {
+		slot = vref.off
+		t.set(slot, direntImage(n.ino, nname))
+	} else {
+		slot, err = f.findFreeSlot(np, t)
+		if err != nil {
+			return err
+		}
+		t.set(slot, direntImage(n.ino, nname))
+	}
+	if n.typ == vfs.TypeDir && op != np {
+		op.nlink--
+		np.nlink++
+		t.setInode(op)
+		t.setInode(np)
+	}
+	if victim != nil {
+		if victim.typ == vfs.TypeDir {
+			np.nlink--
+			victim.nlink = 0
+			t.setInode(np)
+			t.set(inodeOff(victim.ino), make([]byte, InodeSize))
+		} else {
+			victim.nlink--
+			if victimDies {
+				t.set(inodeOff(victim.ino), make([]byte, InodeSize))
+			} else {
+				t.setInode(victim)
+			}
+		}
+	}
+	t.commit()
+
+	delete(op.dirents, oname)
+	np.dirents[nname] = direntRef{ino: n.ino, off: slot}
+	if victimDies {
+		f.destroyInode(victim)
+		f.truncRemove()
+	}
+	return nil
+}

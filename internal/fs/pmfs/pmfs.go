@@ -1,0 +1,335 @@
+// Package pmfs implements a PMFS-like PM file system [Dulloor et al.,
+// EuroSys '14]: in-place metadata updates protected by a small journal,
+// direct block pointers in the inode, directory entries stored in directory
+// data blocks, a persistent truncate list for crash-safe block reclamation,
+// and a DRAM-only free-block list rebuilt at mount.
+//
+// Unlike NOVA, PMFS writes file data in place, so data writes are not
+// crash-atomic (Caps.AtomicWrite = false). Metadata operations are
+// synchronous and atomic through the journal.
+//
+// Injected bugs (Table 1): 13 (truncate-list replay before the allocator is
+// rebuilt), 14&15 (final write extent not flushed), 16 (journal replay
+// walks out of bounds), 17&18 (non-temporal tail of unaligned writes not
+// fenced).
+package pmfs
+
+import (
+	"fmt"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+)
+
+const (
+	// BlockSize is the allocation unit.
+	BlockSize = 4096
+	// InodeSize is the on-PM inode footprint.
+	InodeSize = 128
+	// Magic identifies a formatted PMFS image.
+	Magic = 0x504D4653 // "PMFS"
+	// NDirect is the number of direct block pointers per inode.
+	NDirect = 12
+	// MaxFileSize is NDirect blocks.
+	MaxFileSize = NDirect * BlockSize
+
+	// Block layout.
+	sbBlock        = 0
+	journalBlock   = 1
+	truncBlock     = 2
+	inodeTblBlock  = 3
+	inodeTblBlocks = 8
+	poolStart      = inodeTblBlock + inodeTblBlocks
+
+	// InodeCount is the number of inode slots.
+	InodeCount = inodeTblBlocks * (BlockSize / InodeSize)
+	// RootIno is the root directory inode.
+	RootIno = 1
+
+	// Superblock offsets.
+	sbMagicOff  = 0
+	sbBlocksOff = 8
+
+	// Inode field offsets.
+	inoValidOff  = 0  // u32
+	inoTypeOff   = 4  // u32
+	inoNlinkOff  = 8  // u64
+	inoSizeOff   = 16 // u64
+	inoBlocksOff = 24 // NDirect u64 block pointers (0 = hole)
+
+	// Directory entry slots inside directory data blocks.
+	DirentSize      = 64
+	deInoOff        = 0 // u64 (0 = free slot)
+	deNameLenOff    = 8 // u8
+	deNameOff       = 9 // up to 55 bytes
+	direntsPerBlock = BlockSize / DirentSize
+
+	// Truncate list block: count u64 at 0, then {ino u64, size u64} pairs.
+	truncCountOff = 0
+	truncEntsOff  = 8
+	truncMaxEnts  = (BlockSize - truncEntsOff) / 16
+)
+
+// dnode caches an inode in DRAM.
+type dnode struct {
+	ino    uint64
+	typ    vfs.FileType
+	nlink  uint64
+	size   int64
+	blocks [NDirect]uint64
+
+	dirents map[string]direntRef // directories
+	bad     bool
+}
+
+// direntRef locates a directory entry slot on PM.
+type direntRef struct {
+	ino uint64
+	off int64 // device offset of the 64-byte slot
+}
+
+// FS is the PMFS instance.
+type FS struct {
+	pm   *persist.PM
+	bugs bugs.Set
+
+	totalBlocks uint64
+	alloc       *blockAlloc
+	ialloc      []bool
+	inodes      map[uint64]*dnode
+	fds         map[vfs.FD]uint64
+	nextFD      vfs.FD
+	mounted     bool
+
+	jTail int64 // next free byte in the journal record area (DRAM mirror)
+}
+
+// New creates a PMFS instance on pm with the given injected bug set.
+func New(pm *persist.PM, set bugs.Set) *FS {
+	return &FS{pm: pm, bugs: set}
+}
+
+// Caps implements vfs.FS.
+func (f *FS) Caps() vfs.Caps {
+	return vfs.Caps{Name: "pmfs", Strong: true, AtomicWrite: false, SyncDataWrites: true}
+}
+
+func (f *FS) has(id bugs.ID) bool { return f.bugs.Has(id) }
+
+func corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: "+format, append([]interface{}{vfs.ErrCorrupt}, args...)...)
+}
+
+func inodeOff(ino uint64) int64 {
+	return int64(inodeTblBlock)*BlockSize + int64(ino)*InodeSize
+}
+
+func blockOff(b uint64) int64 { return int64(b) * BlockSize }
+
+// Mkfs implements vfs.FS.
+func (f *FS) Mkfs() error {
+	f.totalBlocks = uint64(f.pm.Size()) / BlockSize
+	if f.totalBlocks < poolStart+8 {
+		return vfs.ErrNoSpace
+	}
+	pm := f.pm
+	pm.MemsetNT(0, 0, poolStart*BlockSize)
+	pm.Fence()
+
+	f.alloc = newBlockAlloc(poolStart, f.totalBlocks)
+	f.ialloc = make([]bool, InodeCount)
+	f.ialloc[0], f.ialloc[RootIno] = true, true
+	f.inodes = map[uint64]*dnode{}
+	f.fds = map[vfs.FD]uint64{}
+	f.nextFD = 3
+	f.jTail = jRecsStart
+
+	// Journal pointers start at the record region.
+	pm.Store64(int64(journalBlock)*BlockSize+jHeadOff, jRecsStart)
+	pm.Store64(int64(journalBlock)*BlockSize+jTailOff, jRecsStart)
+	pm.Flush(int64(journalBlock)*BlockSize, 16)
+	pm.Fence()
+
+	root := &dnode{ino: RootIno, typ: vfs.TypeDir, nlink: 2, dirents: map[string]direntRef{}}
+	f.persistInode(root)
+	pm.Fence()
+	f.inodes[RootIno] = root
+
+	pm.Store64(sbMagicOff, Magic)
+	pm.Store64(sbBlocksOff, f.totalBlocks)
+	pm.Flush(0, 16)
+	pm.Fence()
+	f.mounted = true
+	return nil
+}
+
+// persistInode writes d's full on-PM inode image (flushed, not fenced).
+func (f *FS) persistInode(d *dnode) {
+	buf := f.inodeImage(d)
+	f.pm.Store(inodeOff(d.ino), buf)
+	f.pm.Flush(inodeOff(d.ino), InodeSize)
+}
+
+func (f *FS) inodeImage(d *dnode) []byte {
+	buf := make([]byte, InodeSize)
+	put32(buf[inoValidOff:], 1)
+	put32(buf[inoTypeOff:], uint32(d.typ))
+	put64(buf[inoNlinkOff:], d.nlink)
+	put64(buf[inoSizeOff:], uint64(d.size))
+	for i, b := range d.blocks {
+		put64(buf[inoBlocksOff+i*8:], b)
+	}
+	return buf
+}
+
+// Unmount implements vfs.FS.
+func (f *FS) Unmount() error {
+	f.mounted = false
+	f.fds = map[vfs.FD]uint64{}
+	f.inodes = nil
+	f.alloc = nil
+	return nil
+}
+
+// lookup resolves an absolute path.
+func (f *FS) lookup(path string) (*dnode, error) {
+	d := f.inodes[RootIno]
+	if d == nil {
+		return nil, vfs.ErrCorrupt
+	}
+	for _, c := range vfs.Components(path) {
+		if d.bad {
+			return nil, vfs.ErrIO
+		}
+		if d.typ != vfs.TypeDir {
+			return nil, vfs.ErrNotDir
+		}
+		ref, ok := d.dirents[c]
+		if !ok {
+			return nil, vfs.ErrNotExist
+		}
+		d = f.inodes[ref.ino]
+		if d == nil {
+			return nil, vfs.ErrIO
+		}
+	}
+	return d, nil
+}
+
+func (f *FS) lookupParent(path string) (*dnode, string, error) {
+	dir, name := vfs.SplitPath(path)
+	if name == "" {
+		return nil, "", vfs.ErrInvalid
+	}
+	if !vfs.ValidName(name) {
+		return nil, "", vfs.ErrNameTooLong
+	}
+	p, err := f.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.typ != vfs.TypeDir {
+		return nil, "", vfs.ErrNotDir
+	}
+	if p.bad {
+		return nil, "", vfs.ErrIO
+	}
+	return p, name, nil
+}
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(path string) (vfs.Stat, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	if d.bad {
+		return vfs.Stat{}, vfs.ErrIO
+	}
+	return vfs.Stat{Ino: d.ino, Type: d.typ, Nlink: uint32(d.nlink), Size: d.size}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (f *FS) ReadDir(path string) ([]vfs.DirEnt, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if d.bad {
+		return nil, vfs.ErrIO
+	}
+	if d.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	out := make([]vfs.DirEnt, 0, len(d.dirents))
+	for name, ref := range d.dirents {
+		typ := vfs.TypeRegular
+		if c := f.inodes[ref.ino]; c != nil {
+			typ = c.typ
+		}
+		out = append(out, vfs.DirEnt{Name: name, Ino: ref.ino, Type: typ})
+	}
+	sortDirEnts(out)
+	return out, nil
+}
+
+func sortDirEnts(ents []vfs.DirEnt) {
+	for i := 1; i < len(ents); i++ {
+		for j := i; j > 0 && ents[j].Name < ents[j-1].Name; j-- {
+			ents[j], ents[j-1] = ents[j-1], ents[j]
+		}
+	}
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(path string) (vfs.FD, error) {
+	d, err := f.lookup(path)
+	if err != nil {
+		return -1, err
+	}
+	if d.bad {
+		return -1, vfs.ErrIO
+	}
+	if d.typ == vfs.TypeDir {
+		return -1, vfs.ErrIsDir
+	}
+	fd := f.nextFD
+	f.nextFD++
+	f.fds[fd] = d.ino
+	return fd, nil
+}
+
+// Close implements vfs.FS.
+func (f *FS) Close(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	delete(f.fds, fd)
+	return nil
+}
+
+func (f *FS) fdInode(fd vfs.FD) (*dnode, error) {
+	ino, ok := f.fds[fd]
+	if !ok {
+		return nil, vfs.ErrBadFD
+	}
+	d := f.inodes[ino]
+	if d == nil {
+		return nil, vfs.ErrBadFD
+	}
+	return d, nil
+}
+
+// Fsync implements vfs.FS: PMFS is synchronous, so this only validates fd.
+func (f *FS) Fsync(fd vfs.FD) error {
+	if _, ok := f.fds[fd]; !ok {
+		return vfs.ErrBadFD
+	}
+	return nil
+}
+
+// Sync implements vfs.FS.
+func (f *FS) Sync() error { return nil }
+
+var _ vfs.FS = (*FS)(nil)

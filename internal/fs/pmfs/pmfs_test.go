@@ -1,0 +1,400 @@
+package pmfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/vfs"
+)
+
+const testDevSize = 4 << 20
+
+func newPmfs(t *testing.T, set bugs.Set) (*FS, *pmem.Device) {
+	t.Helper()
+	dev := pmem.NewDevice(testDevSize)
+	f := New(persist.New(dev), set)
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	return f, dev
+}
+
+func readFile(t *testing.T, f vfs.FS, path string) []byte {
+	t.Helper()
+	st, err := f.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	fd, err := f.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close(fd)
+	buf := make([]byte, st.Size)
+	n, err := f.Pread(fd, buf, 0)
+	if err != nil {
+		t.Fatalf("pread %s: %v", path, err)
+	}
+	return buf[:n]
+}
+
+func TestBasicOps(t *testing.T) {
+	f, _ := newPmfs(t, bugs.None())
+	fd, err := f.Create("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Pwrite(fd, []byte("pmfs data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close(fd)
+	if got := readFile(t, f, "/a"); string(got) != "pmfs data" {
+		t.Fatalf("read = %q", got)
+	}
+	if err := f.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Link("/d/b", "/l"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/l")
+	if st.Nlink != 2 {
+		t.Fatalf("nlink = %d", st.Nlink)
+	}
+	if err := f.Unlink("/l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Unlink("/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := f.ReadDir("/")
+	if len(ents) != 0 {
+		t.Fatalf("leftover entries: %v", ents)
+	}
+}
+
+func TestWriteInPlaceOverwrite(t *testing.T) {
+	f, _ := newPmfs(t, bugs.None())
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, bytes.Repeat([]byte("A"), 5000), 0)
+	f.Pwrite(fd, []byte("BBB"), 4998) // crosses block boundary
+	got := readFile(t, f, "/a")
+	if got[4997] != 'A' || got[4998] != 'B' || got[5000] != 'B' {
+		t.Fatalf("overwrite wrong: %q", got[4995:])
+	}
+	st, _ := f.Stat("/a")
+	if st.Size != 5001 {
+		t.Fatalf("size = %d", st.Size)
+	}
+}
+
+func TestTruncateAndExtend(t *testing.T) {
+	f, _ := newPmfs(t, bugs.None())
+	fd, _ := f.Create("/a")
+	data := bytes.Repeat([]byte{7}, 9000)
+	f.Pwrite(fd, data, 0)
+	if err := f.Truncate("/a", 4500); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate("/a", 8000); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, f, "/a")
+	if len(got) != 8000 {
+		t.Fatalf("size = %d", len(got))
+	}
+	for i := 0; i < 4500; i++ {
+		if got[i] != 7 {
+			t.Fatalf("prefix lost at %d", i)
+		}
+	}
+	for i := 4500; i < 8000; i++ {
+		if got[i] != 0 {
+			t.Fatalf("stale data at %d: %d", i, got[i])
+		}
+	}
+}
+
+func TestMaxFileSize(t *testing.T) {
+	f, _ := newPmfs(t, bugs.None())
+	fd, _ := f.Create("/a")
+	if _, err := f.Pwrite(fd, []byte("x"), MaxFileSize); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("write beyond max: %v", err)
+	}
+	if err := f.Fallocate(fd, MaxFileSize-10, 20); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("falloc beyond max: %v", err)
+	}
+}
+
+func TestRemountPreservesState(t *testing.T) {
+	f, dev := newPmfs(t, bugs.None())
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("durable"), 0)
+	f.Close(fd)
+	f.Mkdir("/d")
+	f.Create("/d/x")
+	f.Unmount()
+
+	f2 := New(persist.New(dev), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	if got := readFile(t, f2, "/a"); string(got) != "durable" {
+		t.Fatalf("data = %q", got)
+	}
+	if _, err := f2.Stat("/d/x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalWrapAcrossManyOps(t *testing.T) {
+	// Enough transactions to wrap the deliberately small journal several
+	// times, then verify a clean remount (fixed mode must handle wrapped
+	// records).
+	f, dev := newPmfs(t, bugs.None())
+	names := []string{"/a", "/b", "/c", "/d", "/e"}
+	for round := 0; round < 6; round++ {
+		for _, n := range names {
+			if _, err := f.Create(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range names {
+			if err := f.Unlink(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f.Create("/final")
+	f.Unmount()
+	f2 := New(persist.New(dev), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatalf("remount after wrap: %v", err)
+	}
+	if _, err := f2.Stat("/final"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := f2.ReadDir("/")
+	if len(ents) != 1 {
+		t.Fatalf("entries = %v", ents)
+	}
+}
+
+func TestCrashImageSynchrony(t *testing.T) {
+	f, dev := newPmfs(t, bugs.None())
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("sync write"), 0)
+	f.Close(fd)
+	f.Rename("/a", "/b")
+
+	img := dev.CrashImage()
+	f2 := New(persist.New(pmem.FromImage(img)), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatalf("mount crash image: %v", err)
+	}
+	if got := readFile(t, f2, "/b"); string(got) != "sync write" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestBug14WriteNotSynchronous(t *testing.T) {
+	// With bug 14 the final extent is never fenced: the crash image right
+	// after the write must be missing the data.
+	f, dev := newPmfs(t, bugs.Of(bugs.WriteNotSync))
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("lostlost"), 0) // 8-aligned so bug 17 isn't implicated
+	img := pmem.FromImage(dev.CrashImage())
+	f2 := New(persist.New(img), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	got := readFile(t, f2, "/a")
+	if bytes.Equal(got, []byte("lostlost")) {
+		t.Fatal("bug 14: data survived a crash without a fence")
+	}
+}
+
+func TestBug17UnalignedTailLost(t *testing.T) {
+	f, dev := newPmfs(t, bugs.Of(bugs.NTTailNotFenced))
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("0123456789ABC"), 0) // 13 bytes: unaligned tail
+	img := pmem.FromImage(dev.CrashImage())
+	f2 := New(persist.New(img), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	got := readFile(t, f2, "/a")
+	if bytes.Equal(got, []byte("0123456789ABC")) {
+		t.Fatal("bug 17: unaligned tail survived without its fence")
+	}
+	if !bytes.Equal(got[:8], []byte("01234567")) {
+		t.Fatalf("bug 17: aligned body should survive, got %q", got)
+	}
+}
+
+func TestBug17AlignedWritesUnaffected(t *testing.T) {
+	f, dev := newPmfs(t, bugs.Of(bugs.NTTailNotFenced))
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("16-byte-aligned!"), 0)
+	img := pmem.FromImage(dev.CrashImage())
+	f2 := New(persist.New(img), bugs.None())
+	if err := f2.Mount(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, f2, "/a"); !bytes.Equal(got, []byte("16-byte-aligned!")) {
+		t.Fatalf("aligned write affected by bug 17: %q", got)
+	}
+}
+
+func TestBug13MountFailsWithPendingTruncate(t *testing.T) {
+	// Craft a crash image where the truncate list is non-empty: snapshot
+	// mid-unlink by copying the device just after truncAdd. We approximate
+	// by calling truncAdd directly.
+	f, dev := newPmfs(t, bugs.Of(bugs.PmfsTruncateListNull))
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("x"), 0)
+	f.Close(fd)
+	f.truncAdd(2)
+	img := pmem.FromImage(dev.CrashImage())
+	f2 := New(persist.New(img), bugs.Of(bugs.PmfsTruncateListNull))
+	if err := f2.Mount(); !errors.Is(err, vfs.ErrCorrupt) {
+		t.Fatalf("buggy mount with pending truncate: %v", err)
+	}
+	// Fixed code mounts the same image fine.
+	f3 := New(persist.New(pmem.FromImage(img.CrashImage())), bugs.None())
+	if err := f3.Mount(); err != nil {
+		t.Fatalf("fixed mount: %v", err)
+	}
+}
+
+func TestPropertyDifferentialVsMemfs(t *testing.T) {
+	paths := []string{"/f0", "/f1", "/d0/f2", "/d0", "/d1"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.NewDevice(testDevSize)
+		pf := New(persist.New(dev), bugs.None())
+		if err := pf.Mkfs(); err != nil {
+			t.Fatal(err)
+		}
+		ref := memfs.New()
+		ref.Mkfs()
+
+		for i := 0; i < 30; i++ {
+			kind := rng.Intn(9)
+			a := paths[rng.Intn(len(paths))]
+			b := paths[rng.Intn(len(paths))]
+			off := rng.Int63n(5000)
+			n := rng.Intn(3000) + 1
+			seed2 := rng.Int63()
+			e1 := applyOp(pf, kind, a, b, off, n, seed2)
+			e2 := applyOp(ref, kind, a, b, off, n, seed2)
+			if (e1 == nil) != (e2 == nil) {
+				t.Logf("seed %d op %d(%s,%s): pmfs=%v ref=%v", seed, kind, a, b, e1, e2)
+				return false
+			}
+		}
+		s1, err1 := vfs.Capture(pf)
+		s2, err2 := vfs.Capture(ref)
+		if err1 != nil || err2 != nil {
+			t.Logf("capture: %v %v", err1, err2)
+			return false
+		}
+		if d := vfs.Diff(s1, s2); d != "" {
+			t.Logf("seed %d diff: %s", seed, d)
+			return false
+		}
+		pf.Unmount()
+		pf2 := New(persist.New(dev), bugs.None())
+		if err := pf2.Mount(); err != nil {
+			t.Logf("seed %d remount: %v", seed, err)
+			return false
+		}
+		s3, err := vfs.Capture(pf2)
+		if err != nil {
+			t.Logf("capture3: %v", err)
+			return false
+		}
+		if d := vfs.Diff(s3, s2); d != "" {
+			t.Logf("seed %d remount diff: %s", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func applyOp(f vfs.FS, kind int, a, b string, off int64, n int, seed int64) error {
+	switch kind {
+	case 0:
+		fd, err := f.Create(a)
+		if err != nil {
+			return err
+		}
+		return f.Close(fd)
+	case 1:
+		return f.Mkdir(a)
+	case 2:
+		fd, err := f.Open(a)
+		if err != nil {
+			return err
+		}
+		defer f.Close(fd)
+		buf := make([]byte, n)
+		rand.New(rand.NewSource(seed)).Read(buf)
+		_, err = f.Pwrite(fd, buf, off)
+		return err
+	case 3:
+		return f.Unlink(a)
+	case 4:
+		return f.Rmdir(a)
+	case 5:
+		return f.Rename(a, b)
+	case 6:
+		return f.Link(a, b)
+	case 7:
+		return f.Truncate(a, off)
+	case 8:
+		fd, err := f.Open(a)
+		if err != nil {
+			return err
+		}
+		defer f.Close(fd)
+		return f.Fallocate(fd, off, int64(n))
+	}
+	return nil
+}
+
+func TestNoSpaceExhaustion(t *testing.T) {
+	// A tiny device runs out of blocks gracefully.
+	dev := pmem.NewDevice((poolStart + 8) * BlockSize)
+	f := New(persist.New(dev), bugs.None())
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := f.Create("/a")
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		_, lastErr = f.Pwrite(fd, make([]byte, BlockSize), int64(i)*BlockSize)
+		if lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, vfs.ErrNoSpace) {
+		t.Fatalf("expected ENOSPC, got %v", lastErr)
+	}
+}

@@ -1,0 +1,202 @@
+package pmfs
+
+import (
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/vfs"
+)
+
+// truncAdd records ino on the persistent truncate list before an operation
+// that frees its blocks, so recovery can finish an interrupted reclamation.
+func (f *FS) truncAdd(ino uint64) {
+	base := int64(truncBlock) * BlockSize
+	f.pm.Store64(base+truncEntsOff, ino)
+	f.pm.Flush(base+truncEntsOff, 8)
+	f.pm.Fence()
+	f.pm.PersistStore64(base+truncCountOff, 1)
+	f.pm.Fence()
+}
+
+// truncRemove clears the list once the reclamation completed.
+func (f *FS) truncRemove() {
+	f.pm.PersistStore64(int64(truncBlock)*BlockSize+truncCountOff, 0)
+	f.pm.Fence()
+}
+
+// Mount implements vfs.FS: journal recovery, inode-table scan, DRAM
+// allocator rebuild, truncate-list replay, orphan GC.
+//
+// Bug 13 reproduces PMFS's recovery-ordering flaw: the published code
+// replayed the truncate list before the DRAM free list existed, and the
+// replay's attempt to return blocks dereferenced a null pointer. We model
+// the kernel oops as a mount failure.
+func (f *FS) Mount() error {
+	pm := f.pm
+	if pm.Load64(sbMagicOff) != Magic {
+		return corrupt("bad superblock magic %#x", pm.Load64(sbMagicOff))
+	}
+	f.totalBlocks = pm.Load64(sbBlocksOff)
+	if f.totalBlocks == 0 || int64(f.totalBlocks)*BlockSize > pm.Size() {
+		return corrupt("superblock block count %d exceeds device", f.totalBlocks)
+	}
+
+	if err := f.recoverJournal(); err != nil {
+		return err
+	}
+
+	if f.has(bugs.PmfsTruncateListNull) {
+		// Published ordering: replay the truncate list now. The DRAM free
+		// list (f.alloc) has not been rebuilt yet; touching it is the null
+		// dereference.
+		count := pm.Load64(int64(truncBlock)*BlockSize + truncCountOff)
+		if count > 0 {
+			return corrupt("null pointer dereference: truncate-list replay before free-list rebuild (ino %d)",
+				pm.Load64(int64(truncBlock)*BlockSize+truncEntsOff))
+		}
+	}
+
+	f.alloc = newBlockAlloc(poolStart, f.totalBlocks)
+	f.ialloc = make([]bool, InodeCount)
+	f.ialloc[0] = true
+	f.inodes = map[uint64]*dnode{}
+	f.fds = map[vfs.FD]uint64{}
+	f.nextFD = 3
+
+	// Inode scan.
+	for ino := uint64(1); ino < InodeCount; ino++ {
+		img := pm.Load(inodeOff(ino), InodeSize)
+		if le32(img[inoValidOff:]) != 1 {
+			continue
+		}
+		d := &dnode{
+			ino:   ino,
+			typ:   vfs.FileType(le32(img[inoTypeOff:])),
+			nlink: le64(img[inoNlinkOff:]),
+			size:  int64(le64(img[inoSizeOff:])),
+		}
+		for i := 0; i < NDirect; i++ {
+			d.blocks[i] = le64(img[inoBlocksOff+i*8:])
+		}
+		if d.typ == vfs.TypeDir {
+			d.dirents = map[string]direntRef{}
+		}
+		f.ialloc[ino] = true
+		f.inodes[ino] = d
+	}
+	root := f.inodes[RootIno]
+	if root == nil || root.typ != vfs.TypeDir {
+		return corrupt("root inode missing or not a directory")
+	}
+
+	// Claim blocks; double references are corruption.
+	for _, d := range f.inodes {
+		for i, b := range d.blocks {
+			if b == 0 {
+				continue
+			}
+			if b < poolStart || b >= f.totalBlocks {
+				return corrupt("inode %d block[%d]=%d out of range", d.ino, i, b)
+			}
+			if !f.alloc.markUsed(b) {
+				return corrupt("block %d referenced twice", b)
+			}
+		}
+	}
+
+	// Directory scan.
+	for _, d := range f.inodes {
+		if d.typ != vfs.TypeDir {
+			continue
+		}
+		for _, b := range d.blocks {
+			if b == 0 {
+				continue
+			}
+			for s := 0; s < direntsPerBlock; s++ {
+				off := blockOff(b) + int64(s)*DirentSize
+				slot := pm.Load(off, DirentSize)
+				ino := le64(slot[deInoOff:])
+				if ino == 0 {
+					continue
+				}
+				nameLen := int(slot[deNameLenOff])
+				if ino >= InodeCount || nameLen == 0 || nameLen > DirentSize-deNameOff {
+					return corrupt("bad dirent in block %d slot %d", b, s)
+				}
+				name := string(slot[deNameOff : deNameOff+nameLen])
+				d.dirents[name] = direntRef{ino: ino, off: off}
+			}
+		}
+	}
+
+	// Truncate-list replay (fixed ordering: after the allocator rebuild).
+	count := pm.Load64(int64(truncBlock)*BlockSize + truncCountOff)
+	if count > truncMaxEnts {
+		return corrupt("truncate-list count %d out of range", count)
+	}
+	if count > 0 {
+		ino := pm.Load64(int64(truncBlock)*BlockSize + truncEntsOff)
+		if d := f.inodes[ino]; d != nil {
+			// Free blocks beyond the committed size and persist the
+			// cleaned pointers — finishing the interrupted operation.
+			firstDead := int((d.size + BlockSize - 1) / BlockSize)
+			dirty := false
+			for i := firstDead; i < NDirect; i++ {
+				if d.blocks[i] != 0 {
+					f.alloc.release(d.blocks[i])
+					d.blocks[i] = 0
+					dirty = true
+				}
+			}
+			if dirty {
+				f.persistInode(d)
+				pm.Fence()
+			}
+		}
+		f.truncRemove()
+	}
+
+	// Dangling dirents become bad placeholders; then orphan GC.
+	referenced := map[uint64]bool{RootIno: true}
+	for _, d := range f.inodes {
+		if d.typ != vfs.TypeDir {
+			continue
+		}
+		for _, ref := range d.dirents {
+			referenced[ref.ino] = true
+			if f.inodes[ref.ino] == nil {
+				f.inodes[ref.ino] = &dnode{ino: ref.ino, typ: vfs.TypeRegular, bad: true}
+			}
+		}
+	}
+	reachable := map[uint64]bool{RootIno: true}
+	f.markReachable(root, reachable)
+	for ino, d := range f.inodes {
+		if reachable[ino] || d.bad {
+			continue
+		}
+		f.destroyInode(d)
+	}
+	for ino, d := range f.inodes {
+		if d.bad && !reachable[ino] {
+			delete(f.inodes, ino)
+		}
+	}
+
+	f.mounted = true
+	return nil
+}
+
+func (f *FS) markReachable(d *dnode, seen map[uint64]bool) {
+	if d.typ != vfs.TypeDir || d.bad {
+		return
+	}
+	for _, ref := range d.dirents {
+		if seen[ref.ino] {
+			continue
+		}
+		seen[ref.ino] = true
+		if c := f.inodes[ref.ino]; c != nil {
+			f.markReachable(c, seen)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package splitfs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/vfs"
+)
+
+const testDevSize = 4 << 20
+
+func newSplit(t *testing.T, set bugs.Set) (*FS, *pmem.Device) {
+	t.Helper()
+	dev := pmem.NewDevice(testDevSize)
+	f := New(persist.New(dev), set)
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	return f, dev
+}
+
+func crashMount(t *testing.T, dev *pmem.Device, set bugs.Set) *FS {
+	t.Helper()
+	f := New(persist.New(pmem.FromImage(dev.CrashImage())), set)
+	if err := f.Mount(); err != nil {
+		t.Fatalf("crash mount: %v", err)
+	}
+	return f
+}
+
+func readFile(t *testing.T, f vfs.FS, path string) []byte {
+	t.Helper()
+	st, err := f.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	fd, err := f.Open(path)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer f.Close(fd)
+	buf := make([]byte, st.Size)
+	n, err := f.Pread(fd, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:n]
+}
+
+func TestSynchronousWithoutFsync(t *testing.T) {
+	// Unlike raw ext4-DAX, strict SplitFS makes ops durable at return.
+	f, dev := newSplit(t, bugs.None())
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("durable without fsync"), 0)
+	f.Mkdir("/d")
+	f.Rename("/a", "/d/b")
+
+	f2 := crashMount(t, dev, bugs.None())
+	if got := readFile(t, f2, "/d/b"); string(got) != "durable without fsync" {
+		t.Fatalf("data = %q", got)
+	}
+	if _, err := f2.Stat("/a"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("old name survived")
+	}
+}
+
+func TestRelinkAndContinue(t *testing.T) {
+	f, dev := newSplit(t, bugs.None())
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("part1-"), 0)
+	if err := f.Sync(); err != nil { // relink
+		t.Fatal(err)
+	}
+	f.Pwrite(fd, []byte("part2"), 6)
+
+	f2 := crashMount(t, dev, bugs.None())
+	if got := readFile(t, f2, "/a"); string(got) != "part1-part2" {
+		t.Fatalf("data = %q", got)
+	}
+}
+
+func TestManyOpsLogPressure(t *testing.T) {
+	f, dev := newSplit(t, bugs.None())
+	for i := 0; i < 40; i++ {
+		name := string([]byte{'/', 'a' + byte(i%26), '0' + byte(i/26)})
+		if _, err := f.Create(name); err != nil && !errors.Is(err, vfs.ErrExist) {
+			t.Fatal(err)
+		}
+		if err := f.Unlink(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Create("/keep")
+	f2 := crashMount(t, dev, bugs.None())
+	if _, err := f2.Stat("/keep"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := f2.ReadDir("/")
+	if len(ents) != 1 {
+		t.Fatalf("entries = %v", ents)
+	}
+}
+
+func TestBug21MetadataOpLost(t *testing.T) {
+	f, dev := newSplit(t, bugs.Of(bugs.SplitfsOplogUnfenced))
+	f.Mkdir("/d") // record flushed but not fenced
+	f2 := crashMount(t, dev, bugs.None())
+	if _, err := f2.Stat("/d"); err == nil {
+		t.Fatal("bug 21: unfenced metadata record survived the crash")
+	}
+}
+
+func TestBug24OpSilentlyDropped(t *testing.T) {
+	f, dev := newSplit(t, bugs.Of(bugs.SplitfsTailBeforeCsum))
+	f.Mkdir("/d") // payload never flushed; sealed header is durable
+	f2 := crashMount(t, dev, bugs.None())
+	if _, err := f2.Stat("/d"); err == nil {
+		t.Fatal("bug 24: record with unflushed payload replayed successfully")
+	}
+}
+
+func TestBug25RenameBothNames(t *testing.T) {
+	f, dev := newSplit(t, bugs.Of(bugs.SplitfsRenameOldSurvives))
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("x"), 0)
+	f.Rename("/a", "/b") // delete-old deferred
+
+	f2 := crashMount(t, dev, bugs.None())
+	_, errA := f2.Stat("/a")
+	_, errB := f2.Stat("/b")
+	if errA != nil || errB != nil {
+		t.Fatalf("bug 25 should leave both names: /a=%v /b=%v", errA, errB)
+	}
+	// Once another op flushes the deferred record, the state converges.
+	f.Create("/later")
+	f3 := crashMount(t, dev, bugs.None())
+	if _, err := f3.Stat("/a"); err == nil {
+		t.Fatal("deferred delete record should have landed")
+	}
+}
+
+func TestBug22TwoFDStageClobber(t *testing.T) {
+	f, dev := newSplit(t, bugs.Of(bugs.SplitfsStagePerFD))
+	fd1, _ := f.Create("/a")
+	fd2, _ := f.Open("/a")
+	f.Pwrite(fd1, []byte("AAAA"), 0)
+	f.Pwrite(fd2, []byte("BBBB"), 4) // fd2's cursor restarts at the chunk base
+
+	// Live state is fine (kernel DRAM had both writes).
+	if got := readFile(t, f, "/a"); string(got) != "AAAABBBB" {
+		t.Fatalf("live = %q", got)
+	}
+	// Crash + replay: fd1's record reads clobbered staged bytes.
+	f2 := crashMount(t, dev, bugs.None())
+	if got := readFile(t, f2, "/a"); string(got) == "AAAABBBB" {
+		t.Fatal("bug 22: staged data survived the clobber")
+	}
+	// Fixed system round-trips the same workload.
+	g, gdev := newSplit(t, bugs.None())
+	g1, _ := g.Create("/a")
+	g2, _ := g.Open("/a")
+	g.Pwrite(g1, []byte("AAAA"), 0)
+	g.Pwrite(g2, []byte("BBBB"), 4)
+	g3 := crashMount(t, gdev, bugs.None())
+	if got := readFile(t, g3, "/a"); string(got) != "AAAABBBB" {
+		t.Fatalf("fixed two-fd writes = %q", got)
+	}
+}
+
+func TestBug23ReplayOrderPerFD(t *testing.T) {
+	f, dev := newSplit(t, bugs.Of(bugs.SplitfsRelinkSkip))
+	fd1, _ := f.Create("/a")
+	fd2, _ := f.Open("/a")
+	// Interleaved overlapping writes: the LAST write (via fd1) must win,
+	// but per-FD grouped replay applies fd2's record after fd1's.
+	f.Pwrite(fd2, []byte("2222"), 0) // seq n   (fd2)
+	f.Pwrite(fd1, []byte("1111"), 0) // seq n+1 (fd1) — should win
+	if got := readFile(t, f, "/a"); string(got) != "1111" {
+		t.Fatalf("live = %q", got)
+	}
+	// Bug 23 lives in the replay path, so the remount uses the buggy code.
+	f2 := crashMount(t, dev, bugs.Of(bugs.SplitfsRelinkSkip))
+	if got := readFile(t, f2, "/a"); string(got) != "2222" {
+		t.Fatalf("expected bug 23 to replay fd groups in order, got %q", got)
+	}
+	// Fixed system replays by global sequence.
+	g, gdev := newSplit(t, bugs.None())
+	g1, _ := g.Create("/a")
+	g2, _ := g.Open("/a")
+	g.Pwrite(g2, []byte("2222"), 0)
+	g.Pwrite(g1, []byte("1111"), 0)
+	g3 := crashMount(t, gdev, bugs.None())
+	if got := readFile(t, g3, "/a"); string(got) != "1111" {
+		t.Fatalf("fixed replay = %q", got)
+	}
+}
+
+func TestPropertyDifferentialVsMemfs(t *testing.T) {
+	paths := []string{"/f0", "/f1", "/d0/f2", "/d0", "/d1"}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dev := pmem.NewDevice(testDevSize)
+		sf := New(persist.New(dev), bugs.None())
+		if err := sf.Mkfs(); err != nil {
+			t.Fatal(err)
+		}
+		ref := memfs.New()
+		ref.Mkfs()
+		for i := 0; i < 25; i++ {
+			kind := rng.Intn(9)
+			a := paths[rng.Intn(len(paths))]
+			b := paths[rng.Intn(len(paths))]
+			off := rng.Int63n(5000)
+			n := rng.Intn(2000) + 1
+			s2 := rng.Int63()
+			e1 := applyOp(sf, kind, a, b, off, n, s2)
+			e2 := applyOp(ref, kind, a, b, off, n, s2)
+			if (e1 == nil) != (e2 == nil) {
+				t.Logf("seed %d op %d(%s,%s): splitfs=%v ref=%v", seed, kind, a, b, e1, e2)
+				return false
+			}
+		}
+		s1, err1 := vfs.Capture(sf)
+		s2c, err2 := vfs.Capture(ref)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if d := vfs.Diff(s1, s2c); d != "" {
+			t.Logf("seed %d live diff: %s", seed, d)
+			return false
+		}
+		// Crash without any sync: strict mode must still match exactly.
+		sf2 := New(persist.New(pmem.FromImage(dev.CrashImage())), bugs.None())
+		if err := sf2.Mount(); err != nil {
+			t.Logf("seed %d mount: %v", seed, err)
+			return false
+		}
+		s3, err := vfs.Capture(sf2)
+		if err != nil {
+			t.Logf("capture3: %v", err)
+			return false
+		}
+		if d := vfs.Diff(s3, s2c); d != "" {
+			t.Logf("seed %d crash diff: %s", seed, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func applyOp(f vfs.FS, kind int, a, b string, off int64, n int, seed int64) error {
+	switch kind {
+	case 0:
+		fd, err := f.Create(a)
+		if err != nil {
+			return err
+		}
+		return f.Close(fd)
+	case 1:
+		return f.Mkdir(a)
+	case 2:
+		fd, err := f.Open(a)
+		if err != nil {
+			return err
+		}
+		defer f.Close(fd)
+		buf := make([]byte, n)
+		rand.New(rand.NewSource(seed)).Read(buf)
+		_, err = f.Pwrite(fd, buf, off)
+		return err
+	case 3:
+		return f.Unlink(a)
+	case 4:
+		return f.Rmdir(a)
+	case 5:
+		return f.Rename(a, b)
+	case 6:
+		return f.Link(a, b)
+	case 7:
+		return f.Truncate(a, off)
+	case 8:
+		fd, err := f.Open(a)
+		if err != nil {
+			return err
+		}
+		defer f.Close(fd)
+		return f.Fallocate(fd, off, int64(n))
+	}
+	return nil
+}
+
+func TestCaps(t *testing.T) {
+	f, _ := newSplit(t, bugs.None())
+	c := f.Caps()
+	if c.Name != "splitfs" || !c.Strong || !c.AtomicWrite {
+		t.Fatalf("caps = %+v", c)
+	}
+}

@@ -1,0 +1,94 @@
+package winefs
+
+import "chipmunk/internal/vfs"
+
+// alignAlloc is WineFS's alignment-aware allocator (DRAM-only, rebuilt at
+// mount). Its goal in the real system is to keep 2 MiB huge-page extents
+// unfragmented: metadata blocks (journals, dirent blocks) are carved from
+// the top of the pool and data blocks from the bottom, so long runs of
+// aligned free space survive metadata churn. We model a huge-page extent as
+// hugeRun consecutive blocks.
+const hugeRun = 16
+
+type allocKind int
+
+const (
+	// kindData allocates from the bottom of the pool.
+	kindData allocKind = iota
+	// kindMeta allocates from the top, preserving aligned data extents.
+	kindMeta
+)
+
+type alignAlloc struct {
+	used  []bool
+	start uint64
+	total uint64
+}
+
+func newAlignAlloc(start, total uint64) *alignAlloc {
+	return &alignAlloc{used: make([]bool, total), start: start, total: total}
+}
+
+func (a *alignAlloc) alloc(kind allocKind) (uint64, error) {
+	if kind == kindMeta {
+		for b := a.total - 1; b >= a.start; b-- {
+			if !a.used[b] {
+				a.used[b] = true
+				return b, nil
+			}
+		}
+		return 0, vfs.ErrNoSpace
+	}
+	for b := a.start; b < a.total; b++ {
+		if !a.used[b] {
+			a.used[b] = true
+			return b, nil
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (a *alignAlloc) markUsed(b uint64) bool {
+	if b < a.start || b >= a.total || a.used[b] {
+		return false
+	}
+	a.used[b] = true
+	return true
+}
+
+func (a *alignAlloc) release(b uint64) bool {
+	if b < a.start || b >= a.total || !a.used[b] {
+		return false
+	}
+	a.used[b] = false
+	return true
+}
+
+func (a *alignAlloc) freeBlocks() int {
+	n := 0
+	for b := a.start; b < a.total; b++ {
+		if !a.used[b] {
+			n++
+		}
+	}
+	return n
+}
+
+// alignedFreeExtents counts fully free huge-page-aligned runs — the metric
+// WineFS optimizes to age gracefully.
+func (a *alignAlloc) alignedFreeExtents() int {
+	n := 0
+	for b := (a.start + hugeRun - 1) / hugeRun * hugeRun; b+hugeRun <= a.total; b += hugeRun {
+		free := true
+		for i := uint64(0); i < hugeRun; i++ {
+			if a.used[b+i] {
+				free = false
+				break
+			}
+		}
+		if free {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"chipmunk/internal/workload"
+)
+
+// SaveCorpus writes the fuzzer's current corpus as reproducer files, one
+// per workload, so long campaigns can resume (Syzkaller's corpus.db, in
+// plain text).
+func (f *Fuzzer) SaveCorpus(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fuzz: %w", err)
+	}
+	for i, w := range f.corpus {
+		path := filepath.Join(dir, fmt.Sprintf("corpus-%05d.txt", i))
+		if err := os.WriteFile(path, []byte(workload.Format(w)), 0o644); err != nil {
+			return fmt.Errorf("fuzz: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadCorpus reads every reproducer file in dir as seed workloads.
+// Unparseable files are skipped with their names returned, not fatal — a
+// corpus directory survives format evolution.
+func LoadCorpus(dir string) ([]workload.Workload, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fuzz: %w", err)
+	}
+	var (
+		seeds   []workload.Workload
+		skipped []string
+		names   []string
+	)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			skipped = append(skipped, name)
+			continue
+		}
+		w, err := workload.Parse(string(data))
+		if err != nil || len(w.Ops) == 0 {
+			skipped = append(skipped, name)
+			continue
+		}
+		if w.Name == "" {
+			w.Name = name
+		}
+		seeds = append(seeds, w)
+	}
+	return seeds, skipped, nil
+}

@@ -1,0 +1,65 @@
+package fuzz
+
+import (
+	"chipmunk/internal/core"
+	"chipmunk/internal/workload"
+)
+
+// Minimize shrinks a violating workload to a minimal reproducer, the way
+// Syzkaller minimizes crashing programs before reporting: it greedily drops
+// operations (largest chunks first) and keeps any reduction that still
+// triggers a violation. The result is what a developer reads in the bug
+// report, so smaller is better.
+//
+// check runs the engine on a candidate; budget bounds the number of engine
+// invocations (each one replays every crash state).
+func Minimize(cfg core.Config, w workload.Workload, budget int) (workload.Workload, int, error) {
+	execs := 0
+	stillBuggy := func(cand workload.Workload) (bool, error) {
+		if execs >= budget {
+			return false, nil
+		}
+		execs++
+		res, err := core.Run(cfg, cand)
+		if err != nil {
+			return false, err
+		}
+		return res.Buggy(), nil
+	}
+
+	// Sanity: the input must reproduce.
+	ok, err := stillBuggy(w)
+	if err != nil {
+		return w, execs, err
+	}
+	if !ok {
+		return w, execs, nil
+	}
+
+	cur := append([]workload.Op(nil), w.Ops...)
+	// Chunked removal: halves, quarters, ..., single ops.
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			if execs >= budget {
+				break
+			}
+			cand := make([]workload.Op, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if len(cand) == 0 {
+				start += chunk
+				continue
+			}
+			ok, err := stillBuggy(workload.Workload{Name: w.Name + "-min", Ops: cand})
+			if err != nil {
+				return w, execs, err
+			}
+			if ok {
+				cur = cand // keep the reduction; retry the same start
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return workload.Workload{Name: w.Name + "-min", Ops: cur}, execs, nil
+}

@@ -1,0 +1,146 @@
+package fuzz
+
+import (
+	"os"
+	"testing"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+	"chipmunk/internal/fs/nova"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+func TestMinimizeShrinksReproducer(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS {
+			return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+		},
+		Cap: 2,
+	}
+	// A bloated workload around the 3-op rename reproducer.
+	w := workload.Workload{Name: "bloated", Ops: []workload.Op{
+		{Kind: workload.OpMkdir, Path: "/junk1"},
+		{Kind: workload.OpMkdir, Path: "/junk2"},
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Size: 64, Seed: 1},
+		{Kind: workload.OpMkdir, Path: "/junk3"},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+		{Kind: workload.OpMkdir, Path: "/junk4"},
+		{Kind: workload.OpRmdir, Path: "/junk4"},
+	}}
+	min, execs, err := Minimize(cfg, w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs == 0 {
+		t.Fatal("no executions")
+	}
+	if len(min.Ops) >= len(w.Ops) {
+		t.Fatalf("no reduction: %d ops", len(min.Ops))
+	}
+	// The minimized workload must still reproduce.
+	res, err := core.Run(cfg, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Fatalf("minimized workload does not reproduce:\n%s", workload.Format(min))
+	}
+	// The rename must have survived minimization.
+	hasRename := false
+	for _, op := range min.Ops {
+		if op.Kind == workload.OpRename {
+			hasRename = true
+		}
+	}
+	if !hasRename {
+		t.Fatalf("rename dropped:\n%s", workload.Format(min))
+	}
+	t.Logf("minimized %d -> %d ops in %d execs:\n%s", len(w.Ops), len(min.Ops), execs, workload.Format(min))
+}
+
+func TestMinimizeNonBuggyUnchanged(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+	}
+	w := workload.Workload{Ops: []workload.Op{{Kind: workload.OpCreat, Path: "/a", FDSlot: -1}}}
+	min, _, err := Minimize(cfg, w, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Ops) != 1 {
+		t.Fatal("non-buggy workload modified")
+	}
+}
+
+func TestMinimizeRespectsBudget(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS {
+			return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+		},
+		Cap: 1,
+	}
+	w := workload.Workload{Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	_, execs, err := Minimize(cfg, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs > 3 {
+		t.Fatalf("budget exceeded: %d", execs)
+	}
+}
+
+func TestCorpusSaveLoadRoundTrip(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+		Cap:   2,
+	}
+	f := New(cfg, 3, nil)
+	if err := f.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if f.CorpusSize() == 0 {
+		t.Skip("no corpus growth this seed")
+	}
+	dir := t.TempDir()
+	if err := f.SaveCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	seeds, skipped, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if len(seeds) != f.CorpusSize() {
+		t.Fatalf("loaded %d, saved %d", len(seeds), f.CorpusSize())
+	}
+	// A fuzzer seeded from the saved corpus starts warm.
+	g := New(cfg, 4, seeds)
+	if g.CorpusSize() != len(seeds) {
+		t.Fatal("seeds not adopted")
+	}
+	if err := g.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCorpusSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(dir+"/good.txt", []byte("creat /f0\n"), 0o644)
+	os.WriteFile(dir+"/bad.txt", []byte("explode /f0\n"), 0o644)
+	os.WriteFile(dir+"/notes.md", []byte("ignored"), 0o644)
+	seeds, skipped, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 1 || len(skipped) != 1 {
+		t.Fatalf("seeds=%d skipped=%v", len(seeds), skipped)
+	}
+}

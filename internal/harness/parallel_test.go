@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"chipmunk/internal/ace"
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+)
+
+func TestRunSuiteParallelMatchesSerial(t *testing.T) {
+	sys, _ := SystemByName("nova")
+	cfg := ConfigFor(sys, bugs.None(), 2)
+	suite := ace.Seq1()[:24]
+
+	serial, sViol, err := RunSuite(cfg, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, pViol, err := RunSuiteParallel(cfg, suite, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.StatesChecked != parallel.StatesChecked ||
+		serial.Workloads != parallel.Workloads ||
+		serial.Fences != parallel.Fences {
+		t.Fatalf("parallel stats diverge: serial %+v parallel %+v", serial, parallel)
+	}
+	if len(sViol) != len(pViol) {
+		t.Fatalf("violations diverge: %d vs %d", len(sViol), len(pViol))
+	}
+}
+
+func TestRunSuiteParallelFindsBugs(t *testing.T) {
+	sys, _ := SystemByName("nova")
+	cfg := ConfigFor(sys, bugs.Of(bugs.NovaRenameInPlaceDelete), 2)
+	_, viol, err := RunSuiteParallel(cfg, ace.Seq1(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Fatal("parallel sweep missed the rename bug")
+	}
+}
+
+func TestRunSuiteParallelSingleWorkerFallback(t *testing.T) {
+	sys, _ := SystemByName("nova")
+	cfg := ConfigFor(sys, bugs.None(), 2)
+	c, _, err := RunSuiteParallel(cfg, ace.Seq1()[:3], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workloads != 3 {
+		t.Fatalf("workloads = %d", c.Workloads)
+	}
+}
+
+// TestEngineDeterminism: two runs of the same workload produce identical
+// statistics and identical report sequences — the engine has no hidden
+// nondeterminism, which reproducer files and triage rely on.
+func TestEngineDeterminism(t *testing.T) {
+	sys, _ := SystemByName("winefs")
+	cfg := ConfigFor(sys, bugs.Of(bugs.WinefsJournalIndex), 0)
+	w := TargetedWorkloads(bugs.WinefsJournalIndex)[0]
+	summarize := func() string {
+		res, err := core.Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := fmt.Sprintf("states=%d fences=%d max=%d reports=%d|",
+			res.StatesChecked, res.Fences, res.MaxInFlight, len(res.Violations))
+		for _, v := range res.Violations {
+			out += v.String() + "|"
+		}
+		return out
+	}
+	a, b := summarize(), summarize()
+	if a != b {
+		t.Fatalf("nondeterministic engine:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"testing"
+
+	"chipmunk/internal/ace"
+	"chipmunk/internal/bugs"
+)
+
+// TestSeq2SweepFixedSystemsClean is the exhaustive no-false-positive sweep:
+// every fixed strong system runs the ENTIRE ACE seq-2 suite (3136
+// workloads) and must produce zero violations across every crash state.
+// This is the long-running counterpart of TestFixedSystemsClean and the
+// reproduction's strongest soundness statement; the paper's equivalent is
+// that Chipmunk reports no bugs on patched systems.
+//
+// Runtime is minutes per system; skipped in -short mode (the regular suite
+// covers seq-1 samples).
+func TestSeq2SweepFixedSystemsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seq-2 sweep takes minutes; run without -short")
+	}
+	suite := ace.Seq2()
+	for _, sys := range Systems() {
+		if sys.Weak {
+			continue
+		}
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ConfigFor(sys, bugs.None(), 2)
+			c, viol, err := RunSuiteParallel(cfg, suite, 0) // all cores
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range viol {
+				if i > 5 {
+					t.Fatalf("... and %d more", len(viol)-5)
+				}
+				t.Errorf("false positive: %s", v)
+			}
+			t.Logf("%s: %d workloads, %d crash states, %v",
+				sys.Name, c.Workloads, c.StatesChecked, c.Elapsed)
+		})
+	}
+}
+
+// TestSeq1SweepWeakSystemsClean: the full DAX-mode seq-1 suite against both
+// weak systems.
+func TestSeq1SweepWeakSystemsClean(t *testing.T) {
+	suite := ace.Seq1Dax()
+	for _, name := range []string{"ext4-dax", "xfs-dax"} {
+		sys, _ := SystemByName(name)
+		cfg := ConfigFor(sys, bugs.None(), 2)
+		_, viol, err := RunSuite(cfg, suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range viol {
+			t.Errorf("%s false positive: %s", name, v)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package harness wires the Chipmunk engine to the file systems under test
+// and drives the paper's experiments: the Table 1 bug-detection matrix, the
+// Table 2 observation measurements, the Figure 3 ACE-vs-fuzzer discovery
+// comparison, and the §3.2/§5.1 census numbers.
+package harness
+
+import (
+	"fmt"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+	"chipmunk/internal/fs/extdax"
+	"chipmunk/internal/fs/nova"
+	"chipmunk/internal/fs/pmfs"
+	"chipmunk/internal/fs/splitfs"
+	"chipmunk/internal/fs/winefs"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+)
+
+// System describes one target file system.
+type System struct {
+	Name string
+	// Weak marks fsync-gated systems (crash points after fsync only).
+	Weak bool
+	// Factory builds an instance with the given injected bug set.
+	Factory func(set bugs.Set) func(pm *persist.PM) vfs.FS
+}
+
+// Systems returns the seven systems of §4.1 in the paper's order.
+func Systems() []System {
+	return []System{
+		{Name: "nova", Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return nova.New(pm, set) }
+		}},
+		{Name: "nova-fortis", Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return nova.New(pm, set, nova.WithFortis()) }
+		}},
+		{Name: "pmfs", Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return pmfs.New(pm, set) }
+		}},
+		{Name: "winefs", Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return winefs.New(pm, set) }
+		}},
+		{Name: "splitfs", Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return splitfs.New(pm, set) }
+		}},
+		{Name: "ext4-dax", Weak: true, Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return extdax.New(pm, extdax.Ext4) }
+		}},
+		{Name: "xfs-dax", Weak: true, Factory: func(set bugs.Set) func(pm *persist.PM) vfs.FS {
+			return func(pm *persist.PM) vfs.FS { return extdax.New(pm, extdax.XFS) }
+		}},
+	}
+}
+
+// SystemByName looks up a system.
+func SystemByName(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("harness: unknown file system %q", name)
+}
+
+// BugSystem returns the system a bug is tested on: the first file system in
+// the bug's registry entry (NOVA bugs are tested on NOVA, the shared
+// PMFS/WineFS bugs on PMFS, etc.).
+func BugSystem(info bugs.Info) (System, error) {
+	return SystemByName(info.FileSystems[0])
+}
+
+// ConfigFor builds an engine Config for a system with the given bug set.
+func ConfigFor(sys System, set bugs.Set, cap int) core.Config {
+	return core.Config{NewFS: sys.Factory(set), Cap: cap}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/workload"
+)
+
+// TargetedWorkloads returns minimal reproduction workloads for a bug —
+// the programs a developer would attach to the upstream bug report. The
+// detection experiments verify that Chipmunk's generic checker flags at
+// least one of them, and that the fixed system passes all of them.
+func TargetedWorkloads(id bugs.ID) []workload.Workload {
+	mk := func(name string, ops ...workload.Op) workload.Workload {
+		return workload.Workload{Name: fmt.Sprintf("bug%d-%s", id, name), Ops: ops}
+	}
+	creat := func(p string) workload.Op { return workload.Op{Kind: workload.OpCreat, Path: p, FDSlot: -1} }
+	write := func(p string, off, size int64, seed uint32) workload.Op {
+		return workload.Op{Kind: workload.OpPwrite, Path: p, FDSlot: -1, Off: off, Size: size, Seed: seed}
+	}
+
+	switch id {
+	case bugs.NovaTailBeforeLink:
+		// Chain the root directory's scaled-down log pages.
+		return []workload.Workload{mk("chain",
+			creat("/f0"), creat("/f1"), creat("/f2"), creat("/f3"), creat("/f4"))}
+
+	case bugs.NovaInodeInitNoFlush:
+		return []workload.Workload{
+			mk("creat", creat("/f0")),
+			mk("mkdir", workload.Op{Kind: workload.OpMkdir, Path: "/d0"}),
+		}
+
+	case bugs.NovaEntryAfterTail:
+		return []workload.Workload{mk("write",
+			creat("/f0"), write("/f0", 0, 1024, 1))}
+
+	case bugs.NovaRenameInPlaceDelete:
+		// Figure 2's workload: same-directory rename.
+		return []workload.Workload{mk("rename",
+			creat("/f0"), write("/f0", 0, 64, 1),
+			workload.Op{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"})}
+
+	case bugs.NovaRenameOldSurvives:
+		return []workload.Workload{mk("rename-xdir",
+			creat("/f0"), write("/f0", 0, 64, 1),
+			workload.Op{Kind: workload.OpMkdir, Path: "/d0"},
+			workload.Op{Kind: workload.OpRename, Path: "/f0", Path2: "/d0/f1"})}
+
+	case bugs.NovaLinkCountEarly:
+		return []workload.Workload{mk("link",
+			creat("/f0"),
+			workload.Op{Kind: workload.OpLink, Path: "/f0", Path2: "/l0"})}
+
+	case bugs.NovaTruncateRebuildLoss:
+		return []workload.Workload{mk("truncate",
+			creat("/f0"), write("/f0", 0, 6000, 1),
+			workload.Op{Kind: workload.OpTruncate, Path: "/f0", Size: 4500})}
+
+	case bugs.NovaFallocUnfenced:
+		return []workload.Workload{mk("falloc",
+			creat("/f0"), write("/f0", 0, 1000, 1),
+			workload.Op{Kind: workload.OpFalloc, Path: "/f0", FDSlot: -1, Off: 0, Size: 4096})}
+
+	case bugs.FortisCsumNoFlush:
+		return []workload.Workload{mk("unlink",
+			creat("/f0"),
+			workload.Op{Kind: workload.OpUnlink, Path: "/f0"})}
+
+	case bugs.FortisReplicaSkew:
+		return []workload.Workload{mk("write",
+			creat("/f0"), write("/f0", 0, 512, 1))}
+
+	case bugs.FortisDoubleFree:
+		return []workload.Workload{mk("truncate",
+			creat("/f0"), write("/f0", 0, 6000, 1),
+			workload.Op{Kind: workload.OpTruncate, Path: "/f0", Size: 100})}
+
+	case bugs.FortisCsumStaleData:
+		return []workload.Workload{mk("truncate-partial",
+			creat("/f0"), write("/f0", 0, 6000, 1),
+			workload.Op{Kind: workload.OpTruncate, Path: "/f0", Size: 4500})}
+
+	case bugs.PmfsTruncateListNull:
+		return []workload.Workload{
+			mk("truncate",
+				creat("/f0"), write("/f0", 0, 6000, 1),
+				workload.Op{Kind: workload.OpTruncate, Path: "/f0", Size: 0}),
+			mk("unlink",
+				creat("/f0"), write("/f0", 0, 512, 1),
+				workload.Op{Kind: workload.OpUnlink, Path: "/f0"}),
+		}
+
+	case bugs.WriteNotSync:
+		return []workload.Workload{mk("write",
+			creat("/f0"), write("/f0", 0, 512, 1))}
+
+	case bugs.PmfsJournalOOB:
+		// Enough journaled transactions to wrap the record area.
+		return []workload.Workload{mk("wrap",
+			creat("/f0"), creat("/f1"), creat("/f2"), creat("/f3"),
+			creat("/f4"), creat("/f5"), creat("/f6"), creat("/f7"))}
+
+	case bugs.NTTailNotFenced:
+		// 13-byte write: unaligned tail (the fuzzer-only pattern).
+		return []workload.Workload{mk("unaligned",
+			creat("/f0"), write("/f0", 0, 13, 1))}
+
+	case bugs.WinefsJournalIndex:
+		// Ops rotate across CPUs; the later ones journal off CPU 0.
+		return []workload.Workload{mk("percpu",
+			creat("/f0"), creat("/f1"), creat("/f2"), creat("/f3"), creat("/f4"))}
+
+	case bugs.WinefsStrictInPlace:
+		// Sub-cache-line-offset EXTENDING write (fuzzer-only pattern): the
+		// strict-mode fast publish can commit the new size without the new
+		// block pointer.
+		return []workload.Workload{mk("fastpublish",
+			creat("/f0"), write("/f0", 0, 40, 1), write("/f0", 3, 100, 2))}
+
+	case bugs.SplitfsOplogUnfenced:
+		return []workload.Workload{mk("mkdir",
+			workload.Op{Kind: workload.OpMkdir, Path: "/d0"})}
+
+	case bugs.SplitfsStagePerFD:
+		// Two descriptors writing one file (fuzzer-only).
+		return []workload.Workload{mk("twofd",
+			workload.Op{Kind: workload.OpCreat, Path: "/f0", FDSlot: 0},
+			workload.Op{Kind: workload.OpOpen, Path: "/f0", FDSlot: 1},
+			workload.Op{Kind: workload.OpPwrite, FDSlot: 0, Off: 0, Size: 64, Seed: 1},
+			workload.Op{Kind: workload.OpPwrite, FDSlot: 1, Off: 64, Size: 64, Seed: 2})}
+
+	case bugs.SplitfsRelinkSkip:
+		// Interleaved overlapping writes through two descriptors.
+		return []workload.Workload{mk("twofd-order",
+			workload.Op{Kind: workload.OpCreat, Path: "/f0", FDSlot: 0},
+			workload.Op{Kind: workload.OpOpen, Path: "/f0", FDSlot: 1},
+			workload.Op{Kind: workload.OpPwrite, FDSlot: 1, Off: 0, Size: 64, Seed: 1},
+			workload.Op{Kind: workload.OpPwrite, FDSlot: 0, Off: 0, Size: 64, Seed: 2})}
+
+	case bugs.SplitfsTailBeforeCsum:
+		return []workload.Workload{mk("mkdir",
+			workload.Op{Kind: workload.OpMkdir, Path: "/d0"})}
+
+	case bugs.SplitfsRenameOldSurvives:
+		return []workload.Workload{mk("rename",
+			creat("/f0"), write("/f0", 0, 64, 1),
+			workload.Op{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"})}
+	}
+	return nil
+}

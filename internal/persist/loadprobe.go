@@ -1,0 +1,72 @@
+package persist
+
+// LoadProbe is an optional extension of Probe: attachments implementing it
+// also observe PM reads. Chipmunk's core design does not need read tracing,
+// but §6.2 notes that Vinter's state-space heuristic — prioritize in-flight
+// writes that recovery actually READS — could be incorporated by recording
+// PM read functions; this is that hook.
+type LoadProbe interface {
+	OnLoad(off int64, n int)
+}
+
+// notifyLoad fans a read event out to attached probes implementing
+// LoadProbe.
+func (p *PM) notifyLoad(off int64, n int) {
+	for _, pr := range p.probes {
+		if lp, ok := pr.(LoadProbe); ok {
+			lp.OnLoad(off, n)
+		}
+	}
+}
+
+// ReadSet records the cache lines a mount-time recovery read, at line
+// granularity.
+type ReadSet struct {
+	lines map[int64]bool
+}
+
+// NewReadSet returns an empty read set usable as a probe.
+func NewReadSet() *ReadSet { return &ReadSet{lines: map[int64]bool{}} }
+
+// OnLoad implements LoadProbe.
+func (r *ReadSet) OnLoad(off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	for line := off / 64; line <= (off+int64(n)-1)/64; line++ {
+		r.lines[line] = true
+	}
+}
+
+// OnNT implements Probe (no-op; ReadSet only cares about reads).
+func (r *ReadSet) OnNT(off int64, data []byte, fn string) {}
+
+// OnFlush implements Probe.
+func (r *ReadSet) OnFlush(off int64, data []byte) {}
+
+// OnFence implements Probe.
+func (r *ReadSet) OnFence() {}
+
+// OnStore implements Probe.
+func (r *ReadSet) OnStore(off int64, data []byte) {}
+
+// Overlaps reports whether [off, off+n) touches any recorded line.
+func (r *ReadSet) Overlaps(off int64, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	for line := off / 64; line <= (off+int64(n)-1)/64; line++ {
+		if r.lines[line] {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of distinct lines read.
+func (r *ReadSet) Size() int { return len(r.lines) }
+
+var (
+	_ Probe     = (*ReadSet)(nil)
+	_ LoadProbe = (*ReadSet)(nil)
+)

@@ -1,0 +1,210 @@
+// Package persist provides the centralized persistence functions that every
+// file system in this repository uses to write durable data, and the probe
+// mechanism that intercepts them.
+//
+// This is the Go realization of the paper's key gray-box insight (§3.2): PM
+// file systems funnel all durable I/O through a small set of functions —
+// non-temporal memcpy, non-temporal memset, buffer flush, and store fence —
+// and instrumenting those functions (Kprobes/Uprobes in the paper, a probe
+// interface here) records every durable write without modifying file-system
+// code and without per-instruction overhead.
+package persist
+
+import (
+	"encoding/binary"
+
+	"chipmunk/internal/pmem"
+)
+
+// Memory is the device contract the persistence functions drive. Both
+// *pmem.Device and *pmem.TrackingDevice satisfy it.
+type Memory interface {
+	Store(off int64, p []byte)
+	NTStore(off int64, p []byte)
+	Flush(off int64, n int)
+	Fence() int
+	Load(off int64, n int) []byte
+	LoadInto(off int64, p []byte)
+	Peek(off int64, p []byte)
+	Size() int64
+}
+
+var (
+	_ Memory = (*pmem.Device)(nil)
+	_ Memory = trackingAdapter{}
+)
+
+// trackingAdapter lifts *pmem.TrackingDevice (whose Fence is promoted from
+// the embedded Device) to the Memory interface.
+type trackingAdapter struct{ *pmem.TrackingDevice }
+
+// WrapTracking adapts a TrackingDevice to Memory.
+func WrapTracking(t *pmem.TrackingDevice) Memory { return trackingAdapter{t} }
+
+// Probe observes persistence-function invocations. Implementations must not
+// mutate data.
+type Probe interface {
+	// OnNT fires for non-temporal memcpy/memset; data is the full buffer.
+	OnNT(off int64, data []byte, fn string)
+	// OnFlush fires for buffer flushes; data is the captured contents of
+	// the covered cache lines at flush time, and off is aligned down to a
+	// cache-line boundary.
+	OnFlush(off int64, data []byte)
+	// OnFence fires for store fences.
+	OnFence()
+	// OnStore fires for plain cached stores ONLY when per-store tracing is
+	// enabled (the instruction-level ablation).
+	OnStore(off int64, data []byte)
+}
+
+// PM couples a device with the persistence-function set. All file systems
+// receive a *PM and perform durable I/O exclusively through it.
+type PM struct {
+	mem    Memory
+	probes []Probe
+
+	// TraceStores enables per-store probing, emulating instruction-level
+	// tracers like Yat and Vinter for the overhead ablation.
+	TraceStores bool
+}
+
+// New wraps mem. Probes can be attached later with Attach.
+func New(mem Memory) *PM { return &PM{mem: mem} }
+
+// Attach registers a probe. Probes fire in attach order.
+func (p *PM) Attach(pr Probe) { p.probes = append(p.probes, pr) }
+
+// Detach removes a previously attached probe.
+func (p *PM) Detach(pr Probe) {
+	for i, x := range p.probes {
+		if x == pr {
+			p.probes = append(p.probes[:i], p.probes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Mem exposes the underlying device (for harness-level snapshots; file
+// systems must not use it).
+func (p *PM) Mem() Memory { return p.mem }
+
+// Size returns the device capacity.
+func (p *PM) Size() int64 { return p.mem.Size() }
+
+// MemcpyNT copies src to PM at off with non-temporal stores. One logical
+// durable write; durable after the next Fence.
+func (p *PM) MemcpyNT(off int64, src []byte) {
+	p.mem.NTStore(off, src)
+	for _, pr := range p.probes {
+		pr.OnNT(off, src, "memcpy_nt")
+	}
+}
+
+// MemsetNT writes n copies of b at off with non-temporal stores.
+func (p *PM) MemsetNT(off int64, b byte, n int) {
+	buf := make([]byte, n)
+	if b != 0 {
+		for i := range buf {
+			buf[i] = b
+		}
+	}
+	p.mem.NTStore(off, buf)
+	for _, pr := range p.probes {
+		pr.OnNT(off, buf, "memset_nt")
+	}
+}
+
+// Store performs plain cached stores: visible immediately, durable only
+// after Flush + Fence. Not individually traced (function-level logging).
+func (p *PM) Store(off int64, src []byte) {
+	p.mem.Store(off, src)
+	if p.TraceStores {
+		for _, pr := range p.probes {
+			pr.OnStore(off, src)
+		}
+	}
+}
+
+// Store64 stores a little-endian uint64 (the 8-byte atomic unit on Intel PM).
+func (p *PM) Store64(off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.Store(off, b[:])
+}
+
+// Store32 stores a little-endian uint32.
+func (p *PM) Store32(off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.Store(off, b[:])
+}
+
+// Flush writes back the cache lines covering [off, off+n). The captured
+// line contents are reported to probes, which is how the recorder learns
+// what a crash could persist.
+func (p *PM) Flush(off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	lo := off &^ (pmem.CacheLineSize - 1)
+	hi := (off + int64(n) + pmem.CacheLineSize - 1) &^ (pmem.CacheLineSize - 1)
+	if hi > p.mem.Size() {
+		hi = p.mem.Size()
+	}
+	capture := make([]byte, hi-lo)
+	p.mem.Peek(lo, capture)
+	p.mem.Flush(off, n)
+	for _, pr := range p.probes {
+		pr.OnFlush(lo, capture)
+	}
+}
+
+// Fence executes a store fence, making all in-flight writes durable.
+func (p *PM) Fence() {
+	p.mem.Fence()
+	for _, pr := range p.probes {
+		pr.OnFence()
+	}
+}
+
+// PersistStore is the common store+flush idiom: cached store of src at off
+// followed by a write-back of the covered lines. Still requires Fence.
+func (p *PM) PersistStore(off int64, src []byte) {
+	p.Store(off, src)
+	p.Flush(off, len(src))
+}
+
+// PersistStore64 stores, flushes (and leaves fencing to the caller) an
+// 8-byte value — the idiom used for log-tail and journal pointers.
+func (p *PM) PersistStore64(off int64, v uint64) {
+	p.Store64(off, v)
+	p.Flush(off, 8)
+}
+
+// Load reads n bytes at off.
+func (p *PM) Load(off int64, n int) []byte {
+	p.notifyLoad(off, n)
+	return p.mem.Load(off, n)
+}
+
+// LoadInto reads len(dst) bytes at off into dst.
+func (p *PM) LoadInto(off int64, dst []byte) {
+	p.notifyLoad(off, len(dst))
+	p.mem.LoadInto(off, dst)
+}
+
+// Load64 reads a little-endian uint64 at off.
+func (p *PM) Load64(off int64) uint64 {
+	p.notifyLoad(off, 8)
+	var b [8]byte
+	p.mem.LoadInto(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Load32 reads a little-endian uint32 at off.
+func (p *PM) Load32(off int64) uint32 {
+	p.notifyLoad(off, 4)
+	var b [4]byte
+	p.mem.LoadInto(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}

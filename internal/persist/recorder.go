@@ -1,0 +1,55 @@
+package persist
+
+import "chipmunk/internal/trace"
+
+// Recorder is the probe Chipmunk attaches to a PM under test. It appends
+// one trace entry per persistence-function call; the data slices are copied
+// so later mutations cannot corrupt the log.
+type Recorder struct {
+	Log *trace.Log
+}
+
+// NewRecorder returns a recorder appending to log.
+func NewRecorder(log *trace.Log) *Recorder { return &Recorder{Log: log} }
+
+// OnNT implements Probe.
+func (r *Recorder) OnNT(off int64, data []byte, fn string) {
+	r.Log.Append(trace.KindNT, off, append([]byte(nil), data...), fn)
+}
+
+// OnFlush implements Probe.
+func (r *Recorder) OnFlush(off int64, data []byte) {
+	r.Log.Append(trace.KindFlush, off, append([]byte(nil), data...), "flush_buffer")
+}
+
+// OnFence implements Probe.
+func (r *Recorder) OnFence() {
+	r.Log.Append(trace.KindFence, 0, nil, "sfence")
+}
+
+// OnStore implements Probe (per-store ablation mode only).
+func (r *Recorder) OnStore(off int64, data []byte) {
+	r.Log.Append(trace.KindStore, off, append([]byte(nil), data...), "store")
+}
+
+var _ Probe = (*Recorder)(nil)
+
+// CountingProbe tallies persistence-function calls without recording data;
+// used by the tracing-overhead ablation to isolate interception cost.
+type CountingProbe struct {
+	NT, Flushes, Fences, Stores int64
+}
+
+// OnNT implements Probe.
+func (c *CountingProbe) OnNT(off int64, data []byte, fn string) { c.NT++ }
+
+// OnFlush implements Probe.
+func (c *CountingProbe) OnFlush(off int64, data []byte) { c.Flushes++ }
+
+// OnFence implements Probe.
+func (c *CountingProbe) OnFence() { c.Fences++ }
+
+// OnStore implements Probe.
+func (c *CountingProbe) OnStore(off int64, data []byte) { c.Stores++ }
+
+var _ Probe = (*CountingProbe)(nil)

@@ -1,0 +1,135 @@
+package persist
+
+import "fmt"
+
+// Space is the persistence-function surface a file system programs against.
+// *PM implements it over a whole device; *Region implements it over a
+// window of a device, which is how SplitFS's kernel file system, operation
+// log, and staging area share one PM DIMM. Because a Region delegates to
+// the parent PM's persistence functions, probes observe every write with
+// absolute device offsets — the gray-box tracing contract is preserved
+// across layered file systems.
+type Space interface {
+	MemcpyNT(off int64, src []byte)
+	MemsetNT(off int64, b byte, n int)
+	Store(off int64, src []byte)
+	Store64(off int64, v uint64)
+	Store32(off int64, v uint32)
+	Flush(off int64, n int)
+	Fence()
+	PersistStore(off int64, src []byte)
+	PersistStore64(off int64, v uint64)
+	Load(off int64, n int) []byte
+	LoadInto(off int64, dst []byte)
+	Load64(off int64) uint64
+	Load32(off int64) uint32
+	Size() int64
+}
+
+var (
+	_ Space = (*PM)(nil)
+	_ Space = (*Region)(nil)
+)
+
+// Region is a contiguous window [base, base+size) of a PM.
+type Region struct {
+	pm   *PM
+	base int64
+	size int64
+}
+
+// NewRegion carves a window out of pm. Panics if the window exceeds the
+// device.
+func NewRegion(pm *PM, base, size int64) *Region {
+	if base < 0 || size <= 0 || base+size > pm.Size() {
+		panic(fmt.Sprintf("persist: region [%d, %d) outside device of size %d", base, base+size, pm.Size()))
+	}
+	return &Region{pm: pm, base: base, size: size}
+}
+
+func (r *Region) check(off int64, n int) {
+	if off < 0 || int64(n) < 0 || off+int64(n) > r.size {
+		panic(fmt.Sprintf("persist: region access [%d, %d) outside window of size %d", off, off+int64(n), r.size))
+	}
+}
+
+// MemcpyNT implements Space.
+func (r *Region) MemcpyNT(off int64, src []byte) {
+	r.check(off, len(src))
+	r.pm.MemcpyNT(r.base+off, src)
+}
+
+// MemsetNT implements Space.
+func (r *Region) MemsetNT(off int64, b byte, n int) {
+	r.check(off, n)
+	r.pm.MemsetNT(r.base+off, b, n)
+}
+
+// Store implements Space.
+func (r *Region) Store(off int64, src []byte) {
+	r.check(off, len(src))
+	r.pm.Store(r.base+off, src)
+}
+
+// Store64 implements Space.
+func (r *Region) Store64(off int64, v uint64) {
+	r.check(off, 8)
+	r.pm.Store64(r.base+off, v)
+}
+
+// Store32 implements Space.
+func (r *Region) Store32(off int64, v uint32) {
+	r.check(off, 4)
+	r.pm.Store32(r.base+off, v)
+}
+
+// Flush implements Space.
+func (r *Region) Flush(off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	r.check(off, n)
+	r.pm.Flush(r.base+off, n)
+}
+
+// Fence implements Space.
+func (r *Region) Fence() { r.pm.Fence() }
+
+// PersistStore implements Space.
+func (r *Region) PersistStore(off int64, src []byte) {
+	r.check(off, len(src))
+	r.pm.PersistStore(r.base+off, src)
+}
+
+// PersistStore64 implements Space.
+func (r *Region) PersistStore64(off int64, v uint64) {
+	r.check(off, 8)
+	r.pm.PersistStore64(r.base+off, v)
+}
+
+// Load implements Space.
+func (r *Region) Load(off int64, n int) []byte {
+	r.check(off, n)
+	return r.pm.Load(r.base+off, n)
+}
+
+// LoadInto implements Space.
+func (r *Region) LoadInto(off int64, dst []byte) {
+	r.check(off, len(dst))
+	r.pm.LoadInto(r.base+off, dst)
+}
+
+// Load64 implements Space.
+func (r *Region) Load64(off int64) uint64 {
+	r.check(off, 8)
+	return r.pm.Load64(r.base + off)
+}
+
+// Load32 implements Space.
+func (r *Region) Load32(off int64) uint32 {
+	r.check(off, 4)
+	return r.pm.Load32(r.base + off)
+}
+
+// Size implements Space.
+func (r *Region) Size() int64 { return r.size }

@@ -1,0 +1,83 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/trace"
+)
+
+func TestRegionOffsetsAndTracing(t *testing.T) {
+	dev := pmem.NewDevice(1024)
+	pm := New(dev)
+	log := trace.NewLog()
+	pm.Attach(NewRecorder(log))
+
+	r := NewRegion(pm, 256, 512)
+	if r.Size() != 512 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	r.MemcpyNT(0, []byte{1, 2, 3})
+	r.Fence()
+	// The probe sees the ABSOLUTE device offset.
+	if e := log.At(0); e.Off != 256 {
+		t.Fatalf("traced offset = %d, want 256", e.Off)
+	}
+	if got := dev.Load(256, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("device bytes = %v", got)
+	}
+	// Region reads are window-relative.
+	if got := r.Load(0, 3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("region read = %v", got)
+	}
+}
+
+func TestRegionRoundTripHelpers(t *testing.T) {
+	dev := pmem.NewDevice(4096)
+	pm := New(dev)
+	r := NewRegion(pm, 1024, 2048)
+
+	r.Store64(0, 0xABCD)
+	if r.Load64(0) != 0xABCD {
+		t.Fatal("store64/load64")
+	}
+	r.Store32(8, 77)
+	if r.Load32(8) != 77 {
+		t.Fatal("store32/load32")
+	}
+	r.PersistStore64(16, 99)
+	r.PersistStore(24, []byte{5})
+	r.Fence()
+	if dev.CrashImage()[1024+16] != 99 || dev.CrashImage()[1024+24] != 5 {
+		t.Fatal("persist helpers not durable")
+	}
+	r.MemsetNT(32, 0x11, 4)
+	r.Fence()
+	buf := make([]byte, 4)
+	r.LoadInto(32, buf)
+	if buf[0] != 0x11 || buf[3] != 0x11 {
+		t.Fatal("memset/loadinto")
+	}
+	r.Flush(0, 0) // no-op
+}
+
+func TestRegionBoundsPanics(t *testing.T) {
+	dev := pmem.NewDevice(1024)
+	pm := New(dev)
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("bad window", func() { NewRegion(pm, 512, 1024) })
+	r := NewRegion(pm, 0, 128)
+	expectPanic("store out of window", func() { r.Store(120, make([]byte, 16)) })
+	expectPanic("load out of window", func() { r.Load(-1, 4) })
+	expectPanic("nt out of window", func() { r.MemcpyNT(128, []byte{1}) })
+}

@@ -1,0 +1,267 @@
+// Package pmem simulates a byte-addressable persistent-memory device with
+// x86-style persistence semantics: regular stores land in a volatile cache
+// and become durable only after an explicit cache-line write-back followed
+// by a store fence; non-temporal stores bypass the cache but still require a
+// fence before they are guaranteed durable. Writes that have been flushed or
+// written non-temporally but not yet fenced are "in flight": on a crash, any
+// subset of them may have reached the media, in any order.
+//
+// The device keeps two byte images: the volatile image (what loads observe)
+// and the persistent image (what survives a crash). A crash image is a copy
+// of the persistent image, optionally with a chosen subset of in-flight
+// writes applied — exactly the crash-state model Chipmunk replays.
+package pmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// CacheLineSize is the granularity of flush operations, matching x86.
+	CacheLineSize = 64
+	// WordSize is the unit of write atomicity on Intel PM (8 bytes).
+	WordSize = 8
+)
+
+// WriteKind distinguishes the two ways bytes become in-flight.
+type WriteKind uint8
+
+const (
+	// KindFlush is a cache-line write-back (clwb/clflushopt) of bytes
+	// previously written with regular stores.
+	KindFlush WriteKind = iota
+	// KindNT is a non-temporal store (movnt) that bypassed the cache.
+	KindNT
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case KindFlush:
+		return "flush"
+	case KindNT:
+		return "nt"
+	default:
+		return fmt.Sprintf("WriteKind(%d)", uint8(k))
+	}
+}
+
+// InFlight is one durable-intent write that has not yet been fenced. Data is
+// a private copy captured at flush/store time.
+type InFlight struct {
+	Kind WriteKind
+	Off  int64
+	Data []byte
+}
+
+// Device is a simulated PM device. It is not safe for concurrent use;
+// Chipmunk runs workloads sequentially, as the paper does.
+type Device struct {
+	volatile   []byte
+	persistent []byte
+	inflight   []InFlight
+
+	// dirty tracks cache lines holding store()d bytes that have not been
+	// flushed yet, so MissingFlushCheck and line-granular Flush work.
+	dirty map[int64]struct{}
+
+	stats Stats
+}
+
+// NewDevice returns a zeroed device of the given size in bytes.
+func NewDevice(size int64) *Device {
+	if size <= 0 {
+		panic(fmt.Sprintf("pmem: invalid device size %d", size))
+	}
+	return &Device{
+		volatile:   make([]byte, size),
+		persistent: make([]byte, size),
+		dirty:      make(map[int64]struct{}),
+	}
+}
+
+// FromImage builds a device whose volatile and persistent images are both
+// initialized from img, as if the machine had just rebooted from that crash
+// image. The slice is copied.
+func FromImage(img []byte) *Device {
+	d := NewDevice(int64(len(img)))
+	copy(d.volatile, img)
+	copy(d.persistent, img)
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(len(d.volatile)) }
+
+func (d *Device) checkRange(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(d.volatile)) {
+		panic(fmt.Sprintf("pmem: access [%d, %d) outside device of size %d", off, off+int64(n), len(d.volatile)))
+	}
+}
+
+// Store performs regular (cached, write-back) stores of p at off. The bytes
+// are visible to Load immediately but will not survive a crash until the
+// covering cache lines are flushed and a fence executes.
+func (d *Device) Store(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	copy(d.volatile[off:], p)
+	for line := off / CacheLineSize; line <= (off+int64(len(p))-1)/CacheLineSize; line++ {
+		d.dirty[line] = struct{}{}
+	}
+	d.stats.StoreBytes += int64(len(p))
+	d.stats.SimNanos += costStore(len(p))
+}
+
+// NTStore performs a non-temporal store: the bytes are visible immediately
+// and become an in-flight write at once (no separate flush needed), durable
+// after the next Fence.
+func (d *Device) NTStore(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	copy(d.volatile[off:], p)
+	d.inflight = append(d.inflight, InFlight{Kind: KindNT, Off: off, Data: append([]byte(nil), p...)})
+	d.stats.NTBytes += int64(len(p))
+	d.stats.NTStores++
+	d.stats.SimNanos += costNT(len(p))
+}
+
+// Flush writes back the cache lines covering [off, off+n). The current
+// volatile contents of each covered line are captured as in-flight writes.
+// Lines with no unflushed stores are still captured (clwb of a clean line is
+// legal and harmless), because the capture is what the crash-state replayer
+// keys on.
+func (d *Device) Flush(off int64, n int) {
+	if n == 0 {
+		return
+	}
+	d.checkRange(off, n)
+	first := off / CacheLineSize
+	last := (off + int64(n) - 1) / CacheLineSize
+	for line := first; line <= last; line++ {
+		lo := line * CacheLineSize
+		hi := lo + CacheLineSize
+		if hi > int64(len(d.volatile)) {
+			hi = int64(len(d.volatile))
+		}
+		d.inflight = append(d.inflight, InFlight{
+			Kind: KindFlush,
+			Off:  lo,
+			Data: append([]byte(nil), d.volatile[lo:hi]...),
+		})
+		delete(d.dirty, line)
+		d.stats.LinesFlushed++
+	}
+	d.stats.Flushes++
+	d.stats.SimNanos += costFlush(int(last - first + 1))
+}
+
+// Fence executes a store fence: every in-flight write becomes persistent, in
+// order. Returns the number of writes that were in flight, which Chipmunk's
+// crash-state constructor uses to bound subset enumeration.
+func (d *Device) Fence() int {
+	n := len(d.inflight)
+	for _, w := range d.inflight {
+		copy(d.persistent[w.Off:], w.Data)
+	}
+	d.inflight = d.inflight[:0]
+	d.stats.Fences++
+	if int64(n) > d.stats.MaxInFlight {
+		d.stats.MaxInFlight = int64(n)
+	}
+	d.stats.SimNanos += costFence()
+	return n
+}
+
+// Load copies n bytes at off into a fresh slice, observing the volatile
+// image (i.e. the most recent stores, durable or not).
+func (d *Device) Load(off int64, n int) []byte {
+	d.checkRange(off, n)
+	out := make([]byte, n)
+	copy(out, d.volatile[off:])
+	d.stats.SimNanos += costLoad(n)
+	return out
+}
+
+// Peek reads len(p) bytes at off into p without advancing the cost model.
+// Used by tracing instrumentation to capture flush contents; instrumentation
+// overhead must not perturb the simulated-latency measurements.
+func (d *Device) Peek(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	copy(p, d.volatile[off:])
+}
+
+// LoadInto reads n = len(p) bytes at off into p without allocating.
+func (d *Device) LoadInto(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	copy(p, d.volatile[off:])
+	d.stats.SimNanos += costLoad(len(p))
+}
+
+// InFlightWrites returns a copy of the current in-flight write set (writes
+// that would be lost — or not — at a crash right now).
+func (d *Device) InFlightWrites() []InFlight {
+	out := make([]InFlight, len(d.inflight))
+	for i, w := range d.inflight {
+		out[i] = InFlight{Kind: w.Kind, Off: w.Off, Data: append([]byte(nil), w.Data...)}
+	}
+	return out
+}
+
+// InFlightCount returns how many writes are currently in flight.
+func (d *Device) InFlightCount() int { return len(d.inflight) }
+
+// CrashImage returns a copy of the persistent image: the state of the media
+// if power were lost right now and no in-flight write had reached it.
+func (d *Device) CrashImage() []byte {
+	return append([]byte(nil), d.persistent...)
+}
+
+// CrashImageWithSubset returns a crash image with the in-flight writes whose
+// indices appear in subset applied in program order (ascending index),
+// regardless of the order of subset. Indices out of range panic.
+func (d *Device) CrashImageWithSubset(subset []int) []byte {
+	img := d.CrashImage()
+	idx := append([]int(nil), subset...)
+	sort.Ints(idx)
+	for _, i := range idx {
+		if i < 0 || i >= len(d.inflight) {
+			panic(fmt.Sprintf("pmem: in-flight index %d out of range %d", i, len(d.inflight)))
+		}
+		w := d.inflight[i]
+		copy(img[w.Off:], w.Data)
+	}
+	return img
+}
+
+// Patch writes p at off into BOTH the volatile and persistent images,
+// bypassing the cache model. It exists for crash-state construction: the
+// replayer builds an image by patching recorded writes onto a baseline, and
+// the resulting device must behave as freshly rebooted.
+func (d *Device) Patch(off int64, p []byte) {
+	d.checkRange(off, len(p))
+	copy(d.volatile[off:], p)
+	copy(d.persistent[off:], p)
+}
+
+// VolatileImage returns a copy of the volatile image (what a crash-free
+// reader would see). Useful for differential tests.
+func (d *Device) VolatileImage() []byte {
+	return append([]byte(nil), d.volatile...)
+}
+
+// DirtyUnflushedLines reports cache lines that hold stores never flushed.
+// A well-behaved file system has zero at the end of every operation unless
+// the data is intentionally volatile.
+func (d *Device) DirtyUnflushedLines() []int64 {
+	out := make([]int64, 0, len(d.dirty))
+	for l := range d.dirty {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a copy of the accumulated cost-model counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the cost-model counters (the images are untouched).
+func (d *Device) ResetStats() { d.stats = Stats{} }

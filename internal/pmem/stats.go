@@ -1,0 +1,63 @@
+package pmem
+
+import "fmt"
+
+// Stats accumulates operation counts and a simulated-latency estimate for a
+// device. The latency model is a coarse approximation of Optane DC PMM
+// behaviour (sequential store bandwidth, per-line flush cost, fence drain)
+// taken from published measurements; the paper's performance observations
+// (e.g. the rename-fix overhead) are about *relative* cost, which this model
+// preserves: every extra journal entry costs extra flushed lines and fences.
+type Stats struct {
+	StoreBytes   int64 // bytes written with cached stores
+	NTBytes      int64 // bytes written with non-temporal stores
+	NTStores     int64 // number of NT store operations
+	Flushes      int64 // number of Flush calls
+	LinesFlushed int64 // cache lines written back
+	Fences       int64 // store fences
+	MaxInFlight  int64 // largest in-flight set observed at a fence
+	SimNanos     int64 // simulated elapsed nanoseconds
+}
+
+// Cost model constants (nanoseconds). Derived from the empirical guide to
+// Optane behaviour [Yang et al., FAST '20]: ~90 ns read latency, ~60 ns/line
+// write-back cost into the WPQ, fence drain on the order of 100-500 ns
+// depending on pending bytes. We use fixed per-op costs; only ratios matter.
+const (
+	costPerLoadByte   = 1  // ~64 ns/line => ~1 ns/byte
+	costPerStoreByte  = 1  // store into cache
+	costPerNTByte     = 2  // NT store streams to WPQ
+	costPerFlushLine  = 60 // clwb + write-back
+	costFenceBase     = 100
+	costStoreBase     = 5
+	costLoadBase      = 5
+	costNTBase        = 30
+	costFlushCallBase = 10
+)
+
+func costStore(n int) int64 { return costStoreBase + int64(n)*costPerStoreByte }
+func costLoad(n int) int64  { return costLoadBase + int64(n)*costPerLoadByte }
+func costNT(n int) int64    { return costNTBase + int64(n)*costPerNTByte }
+func costFlush(lines int) int64 {
+	return costFlushCallBase + int64(lines)*costPerFlushLine
+}
+func costFence() int64 { return costFenceBase }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.StoreBytes += other.StoreBytes
+	s.NTBytes += other.NTBytes
+	s.NTStores += other.NTStores
+	s.Flushes += other.Flushes
+	s.LinesFlushed += other.LinesFlushed
+	s.Fences += other.Fences
+	if other.MaxInFlight > s.MaxInFlight {
+		s.MaxInFlight = other.MaxInFlight
+	}
+	s.SimNanos += other.SimNanos
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("stores=%dB nt=%dB flushes=%d lines=%d fences=%d maxInflight=%d sim=%dns",
+		s.StoreBytes, s.NTBytes, s.Flushes, s.LinesFlushed, s.Fences, s.MaxInFlight, s.SimNanos)
+}

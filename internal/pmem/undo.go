@@ -1,0 +1,93 @@
+package pmem
+
+// UndoLog records byte ranges of a crash image before a consistency check
+// mutates them, so the image can be rolled back before the next crash state
+// is checked. Chipmunk uses this because its usability checks (create files
+// everywhere, then delete them) write to the mounted crash image; rolling
+// back is much cheaper than re-copying a whole device image for every state.
+type UndoLog struct {
+	img     []byte
+	records []undoRecord
+}
+
+type undoRecord struct {
+	off  int64
+	data []byte
+}
+
+// NewUndoLog wraps a mutable image. The log does not copy the image; it
+// captures old contents lazily as Save is called.
+func NewUndoLog(img []byte) *UndoLog {
+	return &UndoLog{img: img}
+}
+
+// Save captures the current contents of img[off:off+n] so Rollback can
+// restore them. Call before mutating the range.
+func (u *UndoLog) Save(off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	u.records = append(u.records, undoRecord{
+		off:  off,
+		data: append([]byte(nil), u.img[off:off+int64(n)]...),
+	})
+}
+
+// Len reports how many ranges have been saved since the last Rollback.
+func (u *UndoLog) Len() int { return len(u.records) }
+
+// Rollback restores all saved ranges in reverse order and clears the log.
+func (u *UndoLog) Rollback() {
+	for i := len(u.records) - 1; i >= 0; i-- {
+		r := u.records[i]
+		copy(u.img[r.off:], r.data)
+	}
+	u.records = u.records[:0]
+}
+
+// TrackingDevice wraps a Device so that every mutation is recorded in an
+// undo log against the device's volatile image; used by the checker to run
+// usability probes on a mounted crash image and then roll the image back.
+type TrackingDevice struct {
+	*Device
+	undo *UndoLog
+}
+
+// NewTrackingDevice builds a device from img whose mutations are undoable.
+// Rollback restores img (the caller's slice is the backing store).
+func NewTrackingDevice(img []byte) *TrackingDevice {
+	d := FromImage(img)
+	return &TrackingDevice{Device: d, undo: NewUndoLog(d.volatile)}
+}
+
+// Store records old bytes then delegates.
+func (t *TrackingDevice) Store(off int64, p []byte) {
+	t.undo.Save(off, len(p))
+	t.Device.Store(off, p)
+}
+
+// NTStore records old bytes then delegates.
+func (t *TrackingDevice) NTStore(off int64, p []byte) {
+	t.undo.Save(off, len(p))
+	t.Device.NTStore(off, p)
+}
+
+// Rollback restores the volatile image to its state at construction (or the
+// last Rollback) and mirrors it into the persistent image.
+func (t *TrackingDevice) Rollback() {
+	t.undo.Rollback()
+	copy(t.Device.persistent, t.Device.volatile)
+	t.Device.inflight = t.Device.inflight[:0]
+	for k := range t.Device.dirty {
+		delete(t.Device.dirty, k)
+	}
+}
+
+// UndoBytes reports how many bytes of undo state are currently held.
+func (t *TrackingDevice) UndoBytes() int64 {
+	var n int64
+	for _, r := range t.undo.records {
+		n += int64(len(r.data))
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUndoLogBasic(t *testing.T) {
+	img := []byte{1, 2, 3, 4, 5}
+	u := NewUndoLog(img)
+	u.Save(1, 2)
+	img[1], img[2] = 9, 9
+	if u.Len() != 1 {
+		t.Fatalf("len = %d", u.Len())
+	}
+	u.Rollback()
+	if !bytes.Equal(img, []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("rollback failed: %v", img)
+	}
+	if u.Len() != 0 {
+		t.Fatal("rollback did not clear log")
+	}
+}
+
+func TestUndoLogReverseOrder(t *testing.T) {
+	img := []byte{0}
+	u := NewUndoLog(img)
+	u.Save(0, 1) // saves 0
+	img[0] = 1
+	u.Save(0, 1) // saves 1
+	img[0] = 2
+	u.Rollback()
+	if img[0] != 0 {
+		t.Fatalf("overlapping undo must restore oldest value; got %d", img[0])
+	}
+}
+
+func TestUndoLogSaveZeroLength(t *testing.T) {
+	u := NewUndoLog([]byte{1})
+	u.Save(0, 0)
+	if u.Len() != 0 {
+		t.Fatal("zero-length save recorded")
+	}
+}
+
+func TestTrackingDeviceRollback(t *testing.T) {
+	img := make([]byte, 256)
+	img[0] = 0x11
+	td := NewTrackingDevice(img)
+	td.Store(0, []byte{0x22})
+	td.NTStore(64, []byte{0x33})
+	td.Flush(0, 1)
+	td.Fence()
+	if td.Load(0, 1)[0] != 0x22 {
+		t.Fatal("store not visible")
+	}
+	if td.UndoBytes() != 2 {
+		t.Fatalf("undo bytes = %d, want 2", td.UndoBytes())
+	}
+	td.Rollback()
+	if got := td.Load(0, 1)[0]; got != 0x11 {
+		t.Fatalf("rollback: byte 0 = %#x, want 0x11", got)
+	}
+	if got := td.Load(64, 1)[0]; got != 0 {
+		t.Fatalf("rollback: byte 64 = %#x, want 0", got)
+	}
+	if td.InFlightCount() != 0 {
+		t.Fatal("rollback left in-flight writes")
+	}
+	// Persistent image must match the rolled-back volatile image.
+	if !bytes.Equal(td.CrashImage(), td.VolatileImage()) {
+		t.Fatal("rollback left persistent != volatile")
+	}
+}
+
+// Property: arbitrary mutation sequences through a TrackingDevice always
+// roll back to the original image.
+func TestPropertyTrackingDeviceAlwaysRestores(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := make([]byte, 1024)
+		rng.Read(orig)
+		td := NewTrackingDevice(append([]byte(nil), orig...))
+		for i := 0; i < 25; i++ {
+			off := rng.Int63n(960)
+			buf := make([]byte, rng.Intn(48)+1)
+			rng.Read(buf)
+			switch rng.Intn(3) {
+			case 0:
+				td.Store(off, buf)
+			case 1:
+				td.NTStore(off, buf)
+			case 2:
+				td.Store(off, buf)
+				td.Flush(off, len(buf))
+				td.Fence()
+			}
+		}
+		td.Rollback()
+		return bytes.Equal(td.VolatileImage(), orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

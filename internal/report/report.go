@@ -1,0 +1,87 @@
+// Package report persists Chipmunk bug reports to disk in the layout the
+// paper's tool emits for developers: one directory per triaged cluster
+// holding the human-readable report, the reproducer program, and the
+// summary index. Reports contain everything needed to reproduce the bug
+// (Figure 1: "bug reports with enough detail to reproduce the bug").
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chipmunk/internal/core"
+	"chipmunk/internal/workload"
+)
+
+// Writer emits reports under a root directory.
+type Writer struct {
+	root string
+}
+
+// NewWriter creates (if needed) the output directory.
+func NewWriter(root string) (*Writer, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return &Writer{root: root}, nil
+}
+
+// WriteClusters persists one directory per cluster plus an index file, and
+// returns the paths written.
+func (w *Writer) WriteClusters(fsName string, clusters []*core.Cluster) ([]string, error) {
+	var paths []string
+	var index strings.Builder
+	fmt.Fprintf(&index, "# Chipmunk bug reports for %s: %d clusters\n\n", fsName, len(clusters))
+	for i, c := range clusters {
+		dir := filepath.Join(w.root, fmt.Sprintf("cluster-%03d", i+1))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		rep := renderReport(c)
+		if err := os.WriteFile(filepath.Join(dir, "report.txt"), []byte(rep), 0o644); err != nil {
+			return nil, err
+		}
+		repro := workload.Format(c.Representative.Workload)
+		if err := os.WriteFile(filepath.Join(dir, "repro.txt"), []byte(repro), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, dir)
+		fmt.Fprintf(&index, "cluster-%03d: %d reports — %s during %q\n",
+			i+1, c.Count, c.Representative.Kind, c.Representative.SysName)
+	}
+	if err := os.WriteFile(filepath.Join(w.root, "INDEX.txt"), []byte(index.String()), 0o644); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+func renderReport(c *core.Cluster) string {
+	v := c.Representative
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chipmunk bug report (%d duplicate reports triaged into this cluster)\n", c.Count)
+	fmt.Fprintf(&b, "%s\n\n", strings.Repeat("=", 68))
+	fmt.Fprintf(&b, "file system:   %s\n", v.FS)
+	fmt.Fprintf(&b, "violation:     %s\n", v.Kind)
+	fmt.Fprintf(&b, "crash point:   %s", v.Phase)
+	if v.SysName != "" {
+		fmt.Fprintf(&b, " of %s", v.SysName)
+	}
+	b.WriteString("\n")
+	if len(v.Subset) > 0 {
+		fmt.Fprintf(&b, "replayed in-flight writes (trace indices): %v\n", v.Subset)
+	}
+	fmt.Fprintf(&b, "\ndetail:\n%s\n", indent(v.Detail, "  "))
+	fmt.Fprintf(&b, "\nworkload:\n%s\n", indent(v.Workload.String(), "  "))
+	b.WriteString("\nreproduce with:\n  go run ./cmd/chipmunk -fs " + v.FS + " -bugs all -repro repro.txt\n")
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+	"chipmunk/internal/fs/nova"
+	"chipmunk/internal/persist"
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+func TestWriteClustersEndToEnd(t *testing.T) {
+	// Produce real violations from the engine.
+	cfg := core.Config{NewFS: func(pm *persist.PM) vfs.FS {
+		return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+	}}
+	w := workload.Workload{Name: "bug4", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Size: 64, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	res, err := core.Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Fatal("no violations to report")
+	}
+	clusters := core.Triage(res.Violations)
+
+	dir := t.TempDir()
+	wr, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := wr.WriteClusters("nova", clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(clusters) {
+		t.Fatalf("paths = %d, clusters = %d", len(paths), len(clusters))
+	}
+
+	// The report mentions the violation and the repro round-trips.
+	rep, err := os.ReadFile(filepath.Join(paths[0], "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nova", "atomicity", "rename", "reproduce with"} {
+		if !strings.Contains(string(rep), want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	reproSrc, err := os.ReadFile(filepath.Join(paths[0], "repro.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := workload.Parse(string(reproSrc))
+	if err != nil {
+		t.Fatalf("repro does not parse: %v\n%s", err, reproSrc)
+	}
+	// Running the parsed repro reproduces the violation.
+	res2, err := core.Run(cfg, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Buggy() {
+		t.Fatal("written repro does not reproduce the bug")
+	}
+
+	idx, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(idx), "cluster-001") {
+		t.Fatalf("index = %s", idx)
+	}
+}

@@ -1,0 +1,88 @@
+package vfs
+
+import "strings"
+
+// MaxNameLen is the maximum length of a single path component, chosen to
+// fit the fixed-size on-media directory entries used by the file systems.
+const MaxNameLen = 23
+
+// SplitPath splits an absolute path into its parent directory and final
+// component. SplitPath("/a/b") = ("/a", "b"); SplitPath("/a") = ("/", "a").
+// The root itself returns ("/", "").
+func SplitPath(path string) (dir, name string) {
+	path = Clean(path)
+	if path == "/" {
+		return "/", ""
+	}
+	i := strings.LastIndexByte(path, '/')
+	dir = path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, path[i+1:]
+}
+
+// Components returns the path components of a cleaned absolute path.
+// Components("/a/b") = ["a", "b"]; Components("/") = [].
+func Components(path string) []string {
+	path = Clean(path)
+	if path == "/" {
+		return nil
+	}
+	return strings.Split(path[1:], "/")
+}
+
+// Clean normalizes a path: ensures a leading slash, collapses duplicate
+// slashes, and strips a trailing slash (except for the root).
+func Clean(path string) string {
+	if path == "" {
+		return "/"
+	}
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+			// skip
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Join concatenates a directory and a child name.
+func Join(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// ValidName reports whether a single component is legal.
+func ValidName(name string) bool {
+	if name == "" || len(name) > MaxNameLen {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\x00")
+}
+
+// IsAncestor reports whether a is a strict ancestor directory of b
+// (used to reject rename of a directory into its own subtree).
+func IsAncestor(a, b string) bool {
+	a, b = Clean(a), Clean(b)
+	if a == b {
+		return false
+	}
+	if a == "/" {
+		return true
+	}
+	return strings.HasPrefix(b, a+"/")
+}

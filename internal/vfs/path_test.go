@@ -1,0 +1,109 @@
+package vfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	cases := map[string]string{
+		"":           "/",
+		"/":          "/",
+		"//":         "/",
+		"/a":         "/a",
+		"/a/":        "/a",
+		"a/b":        "/a/b",
+		"/a//b":      "/a/b",
+		"/a/./b":     "/a/b",
+		"/a/../b":    "/b",
+		"/../a":      "/a",
+		"/a/b/../..": "/",
+	}
+	for in, want := range cases {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct{ in, dir, name string }{
+		{"/a/b", "/a", "b"},
+		{"/a", "/", "a"},
+		{"/", "/", ""},
+		{"/a/b/c", "/a/b", "c"},
+	}
+	for _, c := range cases {
+		dir, name := SplitPath(c.in)
+		if dir != c.dir || name != c.name {
+			t.Errorf("SplitPath(%q) = (%q, %q), want (%q, %q)", c.in, dir, name, c.dir, c.name)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	if got := Components("/"); len(got) != 0 {
+		t.Errorf("Components(/) = %v", got)
+	}
+	got := Components("/a/b/c")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Components = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Components = %v", got)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if Join("/", "a") != "/a" || Join("/a", "b") != "/a/b" {
+		t.Fatal("Join wrong")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	if ValidName("") || ValidName("a/b") || ValidName(string(make([]byte, MaxNameLen+1))) {
+		t.Fatal("accepted invalid name")
+	}
+	if !ValidName("foo") || !ValidName("a.b-c_d") {
+		t.Fatal("rejected valid name")
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"/a", "/a/b", true},
+		{"/a", "/a", false},
+		{"/a", "/ab", false},
+		{"/", "/a", true},
+		{"/a/b", "/a", false},
+	}
+	for _, c := range cases {
+		if got := IsAncestor(c.a, c.b); got != c.want {
+			t.Errorf("IsAncestor(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Clean is idempotent and SplitPath+Join round-trips.
+func TestPropertyCleanIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		c := Clean(s)
+		if Clean(c) != c {
+			return false
+		}
+		if c == "/" {
+			return true
+		}
+		dir, name := SplitPath(c)
+		return Join(dir, name) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

