@@ -374,6 +374,42 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
 }
 
+// BenchmarkEngineParallel measures the in-workload crash-state worker pool
+// on an exhaustive (cap=0) data-heavy workload — the seq-2-shaped case whose
+// fences carry the largest in-flight sets. serial and workers-4 check the
+// exact same states (the differential test asserts identical Results); the
+// wall-clock ratio is the parallel speedup.
+func BenchmarkEngineParallel(b *testing.B) {
+	w := workload.Workload{Name: "parallel", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 16384, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"workers-4", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := core.Config{
+				NewFS:   func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+				Cap:     0,
+				Workers: tc.workers,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Buggy() {
+					b.Fatalf("false positives: %d", len(res.Violations))
+				}
+				b.ReportMetric(float64(res.StatesChecked), "crash-states")
+				b.ReportMetric(float64(res.StatesDeduped), "states-deduped")
+			}
+		})
+	}
+}
+
 // BenchmarkFuzzerThroughput measures fuzzing executions per second,
 // comparable to the paper's 270-CPU-hour campaigns in rate terms.
 func BenchmarkFuzzerThroughput(b *testing.B) {

@@ -5,22 +5,25 @@
 //	chipmunk -fs nova -bugs all -suite seq2     # as-published NOVA, all pairs
 //	chipmunk -fs pmfs -bugs 13,16 -suite seq1   # selected injected bugs
 //	chipmunk -fs ext4-dax -suite seq1dax        # weak system, fsync-gated
+//	chipmunk -fs nova -suite seq2 -j 8          # suite sharded across workers
+//	chipmunk -fs nova -suite seq1 -workers 4    # crash states checked in parallel
 //
 // The -bugs flag selects which of the paper's Table 1 bugs are injected:
 // "none" (the fixed systems, default), "all" (as published), or a
-// comma-separated ID list.
+// comma-separated ID list. Ctrl-C cancels the run and prints the partial
+// census.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 	"time"
 
 	"chipmunk/internal/ace"
-	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
 	"chipmunk/internal/report"
@@ -29,22 +32,20 @@ import (
 
 func main() {
 	var (
-		fsName  = flag.String("fs", "nova", "file system: nova, nova-fortis, pmfs, winefs, splitfs, ext4-dax, xfs-dax")
-		bugSpec = flag.String("bugs", "none", `injected bugs: "none", "all", or comma-separated IDs (e.g. "4,5")`)
+		spec    = harness.BindFlags(flag.CommandLine, "nova", "none", 0)
 		suite   = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
-		cap     = flag.Int("cap", 0, "max in-flight writes replayed per crash state (0 = exhaustive)")
 		max     = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
 		verbose = flag.Bool("v", false, "print every violation")
 		stopOne = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
 		repro   = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
-		jobs    = flag.Int("j", 1, "parallel workers (like the paper's VM sharding; disables progress/stop-on-bug)")
+		jobs    = flag.Int("j", 1, "suite-level workers (like the paper's VM sharding; 0 = all cores)")
 		outDir  = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
 	)
 	flag.Parse()
 
-	sys, err := harness.SystemByName(*fsName)
+	opts, err := spec.Options()
 	fatalIf(err)
-	set, err := parseBugs(*bugSpec)
+	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
 	var suiteWs []workload.Workload
 	if *repro != "" {
@@ -65,63 +66,57 @@ func main() {
 		suiteWs = suiteWs[:*max]
 	}
 
-	cfg := harness.ConfigFor(sys, set, *cap)
 	fmt.Printf("chipmunk: %s (bugs %s), suite %s: %d workloads, cap=%d\n",
-		sys.Name, set, *suite, len(suiteWs), *cap)
+		sys.Name, opts.Bugs, *suite, len(suiteWs), opts.Cap)
 
-	if *jobs > 1 {
-		census, viol, err := harness.RunSuiteParallel(cfg, suiteWs, *jobs)
-		fatalIf(err)
-		clusters := core.Triage(viol)
-		fmt.Printf("\ndone: %d workloads, %d crash states, %v (x%d workers)\n",
-			census.Workloads, census.StatesChecked, census.Elapsed.Round(time.Millisecond), *jobs)
-		fmt.Printf("reports: %d; triaged clusters: %d\n", len(viol), len(clusters))
-		for i, c := range clusters {
-			fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
-		}
-		writeReports(*outDir, sys.Name, clusters)
-		if len(viol) > 0 {
-			os.Exit(1)
-		}
-		return
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runOpts := []harness.Option{harness.WithWorkers(*jobs)}
+	if *stopOne {
+		runOpts = append(runOpts, harness.WithStopOnFirstBug())
 	}
+	lastBugs := 0
+	runOpts = append(runOpts, harness.WithProgress(func(done, total int, c harness.Census) {
+		if *verbose && c.Violations > lastBugs {
+			lastBugs = c.Violations
+			fmt.Printf("  BUG count now %d after %d/%d workloads\n", c.Violations, done, total)
+		}
+		if done%500 == 0 {
+			fmt.Printf("  ... %d/%d workloads, %d crash states (%d deduped)\n",
+				done, total, c.StatesChecked, c.StatesDeduped)
+		}
+	}))
 
-	start := time.Now()
-	var states, buggyWorkloads int
-	var all []core.Violation
-	for i, w := range suiteWs {
-		res, err := core.Run(cfg, w)
+	census, viol, err := harness.Run(ctx, cfg, suiteWs, runOpts...)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fatalIf(err)
-		states += res.StatesChecked
-		if res.Buggy() {
-			buggyWorkloads++
-			all = append(all, res.Violations...)
-			if *verbose {
-				for _, v := range res.Violations {
-					fmt.Printf("\n%s\n", v)
-				}
-			} else {
-				fmt.Printf("  BUG on %s: %s (%s)\n", w.Name, res.Violations[0].Kind, res.Violations[0].SysName)
-			}
-			if *stopOne {
-				break
-			}
-		}
-		if (i+1)%500 == 0 {
-			fmt.Printf("  ... %d/%d workloads, %d crash states\n", i+1, len(suiteWs), states)
-		}
 	}
-	elapsed := time.Since(start)
+	interrupted := errors.Is(err, context.Canceled)
 
-	clusters := core.Triage(all)
-	fmt.Printf("\ndone: %d workloads, %d crash states, %v\n", len(suiteWs), states, elapsed.Round(time.Millisecond))
-	fmt.Printf("violating workloads: %d; reports: %d; triaged clusters: %d\n", buggyWorkloads, len(all), len(clusters))
+	clusters := core.Triage(viol)
+	status := "done"
+	if interrupted {
+		status = "interrupted (partial census)"
+	}
+	fmt.Printf("\n%s: %d workloads, %d crash states (%d deduped, %d truncated fences), %v (j=%d, workers=%d)\n",
+		status, census.Workloads, census.StatesChecked, census.StatesDeduped,
+		census.TruncatedFences, census.Elapsed.Round(time.Millisecond), *jobs, opts.Workers)
+	fmt.Printf("reports: %d; triaged clusters: %d\n", len(viol), len(clusters))
 	for i, c := range clusters {
-		fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
+		if *verbose {
+			fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
+		} else {
+			fmt.Printf("cluster %d (%d reports): %s (%s)\n",
+				i+1, c.Count, c.Representative.Kind, c.Representative.SysName)
+		}
 	}
 	writeReports(*outDir, sys.Name, clusters)
-	if len(all) > 0 {
+	if len(viol) > 0 {
 		os.Exit(1)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 
@@ -135,27 +130,6 @@ func writeReports(dir, fsName string, clusters []*core.Cluster) {
 	paths, err := wr.WriteClusters(fsName, clusters)
 	fatalIf(err)
 	fmt.Printf("\nwrote %d report directories under %s\n", len(paths), dir)
-}
-
-func parseBugs(spec string) (bugs.Set, error) {
-	switch spec {
-	case "none", "":
-		return bugs.None(), nil
-	case "all":
-		return bugs.AllSet(), nil
-	}
-	set := bugs.Set{}
-	for _, part := range strings.Split(spec, ",") {
-		id, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad bug id %q", part)
-		}
-		if _, ok := bugs.Lookup(bugs.ID(id)); !ok {
-			return nil, fmt.Errorf("unknown bug id %d", id)
-		}
-		set = set.With(bugs.ID(id))
-	}
-	return set, nil
 }
 
 func pickSuite(name string) ([]workload.Workload, error) {

@@ -5,18 +5,18 @@
 //
 // It mutates workloads under trace-shape coverage feedback, runs each
 // through the Chipmunk engine with the paper's cap of two replayed writes
-// per crash state, and prints the triaged bug-report clusters.
+// per crash state, and prints the triaged bug-report clusters. Ctrl-C stops
+// the campaign early and reports what was found so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 	"time"
 
-	"chipmunk/internal/bugs"
 	"chipmunk/internal/fuzz"
 	"chipmunk/internal/harness"
 	"chipmunk/internal/report"
@@ -25,23 +25,20 @@ import (
 
 func main() {
 	var (
-		fsName   = flag.String("fs", "nova", "file system under test")
-		bugSpec  = flag.String("bugs", "all", `injected bugs: "none", "all", or comma-separated IDs`)
+		spec     = harness.BindFlags(flag.CommandLine, "nova", "all", 2)
 		execs    = flag.Int("execs", 500, "number of fuzzer executions")
 		seed     = flag.Int64("seed", 1, "fuzzer RNG seed")
-		cap      = flag.Int("cap", 2, "crash-state write cap (paper uses 2 for fuzzing)")
 		minimize = flag.Bool("minimize", true, "minimize each cluster's reproducer workload")
 		outDir   = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
 		corpus   = flag.String("corpus", "", "load seeds from / save the corpus to this directory")
 	)
 	flag.Parse()
 
-	sys, err := harness.SystemByName(*fsName)
+	opts, err := spec.Options()
 	fatalIf(err)
-	set, err := parseBugs(*bugSpec)
+	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
 
-	cfg := harness.ConfigFor(sys, set, *cap)
 	var seeds []workload.Workload
 	if *corpus != "" {
 		if loaded, skipped, err := fuzz.LoadCorpus(*corpus); err == nil {
@@ -54,15 +51,24 @@ func main() {
 	}
 	fz := fuzz.New(cfg, *seed, seeds)
 	fmt.Printf("chipmunkfuzz: %s (bugs %s), %d execs, cap=%d, seed=%d\n",
-		sys.Name, set, *execs, *cap, *seed)
+		sys.Name, opts.Bugs, *execs, opts.Cap, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
+	ran := 0
 	for i := 0; i < *execs; i++ {
+		if ctx.Err() != nil {
+			fmt.Printf("\ninterrupted after %d execs\n", ran)
+			break
+		}
 		_, _, err := fz.Step()
 		fatalIf(err)
-		if (i+1)%100 == 0 {
+		ran++
+		if ran%100 == 0 {
 			fmt.Printf("  %5d execs | corpus %4d | coverage %5d | states %8d | clusters %d\n",
-				i+1, fz.CorpusSize(), fz.CoverageSize(), fz.StatesChecked, len(fz.Clusters))
+				ran, fz.CorpusSize(), fz.CoverageSize(), fz.StatesChecked, len(fz.Clusters))
 		}
 	}
 	fmt.Printf("\ndone in %v: %d crash states checked, %d reports in %d clusters\n",
@@ -93,27 +99,6 @@ func main() {
 	if len(fz.Violations) > 0 {
 		os.Exit(1)
 	}
-}
-
-func parseBugs(spec string) (bugs.Set, error) {
-	switch spec {
-	case "none", "":
-		return bugs.None(), nil
-	case "all":
-		return bugs.AllSet(), nil
-	}
-	set := bugs.Set{}
-	for _, part := range strings.Split(spec, ",") {
-		id, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad bug id %q", part)
-		}
-		if _, ok := bugs.Lookup(bugs.ID(id)); !ok {
-			return nil, fmt.Errorf("unknown bug id %d", id)
-		}
-		set = set.With(bugs.ID(id))
-	}
-	return set, nil
 }
 
 func fatalIf(err error) {

@@ -9,9 +9,14 @@
 //	experiments coalesce          # §3.2 write-coalescing state explosion
 //	experiments perf              # §5.1 Obs 2: rename/link fix overheads
 //	experiments all               # everything
+//
+// Shared flags: -cap bounds replayed subset sizes for the detection runs
+// (0 = exhaustive) and -workers sets the engine's in-workload crash-state
+// worker count (<= 1 = serial).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -28,10 +33,16 @@ import (
 	"chipmunk/internal/workload"
 )
 
+var (
+	capFlag = flag.Int("cap", 0, "crash-state write cap for detection runs (0 = exhaustive)")
+	workers = flag.Int("workers", 0, "in-workload crash-state workers (<= 1 = serial)")
+)
+
 func main() {
+	flag.Parse()
 	what := "all"
-	if len(os.Args) > 1 {
-		what = os.Args[1]
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
 	}
 	run := map[string]func() error{
 		"table1":   table1,
@@ -65,7 +76,7 @@ func header(s string) {
 
 func table1() error {
 	header("Table 1 — bugs found by Chipmunk (targeted workloads, exhaustive replay)")
-	rows, err := harness.RunTable1(harness.DetectOptions{})
+	rows, err := harness.RunTable1(harness.DetectOptions{Cap: *capFlag, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -93,7 +104,7 @@ func table2() error {
 func fig3() error {
 	header("Figure 3 — cumulative time to find bugs: ACE vs fuzzer")
 	fmt.Println("running per-bug ACE scans (bounded at 600 workloads/bug)...")
-	acePts, err := harness.Fig3ACE(600, harness.DetectOptions{Cap: 2})
+	acePts, err := harness.Fig3ACE(600, harness.DetectOptions{Cap: 2, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -171,7 +182,7 @@ func coalesce() error {
 		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 1024, Seed: 1},
 	}}
 	sys, _ := harness.SystemByName("nova")
-	cfg := harness.ConfigFor(sys, bugs.None(), 0)
+	cfg := harness.Options{Bugs: bugs.None()}.ConfigFor(sys)
 	cfg.TraceStores = true
 	res, err := core.Run(cfg, w)
 	if err != nil {

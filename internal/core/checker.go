@@ -11,45 +11,44 @@ import (
 	"chipmunk/internal/workload"
 )
 
-// check mounts the target file system on one crash state and applies the
-// consistency checks of §3.3: mountability, oracle comparison (synchrony
+// checkState mounts the target file system on one crash state and applies
+// the consistency checks of §3.3: mountability, oracle comparison (synchrony
 // for post-syscall states, atomicity for mid-syscall states), and the
-// usability probe. The first failed check produces the state's report.
-func (ck *checker) check(img []byte, ctx crashCtx) {
-	ck.res.StatesChecked++
-	dev := pmem.FromImage(img)
+// usability probe. The first failed check produces the state's violation
+// (nil when the state is legal). The volatile and persistent buffers are
+// caller-owned (pooled) and identical on entry; checkState is goroutine-safe
+// because every mutation lands on this call's private device.
+func (ck *checker) checkState(volatile, persistent []byte, ctx crashCtx) *Violation {
+	dev := pmem.WrapImages(volatile, persistent)
 	fs := ck.cfg.NewFS(persist.New(dev))
 
 	if err := fs.Mount(); err != nil {
-		ck.report(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err))
-		return
+		return ck.violation(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err))
 	}
 	st, err := vfs.Capture(fs)
 	if err != nil {
-		ck.report(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err))
-		return
+		return ck.violation(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err))
 	}
 
 	switch ctx.phase {
 	case PhasePost:
 		if ctx.oracleIdx >= 0 && ctx.oracleIdx < len(ck.states) {
 			if d := vfs.Diff(st, ck.states[ctx.oracleIdx]); d != "" {
-				ck.report(ctx, VSynchrony, d)
-				return
+				return ck.violation(ctx, VSynchrony, d)
 			}
 		}
 	case PhaseMid:
 		if detail := ck.checkAtomic(st, ctx); detail != "" {
-			ck.report(ctx, VAtomicity, detail)
-			return
+			return ck.violation(ctx, VAtomicity, detail)
 		}
 	}
 
 	if !ck.cfg.SkipUsability {
 		if detail := ck.usability(fs, st); detail != "" {
-			ck.report(ctx, VUsability, detail)
+			return ck.violation(ctx, VUsability, detail)
 		}
 	}
+	return nil
 }
 
 // checkAtomic validates a mid-syscall crash state: every file the call
@@ -284,17 +283,13 @@ func (ck *checker) recoveryReadSet(img []byte) *persist.ReadSet {
 	return reads
 }
 
-// report records a violation (bounded; overflow is counted).
-func (ck *checker) report(ctx crashCtx, kind ViolationKind, detail string) {
-	if len(ck.res.Violations) >= maxViolationsPerRun {
-		ck.res.SuppressedViolations++
-		return
-	}
+// violation builds (but does not record) the report for one failed check.
+func (ck *checker) violation(ctx crashCtx, kind ViolationKind, detail string) *Violation {
 	sysName := ""
 	if ctx.sys >= 0 && ctx.sys < len(ck.w.Ops) {
 		sysName = ck.w.Ops[ctx.sys].String()
 	}
-	ck.res.Violations = append(ck.res.Violations, Violation{
+	return &Violation{
 		FS:       ck.caps.Name,
 		Workload: ck.w,
 		Syscall:  ctx.sys,
@@ -303,5 +298,21 @@ func (ck *checker) report(ctx crashCtx, kind ViolationKind, detail string) {
 		Subset:   ctx.subset,
 		Kind:     kind,
 		Detail:   detail,
-	})
+	}
+}
+
+// reportViolation records a violation (bounded; overflow is counted).
+// Coordinator-only: parallel workers return violations to the coordinator,
+// which appends them in subset-rank order.
+func (ck *checker) reportViolation(v Violation) {
+	if len(ck.res.Violations) >= maxViolationsPerRun {
+		ck.res.SuppressedViolations++
+		return
+	}
+	ck.res.Violations = append(ck.res.Violations, v)
+}
+
+// report records a violation for the given crash context (bounded).
+func (ck *checker) report(ctx crashCtx, kind ViolationKind, detail string) {
+	ck.reportViolation(*ck.violation(ctx, kind, detail))
 }

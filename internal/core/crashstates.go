@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"chipmunk/internal/trace"
 	"chipmunk/internal/vfs"
@@ -20,15 +25,36 @@ type crashCtx struct {
 // silently dropped.
 const maxViolationsPerRun = 200
 
+// parallelThreshold is the minimum number of distinct crash states at one
+// fence worth dispatching to the worker pool; below it the coordinator
+// checks inline. The threshold never changes results, only scheduling.
+const parallelThreshold = 4
+
 type checker struct {
+	ctx    context.Context // nil behaves as Background (bare test checkers)
 	cfg    Config
 	caps   vfs.Caps
 	w      workload.Workload
 	res    *Result
 	states []vfs.State
 
+	// scratch is the coordinator-only buffer state-key computation
+	// materializes written ranges into; workers use pooled buffers.
 	scratch []byte
+	keyBuf  []byte
+	spans   []span
+	pool    sync.Pool
 }
+
+func (ck *checker) cancelled() error {
+	if ck.ctx == nil {
+		return nil
+	}
+	return ck.ctx.Err()
+}
+
+// span is a half-open byte interval [lo, hi) on the device.
+type span struct{ lo, hi int64 }
 
 // walk replays the trace, generating crash states at every fence and after
 // every system call (§3.3 "Constructing crash states").
@@ -39,9 +65,10 @@ type checker struct {
 // always checked because it is the next persistent base. Crash points after
 // system calls use the current persistent image: writes that were never
 // fenced are — correctly — absent, which is how missing-fence bugs surface.
-func (ck *checker) walk(baseline []byte, log *trace.Log) {
+func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 	img := append([]byte(nil), baseline...)
 	ck.scratch = make([]byte, len(img))
+	ck.pool.New = func() any { return make([]byte, len(img)) }
 	var pending []int
 	lastDone := -1
 	sig := fnv.New64a()
@@ -71,7 +98,9 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) {
 			ck.res.Fences++
 			ck.noteInFlight(len(pending))
 			if len(pending) > 0 && ck.caps.Strong && !ck.cfg.PostOnly {
-				ck.enumerate(img, log, pending, e.Sys, lastDone)
+				if err := ck.enumerate(img, log, pending, e.Sys, lastDone); err != nil {
+					return err
+				}
 			}
 			for _, idx := range pending {
 				trace.Apply(img, log.At(idx))
@@ -80,10 +109,17 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) {
 		case trace.KindSyscallEnd:
 			lastDone = e.Sys
 			if ck.shouldCheckPost(e.Sys) {
-				ck.check(img, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
+				if err := ck.cancelled(); err != nil {
+					return err
+				}
+				ck.res.StatesChecked++
+				if v := ck.checkOne(img, log, nil, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1}); v != nil {
+					ck.reportViolation(*v)
+				}
 			}
 		}
 	}
+	return nil
 }
 
 // shouldCheckPost selects post-syscall crash points: every call for strong
@@ -103,8 +139,10 @@ func (ck *checker) shouldCheckPost(sys int) bool {
 	}
 }
 
-// enumerate generates and checks the crash states of one fence.
-func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, lastDone int) {
+// enumerate generates the crash states of one fence, deduplicates subsets
+// that materialize byte-identical images, and checks the distinct ones —
+// serially or across the worker pool, with identical results either way.
+func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, lastDone int) error {
 	full := pending
 	if ck.cfg.VinterFilter {
 		reads := ck.recoveryReadSet(img)
@@ -118,14 +156,6 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 			}
 		}
 		pending = kept
-		if len(pending) == 0 {
-			// Nothing recovery-relevant in flight; still check the
-			// post-fence state (the full set).
-			ctx := fenceCtx(sys, lastDone)
-			fullSet := append([]int(nil), full...)
-			ck.checkSubset(img, log, fullSet, ctx)
-			return
-		}
 	}
 	n := len(pending)
 	cap := ck.cfg.Cap
@@ -147,15 +177,168 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 
 	ctx := fenceCtx(sys, lastDone)
 
+	// Enumerate candidate subsets in canonical rank order: size ascending,
+	// lexicographic within a size, the full set last when not already the
+	// final combination. Rank order is the serial checking order, so the
+	// parallel path can restore it when merging results.
+	var subsets [][]int
 	subset := make([]int, 0, n)
+	collect := func(s []int) {
+		subsets = append(subsets, append([]int(nil), s...))
+	}
 	for size := 1; size <= cap; size++ {
-		ck.combinations(img, log, pending, subset, 0, size, ctx)
+		combinations(pending, subset, 0, size, collect)
 	}
 	if cap < n || len(full) != len(pending) {
-		// The full set is the next persistent base; always check it.
-		fullSet := append([]int(nil), full...)
-		ck.checkSubset(img, log, fullSet, ctx)
+		// The full set is the next persistent base; always check it
+		// (including when the Vinter filter kept nothing in flight).
+		subsets = append(subsets, append([]int(nil), full...))
 	}
+
+	// Dedup: drop subsets whose materialized image is byte-identical to one
+	// already queued at this crash point. The key is the exact diff against
+	// the base image, so equal keys mean equal images — no hash collisions,
+	// no silently skipped distinct states.
+	seen := make(map[string]struct{}, len(subsets))
+	distinct := subsets[:0]
+	for _, s := range subsets {
+		k := ck.stateKey(img, log, s)
+		if _, dup := seen[k]; dup {
+			ck.res.StatesDeduped++
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct = append(distinct, s)
+	}
+
+	return ck.runChecks(img, log, distinct, ctx)
+}
+
+// runChecks materializes and checks each distinct subset, inline or across
+// Workers goroutines. Violations are reported in subset-rank order either
+// way, and StatesChecked counts exactly the states whose check completed.
+func (ck *checker) runChecks(img []byte, log *trace.Log, distinct [][]int, cctx crashCtx) error {
+	workers := ck.cfg.Workers
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	if workers <= 1 || len(distinct) < parallelThreshold {
+		for _, s := range distinct {
+			if err := ck.cancelled(); err != nil {
+				return err
+			}
+			ck.res.StatesChecked++
+			if v := ck.checkOne(img, log, s, cctx); v != nil {
+				ck.reportViolation(*v)
+			}
+		}
+		return nil
+	}
+
+	results := make([]*Violation, len(distinct))
+	var next, done int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ck.cancelled() == nil {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= len(distinct) {
+					return
+				}
+				results[j] = ck.checkOne(img, log, distinct[j], cctx)
+				atomic.AddInt64(&done, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	ck.res.StatesChecked += int(done)
+	for _, v := range results {
+		if v != nil {
+			ck.reportViolation(*v)
+		}
+	}
+	return ck.cancelled()
+}
+
+// checkOne materializes base-image + subset into pooled buffers, builds a
+// private device over them, and checks the state. Safe to call from worker
+// goroutines: everything it touches is either read-only (img, log, oracle
+// states, config) or private to the call.
+func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crashCtx) *Violation {
+	persistent := ck.pool.Get().([]byte)
+	volatile := ck.pool.Get().([]byte)
+	defer func() {
+		ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
+		ck.pool.Put(volatile)   //nolint:staticcheck
+	}()
+	copy(persistent, img)
+	for _, idx := range subset {
+		trace.Apply(persistent, log.At(idx))
+	}
+	copy(volatile, persistent)
+	cctx.subset = subset
+	return ck.checkState(volatile, persistent, cctx)
+}
+
+// stateKey returns a canonical fingerprint of the crash image base+subset
+// materializes: the exact byte runs where that image differs from base,
+// encoded as (offset, length, bytes) records. Two subsets produce identical
+// crash images if and only if their keys are equal. Coordinator-only (it
+// reuses ck.scratch).
+func (ck *checker) stateKey(base []byte, log *trace.Log, subset []int) string {
+	// Collect and merge the written intervals.
+	spans := ck.spans[:0]
+	for _, idx := range subset {
+		e := log.At(idx)
+		if len(e.Data) == 0 {
+			continue
+		}
+		spans = append(spans, span{e.Off, e.Off + int64(len(e.Data))})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	merged := spans[:0]
+	for _, s := range spans {
+		if len(merged) > 0 && s.lo <= merged[len(merged)-1].hi {
+			if s.hi > merged[len(merged)-1].hi {
+				merged[len(merged)-1].hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	ck.spans = merged
+
+	// Materialize the written ranges over the base bytes, in program order
+	// (ascending log index — the same last-writer-wins order replay uses).
+	for _, s := range merged {
+		copy(ck.scratch[s.lo:s.hi], base[s.lo:s.hi])
+	}
+	for _, idx := range subset {
+		trace.Apply(ck.scratch, log.At(idx))
+	}
+
+	// Emit the differing runs.
+	key := ck.keyBuf[:0]
+	for _, s := range merged {
+		for i := s.lo; i < s.hi; {
+			if ck.scratch[i] == base[i] {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < s.hi && ck.scratch[j] != base[j] {
+				j++
+			}
+			key = binary.BigEndian.AppendUint64(key, uint64(i))
+			key = binary.BigEndian.AppendUint32(key, uint32(j-i))
+			key = append(key, ck.scratch[i:j]...)
+			i = j
+		}
+	}
+	ck.keyBuf = key
+	return string(key)
 }
 
 // fenceCtx builds the crash context for a fence inside syscall sys (or
@@ -167,25 +350,16 @@ func fenceCtx(sys, lastDone int) crashCtx {
 	return crashCtx{phase: PhaseMid, sys: sys, oracleIdx: sys}
 }
 
-// combinations enumerates size-k subsets of pending[from:] recursively.
-func (ck *checker) combinations(img []byte, log *trace.Log, pending, subset []int, from, size int, ctx crashCtx) {
+// combinations enumerates size-k subsets of pending[from:] recursively,
+// passing each to emit in lexicographic order.
+func combinations(pending, subset []int, from, size int, emit func([]int)) {
 	if size == 0 {
-		ck.checkSubset(img, log, subset, ctx)
+		emit(subset)
 		return
 	}
 	for i := from; i <= len(pending)-size; i++ {
-		ck.combinations(img, log, pending, append(subset, pending[i]), i+1, size-1, ctx)
+		combinations(pending, append(subset, pending[i]), i+1, size-1, emit)
 	}
-}
-
-// checkSubset materializes base-image + subset and checks it.
-func (ck *checker) checkSubset(img []byte, log *trace.Log, subset []int, ctx crashCtx) {
-	copy(ck.scratch, img)
-	for _, idx := range subset {
-		trace.Apply(ck.scratch, log.At(idx))
-	}
-	ctx.subset = append([]int(nil), subset...)
-	ck.check(ck.scratch, ctx)
 }
 
 func (ck *checker) noteInFlight(n int) {

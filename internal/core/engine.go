@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"chipmunk/internal/fs/memfs"
@@ -39,6 +40,12 @@ type Config struct {
 	// Cap bounds the size of replayed in-flight subsets (0 = exhaustive,
 	// the setting used for ACE runs; the paper uses 2 for fuzzing).
 	Cap int
+	// Workers is the number of goroutines checking crash states inside one
+	// engine run (<= 1 = serial) — the in-process analogue of the paper's
+	// VM farm (§4.2), applied at the fence level. Results are guaranteed
+	// byte-identical to a serial run: subsets are enumerated, deduplicated,
+	// and reported in canonical rank order regardless of worker count.
+	Workers int
 	// TraceStores enables instruction-level tracing (the Yat/Vinter-style
 	// ablation); the engine ignores KindStore entries, so this only adds
 	// overhead and statistics.
@@ -136,6 +143,11 @@ type Result struct {
 	StatesChecked   int
 	Fences          int
 	TruncatedFences int
+	// StatesDeduped counts fence subsets whose replayed crash image was
+	// byte-identical to one already checked at the same crash point and
+	// were therefore skipped. Like TruncatedFences, skipping is never
+	// silent: every deduplicated state is counted here.
+	StatesDeduped int
 	// InFlightCounts histograms the in-flight set size at each fence
 	// (Observation 7 / §3.2 measurements).
 	InFlightCounts []int
@@ -161,7 +173,19 @@ type Result struct {
 func (r *Result) Buggy() bool { return len(r.Violations) > 0 }
 
 // Run executes the full Chipmunk pipeline for one workload.
+//
+// Deprecated: use RunContext, which supports cancellation and deadlines.
 func Run(cfg Config, w workload.Workload) (*Result, error) {
+	return RunContext(context.Background(), cfg, w)
+}
+
+// RunContext executes the full Chipmunk pipeline for one workload. The
+// context cancels the run between crash-state checks; a cancelled run
+// returns ctx's error and no result.
+func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	devSize := cfg.DevSize
 	if devSize == 0 {
 		devSize = DefaultDevSize
@@ -231,7 +255,9 @@ func Run(cfg Config, w workload.Workload) (*Result, error) {
 	}
 
 	// --- Crash-state construction and checking.
-	ck := &checker{cfg: cfg, caps: caps, w: w, states: states, res: res}
-	ck.walk(baseline, log)
+	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, states: states, res: res}
+	if err := ck.walk(baseline, log); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/workload"
+)
+
+// heavyWorkload is a seq-2-shaped data workload whose fences carry large
+// in-flight sets under exhaustive (cap=0) enumeration.
+func heavyWorkload() workload.Workload {
+	return workload.Workload{Name: "heavy", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 16384, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+}
+
+// TestParallelWorkersIdenticalResult is the core-level differential check:
+// worker counts 1, 2, 4, and 8 must all produce identical results on the
+// same workload (the harness-level test covers all seven systems).
+func TestParallelWorkersIdenticalResult(t *testing.T) {
+	w := heavyWorkload()
+	base := mustRun(t, Config{NewFS: novaFS(bugs.None()), Workers: 1}, w)
+	for _, workers := range []int{2, 4, 8} {
+		res := mustRun(t, Config{NewFS: novaFS(bugs.None()), Workers: workers}, w)
+		if res.StatesChecked != base.StatesChecked || res.StatesDeduped != base.StatesDeduped ||
+			res.Fences != base.Fences || res.TruncatedFences != base.TruncatedFences ||
+			len(res.Violations) != len(base.Violations) {
+			t.Errorf("workers=%d: result diverged from serial: %+v vs %+v", workers, res, base)
+		}
+	}
+}
+
+// TestParallelFindsInjectedBug: the worker pool reports the same violations,
+// in the same order, as the serial engine on a buggy run.
+func TestParallelFindsInjectedBug(t *testing.T) {
+	w := workload.Workload{Name: "rename-bug", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 4096, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	set := bugs.Of(bugs.NovaRenameInPlaceDelete)
+	ser := mustRun(t, Config{NewFS: novaFS(set), Workers: 1}, w)
+	par := mustRun(t, Config{NewFS: novaFS(set), Workers: 4}, w)
+	if !ser.Buggy() || !par.Buggy() {
+		t.Fatalf("bug 4 not found: serial %d, parallel %d violations",
+			len(ser.Violations), len(par.Violations))
+	}
+	if len(ser.Violations) != len(par.Violations) {
+		t.Fatalf("violation counts differ: %d vs %d", len(ser.Violations), len(par.Violations))
+	}
+	for i := range ser.Violations {
+		if ser.Violations[i].String() != par.Violations[i].String() {
+			t.Errorf("violation %d differs:\nserial:   %s\nparallel: %s",
+				i, ser.Violations[i], par.Violations[i])
+		}
+	}
+}
+
+// TestRunContextCancelDuringWalk: cancelling mid-run aborts the crash-state
+// walk promptly and returns the context error.
+func TestRunContextCancelDuringWalk(t *testing.T) {
+	w := heavyWorkload()
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunContext(ctx, Config{NewFS: novaFS(bugs.None()), Workers: workers}, w)
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestParallelSpeedup measures wall-clock speedup of the worker pool. It
+// needs real cores: a single-CPU machine interleaves the workers without
+// speeding anything up, so the assertion is gated on NumCPU.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement is slow in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to measure parallel speedup, have %d", runtime.NumCPU())
+	}
+	w := heavyWorkload()
+	cfgSerial := Config{NewFS: novaFS(bugs.None()), Workers: 1}
+	cfgPar := Config{NewFS: novaFS(bugs.None()), Workers: 4}
+	// Warm up (page in code, fill the buffer pools), then time a few rounds.
+	mustRun(t, cfgSerial, w)
+	mustRun(t, cfgPar, w)
+	const rounds = 5
+	var serial, parallel time.Duration
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		mustRun(t, cfgSerial, w)
+		serial += time.Since(t0)
+		t0 = time.Now()
+		mustRun(t, cfgPar, w)
+		parallel += time.Since(t0)
+	}
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, workers-4 %v, speedup %.2fx", serial/rounds, parallel/rounds, speedup)
+	if speedup < 1.5 {
+		t.Errorf("4-worker speedup %.2fx < 1.5x on a %d-CPU machine", speedup, runtime.NumCPU())
+	}
+}

@@ -30,6 +30,15 @@ type DetectOptions struct {
 	Cap int
 	// PostOnly restricts crash points to syscall boundaries (Obs 5).
 	PostOnly bool
+	// Workers is the in-engine crash-state worker count (<= 1 = serial).
+	Workers int
+}
+
+// config builds the engine Config for one detection run.
+func (o DetectOptions) config(sys System, set bugs.Set) core.Config {
+	cfg := Options{Bugs: set, Cap: o.Cap, Workers: o.Workers}.ConfigFor(sys)
+	cfg.PostOnly = o.PostOnly
+	return cfg
 }
 
 // DetectWithTargeted checks whether the generic checker flags the bug on
@@ -43,8 +52,7 @@ func DetectWithTargeted(id bugs.ID, opts DetectOptions) (Detection, error) {
 	if err != nil {
 		return Detection{}, err
 	}
-	cfg := ConfigFor(sys, bugs.Of(id), opts.Cap)
-	cfg.PostOnly = opts.PostOnly
+	cfg := opts.config(sys, bugs.Of(id))
 	det := Detection{Bug: info, System: sys.Name}
 	start := time.Now()
 	for _, w := range TargetedWorkloads(id) {
@@ -77,8 +85,7 @@ func VerifyFixedClean(id bugs.ID, opts DetectOptions) ([]core.Violation, error) 
 	if err != nil {
 		return nil, err
 	}
-	cfg := ConfigFor(sys, bugs.None(), opts.Cap)
-	cfg.PostOnly = opts.PostOnly
+	cfg := opts.config(sys, bugs.None())
 	var out []core.Violation
 	for _, w := range TargetedWorkloads(id) {
 		res, err := core.Run(cfg, w)
@@ -102,8 +109,7 @@ func DetectWithACE(id bugs.ID, maxWorkloads int, opts DetectOptions) (Detection,
 	if err != nil {
 		return Detection{}, err
 	}
-	cfg := ConfigFor(sys, bugs.Of(id), opts.Cap)
-	cfg.PostOnly = opts.PostOnly
+	cfg := opts.config(sys, bugs.Of(id))
 	det := Detection{Bug: info, System: sys.Name}
 	start := time.Now()
 
@@ -156,7 +162,7 @@ func DetectWithFuzzer(id bugs.ID, seed int64, maxExecs int) (Detection, error) {
 	if err != nil {
 		return Detection{}, err
 	}
-	cfg := ConfigFor(sys, bugs.Of(id), 2)
+	cfg := Options{Bugs: bugs.Of(id), Cap: 2}.ConfigFor(sys)
 	det := Detection{Bug: info, System: sys.Name}
 	start := time.Now()
 	fz := fuzz.New(cfg, seed, nil)

@@ -8,7 +8,6 @@ import (
 
 	"chipmunk/internal/ace"
 	"chipmunk/internal/bugs"
-	"chipmunk/internal/core"
 	"chipmunk/internal/workload"
 )
 
@@ -250,46 +249,17 @@ type Census struct {
 	System        string
 	Workloads     int
 	StatesChecked int
-	Fences        int
-	MaxInFlight   int
-	AvgInFlight   float64
-	Violations    int
-	Elapsed       time.Duration
-}
-
-// RunSuite runs a workload suite against a system configuration and
-// aggregates statistics. It fails fast on engine errors but accumulates
-// violations (the caller decides what they mean).
-func RunSuite(cfg core.Config, suite []workload.Workload) (*Census, []core.Violation, error) {
-	c := &Census{}
-	var viol []core.Violation
-	start := time.Now()
-	var inflightSum, inflightN int
-	for _, w := range suite {
-		res, err := core.Run(cfg, w)
-		if err != nil {
-			return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
-		}
-		c.Workloads++
-		c.StatesChecked += res.StatesChecked
-		c.Fences += res.Fences
-		if res.MaxInFlight > c.MaxInFlight {
-			c.MaxInFlight = res.MaxInFlight
-		}
-		for n, cnt := range res.InFlightCounts {
-			if n > 0 {
-				inflightSum += n * cnt
-				inflightN += cnt
-			}
-		}
-		c.Violations += len(res.Violations)
-		viol = append(viol, res.Violations...)
-	}
-	if inflightN > 0 {
-		c.AvgInFlight = float64(inflightSum) / float64(inflightN)
-	}
-	c.Elapsed = time.Since(start)
-	return c, viol, nil
+	// StatesDeduped counts crash states skipped because their replayed
+	// image was identical to an already-checked state at the same crash
+	// point; TruncatedFences counts fences whose exhaustive enumeration
+	// fell back to the safety cap. Both are reported, never silent.
+	StatesDeduped   int
+	TruncatedFences int
+	Fences          int
+	MaxInFlight     int
+	AvgInFlight     float64
+	Violations      int
+	Elapsed         time.Duration
 }
 
 // InFlightCensus measures the average and maximum in-flight write counts
@@ -302,7 +272,7 @@ func InFlightCensus() (map[string]*Census, error) {
 		if sys.Weak {
 			continue
 		}
-		cfg := ConfigFor(sys, bugs.None(), 2)
+		cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
 		c, _, err := RunSuite(cfg, suite)
 		if err != nil {
 			return nil, err

@@ -10,6 +10,9 @@ import (
 )
 
 func TestRunTable1AllFound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 1 runs exhaustive targeted detection for all 23 bugs; slow in -short mode")
+	}
 	rows, err := RunTable1(DetectOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +32,9 @@ func TestRunTable1AllFound(t *testing.T) {
 }
 
 func TestRunTable2MatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 2 re-measures every bug at several caps; slow in -short mode")
+	}
 	t2, err := RunTable2()
 	if err != nil {
 		t.Fatal(err)

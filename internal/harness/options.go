@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+)
+
+// Options selects a system under test plus the engine tuning the CLIs and
+// experiment drivers share — the replacement for the positional
+// ConfigFor(sys, set, cap) and the flag parsing each command used to copy.
+type Options struct {
+	// FS names the target file system (see Systems).
+	FS string
+	// Bugs is the injected bug set (bugs.None() for the fixed systems).
+	Bugs bugs.Set
+	// Cap bounds replayed in-flight subsets (0 = exhaustive).
+	Cap int
+	// Workers is the in-engine crash-state worker count (<= 1 = serial).
+	Workers int
+}
+
+// Resolve looks up the system and builds its engine Config.
+func (o Options) Resolve() (System, core.Config, error) {
+	sys, err := SystemByName(o.FS)
+	if err != nil {
+		return System{}, core.Config{}, err
+	}
+	return sys, o.ConfigFor(sys), nil
+}
+
+// ConfigFor builds the engine Config for an already-resolved system.
+func (o Options) ConfigFor(sys System) core.Config {
+	return core.Config{NewFS: sys.Factory(o.Bugs), Cap: o.Cap, Workers: o.Workers}
+}
+
+// ParseBugSpec parses the CLIs' -bugs syntax: "none" (or empty), "all", or
+// a comma-separated ID list such as "4,5".
+func ParseBugSpec(spec string) (bugs.Set, error) {
+	switch spec {
+	case "none", "":
+		return bugs.None(), nil
+	case "all":
+		return bugs.AllSet(), nil
+	}
+	set := bugs.Set{}
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad bug id %q", part)
+		}
+		if _, ok := bugs.Lookup(bugs.ID(id)); !ok {
+			return nil, fmt.Errorf("unknown bug id %d", id)
+		}
+		set = set.With(bugs.ID(id))
+	}
+	return set, nil
+}
+
+// FlagSpec holds the raw values of the shared CLI flags between flag
+// registration and parsing.
+type FlagSpec struct {
+	FS      *string
+	Bugs    *string
+	Cap     *int
+	Workers *int
+}
+
+// BindFlags registers the shared -fs, -bugs, -cap, and -workers flags on fl
+// with the given defaults. Call fl.Parse (or flag.Parse for the default
+// set), then Options to resolve the parsed values.
+func BindFlags(fl *flag.FlagSet, defFS, defBugs string, defCap int) *FlagSpec {
+	return &FlagSpec{
+		FS:      fl.String("fs", defFS, "file system: nova, nova-fortis, pmfs, winefs, splitfs, ext4-dax, xfs-dax"),
+		Bugs:    fl.String("bugs", defBugs, `injected bugs: "none", "all", or comma-separated IDs (e.g. "4,5")`),
+		Cap:     fl.Int("cap", defCap, "max in-flight writes replayed per crash state (0 = exhaustive)"),
+		Workers: fl.Int("workers", 1, "crash-state check workers inside each engine run (<=1 = serial)"),
+	}
+}
+
+// Options validates the parsed flag values into an Options.
+func (fs *FlagSpec) Options() (Options, error) {
+	set, err := ParseBugSpec(*fs.Bugs)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{FS: *fs.FS, Bugs: set, Cap: *fs.Cap, Workers: *fs.Workers}, nil
+}

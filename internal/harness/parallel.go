@@ -1,100 +1,24 @@
 package harness
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"time"
+	"context"
 
 	"chipmunk/internal/core"
 	"chipmunk/internal/workload"
 )
 
-// RunSuiteParallel runs a workload suite across worker goroutines — the
-// in-process analogue of the paper's practice of splitting seq-2/seq-3
-// suites across 10-20 VMs (§4.2). Each workload's engine run is fully
-// independent (own devices, own oracle), so parallelism is embarrassing.
-// workers <= 0 selects GOMAXPROCS.
+// RunSuite runs a workload suite serially.
+//
+// Deprecated: use Run, which adds context cancellation, worker pools, and
+// progress reporting behind one signature.
+func RunSuite(cfg core.Config, suite []workload.Workload) (*Census, []core.Violation, error) {
+	return Run(context.Background(), cfg, suite)
+}
+
+// RunSuiteParallel runs a workload suite across worker goroutines
+// (workers <= 0 selects GOMAXPROCS).
+//
+// Deprecated: use Run with WithWorkers.
 func RunSuiteParallel(cfg core.Config, suite []workload.Workload, workers int) (*Census, []core.Violation, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(suite) {
-		workers = len(suite)
-	}
-	if workers <= 1 {
-		return RunSuite(cfg, suite)
-	}
-
-	type partial struct {
-		census Census
-		viol   []core.Violation
-		err    error
-
-		inflightSum, inflightN int
-	}
-	start := time.Now()
-	work := make(chan workload.Workload)
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func(p *partial) {
-			defer wg.Done()
-			for w := range work {
-				if p.err != nil {
-					continue // drain
-				}
-				res, err := core.Run(cfg, w)
-				if err != nil {
-					p.err = fmt.Errorf("workload %s: %w", w.Name, err)
-					continue
-				}
-				p.census.Workloads++
-				p.census.StatesChecked += res.StatesChecked
-				p.census.Fences += res.Fences
-				if res.MaxInFlight > p.census.MaxInFlight {
-					p.census.MaxInFlight = res.MaxInFlight
-				}
-				for n, cnt := range res.InFlightCounts {
-					if n > 0 {
-						p.inflightSum += n * cnt
-						p.inflightN += cnt
-					}
-				}
-				p.census.Violations += len(res.Violations)
-				p.viol = append(p.viol, res.Violations...)
-			}
-		}(&parts[i])
-	}
-	for _, w := range suite {
-		work <- w
-	}
-	close(work)
-	wg.Wait()
-
-	total := &Census{}
-	var viol []core.Violation
-	var inflightSum, inflightN int
-	for i := range parts {
-		p := &parts[i]
-		if p.err != nil {
-			return nil, nil, p.err
-		}
-		total.Workloads += p.census.Workloads
-		total.StatesChecked += p.census.StatesChecked
-		total.Fences += p.census.Fences
-		if p.census.MaxInFlight > total.MaxInFlight {
-			total.MaxInFlight = p.census.MaxInFlight
-		}
-		total.Violations += p.census.Violations
-		viol = append(viol, p.viol...)
-		inflightSum += p.inflightSum
-		inflightN += p.inflightN
-	}
-	if inflightN > 0 {
-		total.AvgInFlight = float64(inflightSum) / float64(inflightN)
-	}
-	total.Elapsed = time.Since(start)
-	return total, viol, nil
+	return Run(context.Background(), cfg, suite, WithWorkers(workers))
 }

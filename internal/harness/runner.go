@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chipmunk/internal/core"
+	"chipmunk/internal/workload"
+)
+
+// Progress is the suite-progress callback: done workloads out of total,
+// with a snapshot of the census so far. Calls are serialized (under a lock
+// in parallel mode), one per completed workload.
+type Progress func(done, total int, c Census)
+
+// Option tunes a Run call.
+type Option func(*runConfig)
+
+type runConfig struct {
+	workers  int
+	stopOnce bool
+	progress Progress
+}
+
+// WithWorkers runs the suite across n worker goroutines — the in-process
+// analogue of the paper's practice of splitting seq-2/seq-3 suites across
+// 10-20 VMs (§4.2). Each workload's engine run is fully independent (own
+// devices, own oracle), so parallelism is embarrassing. n <= 0 selects
+// GOMAXPROCS; the default without this option is serial.
+func WithWorkers(n int) Option {
+	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithStopOnFirstBug stops the run after the first violating workload.
+// Under WithWorkers, workloads already in flight still finish.
+func WithStopOnFirstBug() Option {
+	return func(rc *runConfig) { rc.stopOnce = true }
+}
+
+// WithProgress reports progress after every completed workload.
+func WithProgress(fn Progress) Option {
+	return func(rc *runConfig) { rc.progress = fn }
+}
+
+// Run executes a workload suite against a system configuration and
+// aggregates statistics — the single entry point that replaced RunSuite and
+// RunSuiteParallel. It fails fast on engine errors but accumulates
+// violations (the caller decides what they mean). Violations are returned
+// in suite order regardless of worker count.
+//
+// Cancelling ctx stops the run promptly; the partial census of workloads
+// that completed is returned together with ctx's error.
+func Run(ctx context.Context, cfg core.Config, suite []workload.Workload, opts ...Option) (*Census, []core.Violation, error) {
+	rc := runConfig{workers: 1}
+	for _, o := range opts {
+		o(&rc)
+	}
+	workers := rc.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+
+	start := time.Now()
+	agg := &aggregator{c: &Census{}}
+	finalize := func(viol []core.Violation, err error) (*Census, []core.Violation, error) {
+		agg.finish(time.Since(start))
+		return agg.c, viol, err
+	}
+
+	if workers <= 1 {
+		var viol []core.Violation
+		for i, w := range suite {
+			if err := ctx.Err(); err != nil {
+				return finalize(viol, err)
+			}
+			res, err := core.RunContext(ctx, cfg, w)
+			if err != nil {
+				if ctx.Err() != nil {
+					return finalize(viol, ctx.Err())
+				}
+				return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+			}
+			agg.add(res)
+			viol = append(viol, res.Violations...)
+			if rc.progress != nil {
+				rc.progress(i+1, len(suite), *agg.c)
+			}
+			if rc.stopOnce && res.Buggy() {
+				break
+			}
+		}
+		return finalize(viol, nil)
+	}
+
+	// Parallel: workers pull workload indices; results are kept per index
+	// and violations merged in suite order so the output is deterministic.
+	// The census itself is all order-independent sums and maxima, so it is
+	// folded as results land (progress and partial-cancel censuses see it).
+	results := make([]*core.Result, len(suite))
+	errs := make([]error, len(suite))
+	var next int64
+	var stop atomic.Bool
+	var mu sync.Mutex // guards agg and progress calls
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && !stop.Load() {
+				j := int(atomic.AddInt64(&next, 1)) - 1
+				if j >= len(suite) {
+					return
+				}
+				res, err := core.RunContext(ctx, cfg, suite[j])
+				if err != nil {
+					errs[j] = err
+					if ctx.Err() == nil {
+						stop.Store(true) // engine error: fail fast
+					}
+					continue
+				}
+				results[j] = res
+				mu.Lock()
+				agg.add(res)
+				if rc.progress != nil {
+					rc.progress(agg.c.Workloads, len(suite), *agg.c)
+				}
+				mu.Unlock()
+				if rc.stopOnce && res.Buggy() {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var viol []core.Violation
+	for i, res := range results {
+		if err := errs[i]; err != nil && ctx.Err() == nil {
+			return nil, nil, fmt.Errorf("workload %s: %w", suite[i].Name, err)
+		}
+		if res != nil {
+			viol = append(viol, res.Violations...)
+		}
+	}
+	return finalize(viol, ctx.Err())
+}
+
+// aggregator folds engine results into a Census.
+type aggregator struct {
+	c                      *Census
+	inflightSum, inflightN int
+}
+
+func (a *aggregator) add(res *core.Result) {
+	a.c.Workloads++
+	a.c.StatesChecked += res.StatesChecked
+	a.c.StatesDeduped += res.StatesDeduped
+	a.c.TruncatedFences += res.TruncatedFences
+	a.c.Fences += res.Fences
+	if res.MaxInFlight > a.c.MaxInFlight {
+		a.c.MaxInFlight = res.MaxInFlight
+	}
+	for n, cnt := range res.InFlightCounts {
+		if n > 0 {
+			a.inflightSum += n * cnt
+			a.inflightN += cnt
+		}
+	}
+	a.c.Violations += len(res.Violations)
+}
+
+func (a *aggregator) finish(elapsed time.Duration) {
+	if a.inflightN > 0 {
+		a.c.AvgInFlight = float64(a.inflightSum) / float64(a.inflightN)
+	}
+	a.c.Elapsed = elapsed
+}

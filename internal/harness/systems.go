@@ -72,6 +72,9 @@ func BugSystem(info bugs.Info) (System, error) {
 }
 
 // ConfigFor builds an engine Config for a system with the given bug set.
+//
+// Deprecated: use Options{Bugs: set, Cap: cap}.ConfigFor(sys), which also
+// carries the engine worker count and reads at the call site.
 func ConfigFor(sys System, set bugs.Set, cap int) core.Config {
-	return core.Config{NewFS: sys.Factory(set), Cap: cap}
+	return Options{Bugs: set, Cap: cap}.ConfigFor(sys)
 }

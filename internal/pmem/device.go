@@ -90,6 +90,26 @@ func FromImage(img []byte) *Device {
 	return d
 }
 
+// WrapImages builds a device directly over caller-owned volatile and
+// persistent buffers, without copying either — the copy-free snapshot
+// constructor the engine's pooled crash-state checks use. Both slices must
+// have equal, non-zero length and identical contents (the just-rebooted
+// invariant FromImage establishes by copying), and the caller must not read
+// or recycle the buffers until it is done with the device.
+func WrapImages(volatile, persistent []byte) *Device {
+	if len(volatile) != len(persistent) {
+		panic(fmt.Sprintf("pmem: WrapImages buffer sizes differ: %d vs %d", len(volatile), len(persistent)))
+	}
+	if len(volatile) == 0 {
+		panic("pmem: WrapImages on empty buffers")
+	}
+	return &Device{
+		volatile:   volatile,
+		persistent: persistent,
+		dirty:      make(map[int64]struct{}),
+	}
+}
+
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int64 { return int64(len(d.volatile)) }
 

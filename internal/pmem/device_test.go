@@ -356,3 +356,43 @@ func TestLoadInto(t *testing.T) {
 		t.Fatalf("LoadInto = %v", buf)
 	}
 }
+
+func TestWrapImagesCopyFree(t *testing.T) {
+	volatile := make([]byte, 256)
+	persistent := make([]byte, 256)
+	for i := range volatile {
+		volatile[i] = byte(i)
+		persistent[i] = byte(i)
+	}
+	d := WrapImages(volatile, persistent)
+	if d.Size() != 256 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if got := d.Load(3, 4); !bytes.Equal(got, []byte{3, 4, 5, 6}) {
+		t.Fatalf("load = %v", got)
+	}
+	// Stores land in the caller's buffers directly: that is the point.
+	d.Store(0, []byte{0xAA})
+	if volatile[0] != 0xAA {
+		t.Fatal("store did not hit the wrapped volatile buffer")
+	}
+	if persistent[0] != 0 {
+		t.Fatal("unflushed store reached the persistent buffer")
+	}
+}
+
+func TestWrapImagesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"size-mismatch": func() { WrapImages(make([]byte, 8), make([]byte, 16)) },
+		"empty":         func() { WrapImages(nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
