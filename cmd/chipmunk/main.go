@@ -10,8 +10,10 @@
 //
 // The -bugs flag selects which of the paper's Table 1 bugs are injected:
 // "none" (the fixed systems, default), "all" (as published), or a
-// comma-separated ID list. Ctrl-C cancels the run and prints the partial
-// census.
+// comma-separated ID list. -faults turns on pmem fault injection (torn
+// stores, bit corruption, media errors) against the sandboxed checker.
+// Ctrl-C cancels the run and prints the partial census; a second Ctrl-C
+// force-exits.
 package main
 
 import (
@@ -20,12 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"chipmunk/internal/ace"
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
+	"chipmunk/internal/pmem"
 	"chipmunk/internal/report"
 	"chipmunk/internal/workload"
 )
@@ -37,14 +39,19 @@ func main() {
 		max     = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
 		verbose = flag.Bool("v", false, "print every violation")
 		stopOne = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
-		repro   = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
-		jobs    = flag.Int("j", 1, "suite-level workers (like the paper's VM sharding; 0 = all cores)")
-		outDir  = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
+		repro     = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
+		jobs      = flag.Int("j", 1, "suite-level workers (like the paper's VM sharding; 0 = all cores)")
+		outDir    = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
+		faults    = flag.Bool("faults", false, "inject pmem faults (torn stores, bit flips, media errors) into crash states")
+		faultSeed = flag.Uint64("fault-seed", 1, "deterministic seed for -faults")
 	)
 	flag.Parse()
 
 	opts, err := spec.Options()
 	fatalIf(err)
+	if *faults {
+		opts.Faults = pmem.DefaultFaults(*faultSeed)
+	}
 	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
 	var suiteWs []workload.Workload
@@ -66,10 +73,14 @@ func main() {
 		suiteWs = suiteWs[:*max]
 	}
 
-	fmt.Printf("chipmunk: %s (bugs %s), suite %s: %d workloads, cap=%d\n",
-		sys.Name, opts.Bugs, *suite, len(suiteWs), opts.Cap)
+	faultNote := ""
+	if *faults {
+		faultNote = fmt.Sprintf(", faults on (seed %d)", *faultSeed)
+	}
+	fmt.Printf("chipmunk: %s (bugs %s), suite %s: %d workloads, cap=%d%s\n",
+		sys.Name, opts.Bugs, *suite, len(suiteWs), opts.Cap, faultNote)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
 
 	runOpts := []harness.Option{harness.WithWorkers(*jobs)}
@@ -83,8 +94,9 @@ func main() {
 			fmt.Printf("  BUG count now %d after %d/%d workloads\n", c.Violations, done, total)
 		}
 		if done%500 == 0 {
-			fmt.Printf("  ... %d/%d workloads, %d crash states (%d deduped)\n",
-				done, total, c.StatesChecked, c.StatesDeduped)
+			fmt.Printf("  ... %d/%d workloads, %d crash states (%d deduped, %d truncated fences, %d quarantined)\n",
+				done, total, c.StatesChecked, c.StatesDeduped, c.TruncatedFences,
+				len(c.Quarantined)+c.SuppressedQuarantine)
 		}
 	}))
 
@@ -102,6 +114,15 @@ func main() {
 	fmt.Printf("\n%s: %d workloads, %d crash states (%d deduped, %d truncated fences), %v (j=%d, workers=%d)\n",
 		status, census.Workloads, census.StatesChecked, census.StatesDeduped,
 		census.TruncatedFences, census.Elapsed.Round(time.Millisecond), *jobs, opts.Workers)
+	if n := len(census.Quarantined) + census.SuppressedQuarantine; n > 0 || census.RetriedChecks > 0 {
+		fmt.Printf("sandbox: %d states quarantined (%d suppressed past ledger cap), %d transient retries\n",
+			n, census.SuppressedQuarantine, census.RetriedChecks)
+		if *verbose {
+			for _, q := range census.Quarantined {
+				fmt.Printf("  %s\n", q)
+			}
+		}
+	}
 	fmt.Printf("reports: %d; triaged clusters: %d\n", len(viol), len(clusters))
 	for i, c := range clusters {
 		if *verbose {
@@ -111,7 +132,7 @@ func main() {
 				i+1, c.Count, c.Representative.Kind, c.Representative.SysName)
 		}
 	}
-	writeReports(*outDir, sys.Name, clusters)
+	writeReports(*outDir, sys.Name, clusters, census)
 	if len(viol) > 0 {
 		os.Exit(1)
 	}
@@ -120,16 +141,24 @@ func main() {
 	}
 }
 
-// writeReports persists triaged clusters when -o is given.
-func writeReports(dir, fsName string, clusters []*core.Cluster) {
-	if dir == "" || len(clusters) == 0 {
+// writeReports persists triaged clusters and the quarantine ledger when -o
+// is given.
+func writeReports(dir, fsName string, clusters []*core.Cluster, census *harness.Census) {
+	if dir == "" || (len(clusters) == 0 && len(census.Quarantined) == 0) {
 		return
 	}
 	wr, err := report.NewWriter(dir)
 	fatalIf(err)
-	paths, err := wr.WriteClusters(fsName, clusters)
+	if len(clusters) > 0 {
+		paths, err := wr.WriteClusters(fsName, clusters)
+		fatalIf(err)
+		fmt.Printf("\nwrote %d report directories under %s\n", len(paths), dir)
+	}
+	qpath, err := wr.WriteQuarantine(fsName, census.Quarantined, census.SuppressedQuarantine)
 	fatalIf(err)
-	fmt.Printf("\nwrote %d report directories under %s\n", len(paths), dir)
+	if qpath != "" {
+		fmt.Printf("wrote quarantine ledger to %s\n", qpath)
+	}
 }
 
 func pickSuite(name string) ([]workload.Workload, error) {

@@ -6,7 +6,9 @@
 // It mutates workloads under trace-shape coverage feedback, runs each
 // through the Chipmunk engine with the paper's cap of two replayed writes
 // per crash state, and prints the triaged bug-report clusters. Ctrl-C stops
-// the campaign early and reports what was found so far.
+// the campaign early and reports what was found so far; a second Ctrl-C
+// force-exits. With -corpus, workloads whose checks panic or get
+// quarantined are saved there as panic-*/sandbox-* reproducers.
 package main
 
 import (
@@ -14,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"chipmunk/internal/fuzz"
@@ -50,10 +51,11 @@ func main() {
 		}
 	}
 	fz := fuzz.New(cfg, *seed, seeds)
+	fz.CrashDir = *corpus
 	fmt.Printf("chipmunkfuzz: %s (bugs %s), %d execs, cap=%d, seed=%d\n",
 		sys.Name, opts.Bugs, *execs, opts.Cap, *seed)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
 
 	start := time.Now()
@@ -73,6 +75,10 @@ func main() {
 	}
 	fmt.Printf("\ndone in %v: %d crash states checked, %d reports in %d clusters\n",
 		time.Since(start).Round(time.Millisecond), fz.StatesChecked, len(fz.Violations), len(fz.Clusters))
+	if fz.Quarantined > 0 || fz.RetriedChecks > 0 {
+		fmt.Printf("sandbox: %d crash states quarantined, %d transient retries\n",
+			fz.Quarantined, fz.RetriedChecks)
+	}
 	for i, c := range fz.Clusters {
 		fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
 		if *minimize {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,9 @@ func main() {
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
+	// First Ctrl-C stops between experiments; a second force-exits (130).
+	ctx, stop := harness.SignalContext(context.Background())
+	defer stop()
 	run := map[string]func() error{
 		"table1":   table1,
 		"table2":   table2,
@@ -55,6 +59,10 @@ func main() {
 	}
 	if what == "all" {
 		for _, name := range []string{"counts", "table1", "table2", "inflight", "coalesce", "perf", "fig3"} {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			if err := run[name](); err != nil {
 				fatal(err)
 			}

@@ -15,11 +15,12 @@ import (
 // the consistency checks of §3.3: mountability, oracle comparison (synchrony
 // for post-syscall states, atomicity for mid-syscall states), and the
 // usability probe. The first failed check produces the state's violation
-// (nil when the state is legal). The volatile and persistent buffers are
-// caller-owned (pooled) and identical on entry; checkState is goroutine-safe
-// because every mutation lands on this call's private device.
-func (ck *checker) checkState(volatile, persistent []byte, ctx crashCtx) *Violation {
-	dev := pmem.WrapImages(volatile, persistent)
+// (nil when the state is legal). The device is this call's private,
+// just-rebooted view of the crash image (optionally carrying an attached
+// fault injector), so checkState is goroutine-safe; it normally runs inside
+// the sandbox (sandbox.go), which converts guest panics, media faults, and
+// hangs into classified outcomes.
+func (ck *checker) checkState(dev *pmem.Device, ctx crashCtx) *Violation {
 	fs := ck.cfg.NewFS(persist.New(dev))
 
 	if err := fs.Mount(); err != nil {
@@ -270,8 +271,14 @@ func (ck *checker) usability(fs vfs.FS, st vfs.State) string {
 // recoveryReadSet mounts the base image once with PM reads recorded,
 // returning the cache lines recovery consulted — the Vinter heuristic's
 // input. A failed mount returns nil (no filtering: everything is relevant
-// when recovery itself is broken).
-func (ck *checker) recoveryReadSet(img []byte) *persist.ReadSet {
+// when recovery itself is broken); a panicking mount is contained the same
+// way — this runs on the coordinator, outside the per-state sandbox.
+func (ck *checker) recoveryReadSet(img []byte) (rs *persist.ReadSet) {
+	defer func() {
+		if recover() != nil {
+			rs = nil
+		}
+	}()
 	dev := pmem.FromImage(img)
 	pm := persist.New(dev)
 	reads := persist.NewReadSet()

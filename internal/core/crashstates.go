@@ -19,6 +19,8 @@ type crashCtx struct {
 	sys       int   // syscall index (-1 outside any call)
 	oracleIdx int   // index into checker.states used for comparison
 	subset    []int // replayed in-flight write indices (nil = all fenced)
+	fence     int   // 1-based fence ordinal (0 = post-syscall, no fence)
+	rank      int   // canonical rank among this crash point's distinct states
 }
 
 // maxViolationsPerRun bounds report memory; overflow is counted, never
@@ -112,9 +114,10 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 				if err := ck.cancelled(); err != nil {
 					return err
 				}
-				ck.res.StatesChecked++
-				if v := ck.checkOne(img, log, nil, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1}); v != nil {
-					ck.reportViolation(*v)
+				out := ck.checkOne(img, log, nil, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
+				ck.fold(out)
+				if out.cancelled {
+					return ck.cancelled()
 				}
 			}
 		}
@@ -161,8 +164,16 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	cap := ck.cfg.Cap
 	truncated := false
 	if cap == 0 {
-		if n > exhaustiveLimit {
-			cap = safetyCap
+		limit := ck.cfg.ExhaustiveLimit
+		if limit <= 0 {
+			limit = DefaultExhaustiveLimit
+		}
+		fallback := ck.cfg.SafetyCap
+		if fallback <= 0 {
+			fallback = DefaultSafetyCap
+		}
+		if n > limit {
+			cap = fallback
 			truncated = true
 		} else {
 			cap = n
@@ -176,6 +187,7 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	}
 
 	ctx := fenceCtx(sys, lastDone)
+	ctx.fence = ck.res.Fences // walk increments before enumerating: 1-based
 
 	// Enumerate candidate subsets in canonical rank order: size ascending,
 	// lexicographic within a size, the full set last when not already the
@@ -215,28 +227,33 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 }
 
 // runChecks materializes and checks each distinct subset, inline or across
-// Workers goroutines. Violations are reported in subset-rank order either
-// way, and StatesChecked counts exactly the states whose check completed.
+// Workers goroutines. Outcomes — violations, quarantine entries, retry
+// accounting — are folded in subset-rank order either way, and
+// StatesChecked counts exactly the states whose check reached a classified
+// outcome (clean, violating, or quarantined).
 func (ck *checker) runChecks(img []byte, log *trace.Log, distinct [][]int, cctx crashCtx) error {
 	workers := ck.cfg.Workers
 	if workers > len(distinct) {
 		workers = len(distinct)
 	}
 	if workers <= 1 || len(distinct) < parallelThreshold {
-		for _, s := range distinct {
+		for rank, s := range distinct {
 			if err := ck.cancelled(); err != nil {
 				return err
 			}
-			ck.res.StatesChecked++
-			if v := ck.checkOne(img, log, s, cctx); v != nil {
-				ck.reportViolation(*v)
+			c := cctx
+			c.rank = rank
+			out := ck.checkOne(img, log, s, c)
+			ck.fold(out)
+			if out.cancelled {
+				return ck.cancelled()
 			}
 		}
 		return nil
 	}
 
-	results := make([]*Violation, len(distinct))
-	var next, done int64
+	outcomes := make([]checkOutcome, len(distinct))
+	var next int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -247,39 +264,17 @@ func (ck *checker) runChecks(img []byte, log *trace.Log, distinct [][]int, cctx 
 				if j >= len(distinct) {
 					return
 				}
-				results[j] = ck.checkOne(img, log, distinct[j], cctx)
-				atomic.AddInt64(&done, 1)
+				c := cctx
+				c.rank = j
+				outcomes[j] = ck.checkOne(img, log, distinct[j], c)
 			}
 		}()
 	}
 	wg.Wait()
-	ck.res.StatesChecked += int(done)
-	for _, v := range results {
-		if v != nil {
-			ck.reportViolation(*v)
-		}
+	for _, out := range outcomes {
+		ck.fold(out)
 	}
 	return ck.cancelled()
-}
-
-// checkOne materializes base-image + subset into pooled buffers, builds a
-// private device over them, and checks the state. Safe to call from worker
-// goroutines: everything it touches is either read-only (img, log, oracle
-// states, config) or private to the call.
-func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crashCtx) *Violation {
-	persistent := ck.pool.Get().([]byte)
-	volatile := ck.pool.Get().([]byte)
-	defer func() {
-		ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
-		ck.pool.Put(volatile)   //nolint:staticcheck
-	}()
-	copy(persistent, img)
-	for _, idx := range subset {
-		trace.Apply(persistent, log.At(idx))
-	}
-	copy(volatile, persistent)
-	cctx.subset = subset
-	return ck.checkState(volatile, persistent, cctx)
 }
 
 // stateKey returns a canonical fingerprint of the crash image base+subset

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"chipmunk/internal/fs/memfs"
 	"chipmunk/internal/persist"
@@ -22,12 +23,23 @@ import (
 // workloads are the same small ACE/fuzzer programs.
 const DefaultDevSize = 1 << 20
 
-// exhaustiveLimit bounds exhaustive subset enumeration: fences with more
-// in-flight writes than this fall back to safetyCap and the truncation is
-// counted (never silent — Result.TruncatedFences reports it).
+// DefaultExhaustiveLimit bounds exhaustive subset enumeration: fences with
+// more in-flight writes than this fall back to DefaultSafetyCap and the
+// truncation is counted (never silent — Result.TruncatedFences reports it).
+// Both are configurable per run via Config.ExhaustiveLimit / SafetyCap.
 const (
-	exhaustiveLimit = 14
-	safetyCap       = 3
+	DefaultExhaustiveLimit = 14
+	DefaultSafetyCap       = 3
+)
+
+// Sandbox defaults: every per-crash-state check runs under a watchdogged
+// goroutine with panic containment (see sandbox.go). A check that panics or
+// exceeds the deadline is retried with backoff to separate transient
+// failures (pool pressure) from deterministic ones; deterministic failures
+// are quarantined, never silently dropped.
+const (
+	DefaultCheckTimeout = time.Second
+	DefaultCheckRetries = 2
 )
 
 // Config describes one system under test.
@@ -64,6 +76,34 @@ type Config struct {
 	// post-recovery comparison reads can be filtered away, which is
 	// exactly why the paper's tool checks more states than Vinter.
 	VinterFilter bool
+	// CheckTimeout is the per-crash-state check deadline: a check that
+	// exceeds it is abandoned and classified VTimeout (0 = the
+	// DefaultCheckTimeout of 1s; negative = no deadline, panic containment
+	// only).
+	CheckTimeout time.Duration
+	// CheckRetries bounds the retry-with-backoff applied to a check that
+	// panicked or timed out, distinguishing transient failures (pool
+	// pressure) from deterministic ones (0 = DefaultCheckRetries;
+	// negative = no retries).
+	CheckRetries int
+	// DisableSandbox runs every check inline on the caller's goroutine — the
+	// pre-sandbox engine, kept for differential testing. A panicking or
+	// hanging guest then takes the engine down with it. Ignored (the sandbox
+	// is forced) when Faults is enabled, because media errors surface as
+	// panics only the sandbox can classify.
+	DisableSandbox bool
+	// ExhaustiveLimit overrides the exhaustive-enumeration bound: fences
+	// with more in-flight writes fall back to SafetyCap, counted in
+	// Result.TruncatedFences (0 = DefaultExhaustiveLimit).
+	ExhaustiveLimit int
+	// SafetyCap is the subset-size cap truncated fences fall back to
+	// (0 = DefaultSafetyCap).
+	SafetyCap int
+	// Faults enables the opt-in pmem fault injector for crash-state checks:
+	// torn stores, seeded bit corruption, and read-time media errors (see
+	// pmem.FaultConfig). Faults apply only to the materialized crash images
+	// and the devices mounted on them, never to the recording pass.
+	Faults *pmem.FaultConfig
 }
 
 // Phase says when the simulated crash happened.
@@ -101,6 +141,13 @@ const (
 	// VOpBehavior: a system call's live result diverged from the oracle
 	// (a non-crash-consistency bug, cf. §4.4).
 	VOpBehavior
+	// VPanic: checking the crash state panicked deterministically inside
+	// the sandbox (the in-process analogue of a guest kernel crash taking
+	// down one of the paper's VMs). The state is also quarantined.
+	VPanic
+	// VTimeout: checking the crash state exceeded the per-check deadline
+	// deterministically (a recovery hang). The state is also quarantined.
+	VTimeout
 )
 
 var kindNames = [...]string{
@@ -110,6 +157,8 @@ var kindNames = [...]string{
 	VAtomicity:   "atomicity-violation",
 	VUsability:   "usability-failure",
 	VOpBehavior:  "op-behavior-divergence",
+	VPanic:       "check-panic",
+	VTimeout:     "check-timeout",
 }
 
 func (k ViolationKind) String() string {
@@ -137,6 +186,46 @@ func (v Violation) String() string {
 		v.FS, v.Kind, v.SysName, v.Phase, v.Subset, v.Workload, v.Detail)
 }
 
+// Quarantine is one ledger entry for a crash state whose check failed
+// deterministically inside the sandbox — it panicked or hung on every
+// attempt. The entry pins down exactly which state was implicated (fence
+// ordinal, canonical subset rank, byte-diff key digest) so the census can
+// complete without it while never silently dropping it: the same
+// "never silent" contract as TruncatedFences and StatesDeduped.
+type Quarantine struct {
+	// Workload names the run the state belongs to.
+	Workload string
+	// Fence is the 1-based fence ordinal the state was generated at
+	// (0 for post-syscall states, which have no fence).
+	Fence int
+	// Sys is the implicated syscall index (-1 if none) and Phase the crash
+	// phase, as in Violation.
+	Sys   int
+	Phase Phase
+	// Rank is the state's canonical rank among the distinct subsets checked
+	// at this crash point (the serial checking order).
+	Rank int
+	// Subset holds the replayed in-flight write indices (nil = all fenced).
+	Subset []int
+	// StateKey is the FNV-64a digest of the state's byte-diff key against
+	// the fence's base image — the same identity dedup keys on.
+	StateKey uint64
+	// Kind is VPanic or VTimeout; Detail the deterministic one-line cause.
+	Kind   ViolationKind
+	Detail string
+	// Stack is the captured guest stack for panics. Diagnostic only: stack
+	// traces contain addresses, so Stack is excluded from the determinism
+	// contract that the rest of the entry honors.
+	Stack string
+	// Attempts is how many times the check was tried before quarantine.
+	Attempts int
+}
+
+func (q Quarantine) String() string {
+	return fmt.Sprintf("quarantined [%s] %s at %s sys=%d (fence %d, rank %d, subset %v, key %016x, %d attempts): %s",
+		q.Workload, q.Kind, q.Phase, q.Sys, q.Fence, q.Rank, q.Subset, q.StateKey, q.Attempts, q.Detail)
+}
+
 // Result aggregates one workload run.
 type Result struct {
 	Violations      []Violation
@@ -160,7 +249,19 @@ type Result struct {
 	FilteredWrites int
 	// SuppressedViolations counts reports beyond the per-run bound.
 	SuppressedViolations int
-	OpResults            []workload.Result
+	// Quarantined is the quarantine ledger: crash states whose check
+	// panicked or hung on every sandboxed attempt. Each is also classified
+	// as a VPanic/VTimeout violation; the ledger carries the forensic
+	// identity (fence, rank, byte-diff key) needed to re-materialize the
+	// state. Bounded like Violations; overflow lands in
+	// SuppressedQuarantine, never silently dropped.
+	Quarantined          []Quarantine
+	SuppressedQuarantine int
+	// RetriedChecks counts checks that succeeded only after a sandbox
+	// retry — transient failures (pool pressure), as opposed to the
+	// deterministic ones the ledger records.
+	RetriedChecks int
+	OpResults     []workload.Result
 	// SyscallSigs holds one hash per system call summarizing the shape of
 	// its persistence-function trace (kinds, bucketed sizes, fences). The
 	// fuzzer uses these as its gray-box coverage signal: Go cannot

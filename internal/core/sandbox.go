@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"chipmunk/internal/pmem"
+	"chipmunk/internal/trace"
+)
+
+// This file is the check sandbox: the in-process analogue of the paper's VM
+// farm (§4.2). The paper mounts every crash state inside a disposable VM
+// precisely because a corrupted state can take the guest kernel down with
+// it; here every per-crash-state check (mount, oracle comparison, usability
+// probe) runs on a watchdogged goroutine with panic containment, so a
+// hostile state costs one classified report instead of the whole census.
+//
+// Outcome taxonomy:
+//   - success: the check's verdict (violation or clean) is used as-is;
+//   - media error (*pmem.MediaError): an injected fault — classified as
+//     VUnreadable, no retry (the poison is deterministic by construction);
+//   - panic/timeout: retried with backoff up to Config.CheckRetries times;
+//     a failure that survives every retry is deterministic — the state is
+//     quarantined (Result.Quarantined) and classified VPanic/VTimeout.
+//
+// A timed-out goroutine cannot be killed in Go; it is abandoned together
+// with its pooled buffers (it returns them itself if it ever completes).
+// That leak is the price of a census that always terminates — the same
+// trade the paper makes when it shoots a wedged VM.
+
+// checkOutcome is what one sandboxed check contributes to the result; the
+// caller folds it (serially, in canonical rank order) via fold.
+type checkOutcome struct {
+	done      bool // the check reached a classified outcome (counted)
+	v         *Violation
+	q         *Quarantine
+	retried   bool // succeeded only after a retry (transient failure)
+	cancelled bool // run context cancelled mid-check; nothing counted
+}
+
+// attemptResult is the raw outcome of one sandboxed attempt.
+type attemptResult struct {
+	ok        bool
+	v         *Violation
+	media     *pmem.MediaError
+	panicked  bool
+	panicVal  string
+	stack     string
+	timedOut  bool
+	cancelled bool
+}
+
+// fold applies one outcome to the result. Coordinator-only: parallel
+// workers hand their outcomes back in rank order instead. Zero-value
+// outcomes (cancelled runs leave unclaimed slots) fold to nothing.
+func (ck *checker) fold(out checkOutcome) {
+	if !out.done || out.cancelled {
+		return
+	}
+	ck.res.StatesChecked++
+	if out.retried {
+		ck.res.RetriedChecks++
+	}
+	if out.q != nil {
+		if len(ck.res.Quarantined) >= maxViolationsPerRun {
+			ck.res.SuppressedQuarantine++
+		} else {
+			ck.res.Quarantined = append(ck.res.Quarantined, *out.q)
+		}
+	}
+	if out.v != nil {
+		ck.reportViolation(*out.v)
+	}
+}
+
+// checkOne checks one crash state (base image + replayed subset) end to end:
+// sandboxed attempt, bounded retry, quarantine on deterministic failure.
+// Safe to call from worker goroutines.
+func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crashCtx) checkOutcome {
+	cctx.subset = subset
+	if ck.cfg.DisableSandbox && !ck.cfg.Faults.Enabled() {
+		return checkOutcome{done: true, v: ck.checkDirect(img, log, subset, cctx)}
+	}
+
+	timeout := ck.cfg.CheckTimeout
+	if timeout == 0 {
+		timeout = DefaultCheckTimeout
+	}
+	retries := ck.cfg.CheckRetries
+	if retries == 0 {
+		retries = DefaultCheckRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+
+	backoff := time.Millisecond
+	var last attemptResult
+	attempts := 0
+	for {
+		last = ck.attempt(img, log, subset, cctx, timeout)
+		attempts++
+		switch {
+		case last.cancelled:
+			return checkOutcome{cancelled: true}
+		case last.ok:
+			return checkOutcome{done: true, v: last.v, retried: attempts > 1}
+		case last.media != nil:
+			// An injected media fault is deterministic by construction:
+			// classify immediately, no retry, no quarantine — it is a
+			// modeled crash outcome, not a checker failure.
+			return checkOutcome{done: true, v: ck.violation(cctx, VUnreadable,
+				fmt.Sprintf("reading recovered state failed: %v", last.media))}
+		}
+		if attempts <= retries {
+			time.Sleep(backoff)
+			backoff *= 4
+			continue
+		}
+		break
+	}
+
+	// Deterministic panic or hang: quarantine the state and classify it.
+	kind, detail := VPanic, "check panicked: "+firstLine(last.panicVal)
+	if last.timedOut {
+		kind, detail = VTimeout, fmt.Sprintf("check exceeded %v deadline", timeout)
+	}
+	q := &Quarantine{
+		Workload: ck.w.Name,
+		Fence:    cctx.fence,
+		Sys:      cctx.sys,
+		Phase:    cctx.phase,
+		Rank:     cctx.rank,
+		Subset:   append([]int(nil), subset...),
+		StateKey: stateDigest(img, log, subset),
+		Kind:     kind,
+		Detail:   detail,
+		Stack:    last.stack,
+		Attempts: attempts,
+	}
+	return checkOutcome{done: true, v: ck.violation(cctx, kind, detail), q: q}
+}
+
+// attempt runs one sandboxed check attempt: materialize the crash image
+// into pooled buffers, apply injected faults, mount and check — all on a
+// fresh goroutine guarded by recover() and a watchdog timer.
+func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashCtx, timeout time.Duration) attemptResult {
+	done := make(chan attemptResult, 1)
+	go func() {
+		persistent := ck.pool.Get().([]byte)
+		volatile := ck.pool.Get().([]byte)
+		defer func() {
+			if r := recover(); r != nil {
+				// Every attempt re-copies the buffers in full before use,
+				// so they are safe to recycle even after a mid-check panic.
+				ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
+				ck.pool.Put(volatile)   //nolint:staticcheck
+				if me, ok := r.(*pmem.MediaError); ok {
+					done <- attemptResult{media: me}
+					return
+				}
+				done <- attemptResult{
+					panicked: true,
+					panicVal: fmt.Sprint(r),
+					stack:    string(debug.Stack()),
+				}
+			}
+		}()
+
+		inj := ck.injector(cctx)
+		ck.materialize(persistent, img, log, subset, inj)
+		if inj != nil {
+			inj.FlipBit(persistent)
+		}
+		copy(volatile, persistent)
+		dev := pmem.WrapImages(volatile, persistent)
+		dev.InjectFaults(inj)
+		v := ck.checkState(dev, cctx)
+
+		ck.pool.Put(persistent) //nolint:staticcheck
+		ck.pool.Put(volatile)   //nolint:staticcheck
+		done <- attemptResult{ok: true, v: v}
+	}()
+
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	var cancelC <-chan struct{}
+	if ck.ctx != nil {
+		cancelC = ck.ctx.Done()
+	}
+	select {
+	case r := <-done:
+		return r
+	case <-timerC:
+		return attemptResult{timedOut: true}
+	case <-cancelC:
+		return attemptResult{cancelled: true}
+	}
+}
+
+// checkDirect is the pre-sandbox inline path (Config.DisableSandbox), kept
+// so the differential tests can assert the sandbox changes nothing for
+// well-behaved guests.
+func (ck *checker) checkDirect(img []byte, log *trace.Log, subset []int, cctx crashCtx) *Violation {
+	persistent := ck.pool.Get().([]byte)
+	volatile := ck.pool.Get().([]byte)
+	defer func() {
+		ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
+		ck.pool.Put(volatile)   //nolint:staticcheck
+	}()
+	ck.materialize(persistent, img, log, subset, nil)
+	copy(volatile, persistent)
+	return ck.checkState(pmem.WrapImages(volatile, persistent), cctx)
+}
+
+// materialize builds the crash image: base bytes plus the replayed subset,
+// each write torn down to a word-aligned prefix when the injector says so.
+func (ck *checker) materialize(persistent, img []byte, log *trace.Log, subset []int, inj *pmem.Injector) {
+	copy(persistent, img)
+	for _, idx := range subset {
+		e := log.At(idx)
+		if !e.IsWrite() {
+			continue
+		}
+		n := inj.TornPrefix(uint64(e.Seq), len(e.Data))
+		copy(persistent[e.Off:e.Off+int64(n)], e.Data[:n])
+	}
+}
+
+// injector builds the per-state fault injector (nil when faults are off).
+// The salt mixes the crash point's identity — fence ordinal, subset rank,
+// syscall, phase — so every state faults independently yet identically on
+// retry, in any worker, serial or parallel.
+func (ck *checker) injector(cctx crashCtx) *pmem.Injector {
+	if !ck.cfg.Faults.Enabled() {
+		return nil
+	}
+	salt := uint64(cctx.fence)*0x100000001b3 ^
+		uint64(cctx.rank)*0x9e3779b97f4a7c15 ^
+		uint64(cctx.sys+2)<<1 ^
+		uint64(cctx.phase)
+	return pmem.NewInjector(ck.cfg.Faults, salt)
+}
+
+// stateDigest fingerprints a crash state for the quarantine ledger: the
+// FNV-64a digest of the byte-diff key (the (offset, length, bytes) runs
+// where the materialized image differs from the fence's base image — the
+// same identity stateKey deduplicates on). Post-syscall states, which ARE
+// their base image, digest the whole image. Only called on quarantine, so
+// the extra allocation is off the hot path; safe from worker goroutines.
+func stateDigest(img []byte, log *trace.Log, subset []int) uint64 {
+	h := fnv.New64a()
+	if len(subset) == 0 {
+		h.Write(img)
+		return h.Sum64()
+	}
+	scratch := append([]byte(nil), img...)
+	for _, idx := range subset {
+		trace.Apply(scratch, log.At(idx))
+	}
+	var rec [12]byte
+	for i := 0; i < len(img); {
+		if scratch[i] == img[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(img) && scratch[j] != img[j] {
+			j++
+		}
+		binary.BigEndian.PutUint64(rec[:8], uint64(i))
+		binary.BigEndian.PutUint32(rec[8:], uint32(j-i))
+		h.Write(rec[:])
+		h.Write(scratch[i:j])
+		i = j
+	}
+	return h.Sum64()
+}
+
+// firstLine truncates a panic rendering to its first line so violation
+// details stay deterministic and report-sized.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -26,6 +26,22 @@ func (f *Fuzzer) SaveCorpus(dir string) error {
 	return nil
 }
 
+// saveCrash writes a triggering workload to CrashDir as a reproducer,
+// named by failure class (panic-*, sandbox-*). Best-effort by design: it
+// runs on the panic path, where a secondary I/O failure must not mask the
+// original fault.
+func (f *Fuzzer) saveCrash(class string, w workload.Workload) {
+	if f.CrashDir == "" {
+		return
+	}
+	if err := os.MkdirAll(f.CrashDir, 0o755); err != nil {
+		return
+	}
+	f.crashSaves++
+	path := filepath.Join(f.CrashDir, fmt.Sprintf("%s-%05d.txt", class, f.crashSaves))
+	_ = os.WriteFile(path, []byte(workload.Format(w)), 0o644)
+}
+
 // LoadCorpus reads every reproducer file in dir as seed workloads.
 // Unparseable files are skipped with their names returned, not fatal — a
 // corpus directory survives format evolution.

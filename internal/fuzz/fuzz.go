@@ -33,6 +33,12 @@ type Fuzzer struct {
 	corpus   []workload.Workload
 	coverage map[uint64]bool
 
+	// CrashDir, when set, receives the triggering workload whenever a
+	// candidate escapes the engine's sandbox with a panic (saved before the
+	// panic is re-raised, so a crashed campaign still leaves a reproducer)
+	// or produces quarantined crash states (saved as a sandbox-* artifact).
+	CrashDir string
+
 	// Violations accumulates every report; Clusters is the triaged view.
 	Violations []core.Violation
 	Clusters   []*core.Cluster
@@ -41,6 +47,11 @@ type Fuzzer struct {
 	Execs         int
 	StatesChecked int
 	CorpusAdds    int
+	// Quarantined counts crash states the engine's sandbox isolated across
+	// the whole campaign; RetriedChecks counts transient check retries.
+	Quarantined   int
+	RetriedChecks int
+	crashSaves    int
 }
 
 // New builds a fuzzer. seeds may be empty (the paper's runs start with an
@@ -178,12 +189,27 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 	} else {
 		w = f.mutate(f.corpus[f.rng.Intn(len(f.corpus))])
 	}
+	// The engine's sandbox contains per-crash-state panics, but a panic on
+	// the coordinator path (trace recording, enumeration) would still take
+	// the campaign down. Save the triggering workload first, then re-raise:
+	// a crashed campaign must leave its reproducer behind.
+	defer func() {
+		if r := recover(); r != nil {
+			f.saveCrash("panic", w)
+			panic(r)
+		}
+	}()
 	res, err := core.Run(f.cfg, w)
 	if err != nil {
 		return nil, w, err
 	}
 	f.Execs++
 	f.StatesChecked += res.StatesChecked
+	f.RetriedChecks += res.RetriedChecks
+	if n := len(res.Quarantined) + res.SuppressedQuarantine; n > 0 {
+		f.Quarantined += n
+		f.saveCrash("sandbox", w)
+	}
 
 	// Coverage feedback: new trace-shape signatures promote the workload
 	// into the corpus.

@@ -8,6 +8,7 @@ import (
 
 	"chipmunk/internal/ace"
 	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
 	"chipmunk/internal/workload"
 )
 
@@ -259,7 +260,19 @@ type Census struct {
 	MaxInFlight     int
 	AvgInFlight     float64
 	Violations      int
-	Elapsed         time.Duration
+	// Quarantined is the suite-wide quarantine ledger: crash states whose
+	// check panicked or hung deterministically inside the sandbox. Entries
+	// appear in suite order regardless of worker count, and every
+	// quarantined state is also counted as a VPanic/VTimeout violation —
+	// the census completes, nothing is silently dropped.
+	Quarantined []core.Quarantine
+	// SuppressedQuarantine counts quarantined states past the per-run
+	// ledger cap — reported, never silent.
+	SuppressedQuarantine int
+	// RetriedChecks counts checks that succeeded only after a sandbox
+	// retry (transient failures, e.g. pool pressure).
+	RetriedChecks int
+	Elapsed       time.Duration
 }
 
 // InFlightCensus measures the average and maximum in-flight write counts

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
+	"chipmunk/internal/pmem"
 )
 
 // Options selects a system under test plus the engine tuning the CLIs and
@@ -22,6 +24,15 @@ type Options struct {
 	Cap int
 	// Workers is the in-engine crash-state worker count (<= 1 = serial).
 	Workers int
+	// CheckTimeout is the per-crash-state sandbox deadline
+	// (0 = core.DefaultCheckTimeout, negative = none).
+	CheckTimeout time.Duration
+	// ExhaustiveLimit overrides the exhaustive-enumeration bound
+	// (0 = core.DefaultExhaustiveLimit).
+	ExhaustiveLimit int
+	// Faults enables the pmem fault injector for crash-state checks
+	// (nil = off).
+	Faults *pmem.FaultConfig
 }
 
 // Resolve looks up the system and builds its engine Config.
@@ -35,7 +46,14 @@ func (o Options) Resolve() (System, core.Config, error) {
 
 // ConfigFor builds the engine Config for an already-resolved system.
 func (o Options) ConfigFor(sys System) core.Config {
-	return core.Config{NewFS: sys.Factory(o.Bugs), Cap: o.Cap, Workers: o.Workers}
+	return core.Config{
+		NewFS:           sys.Factory(o.Bugs),
+		Cap:             o.Cap,
+		Workers:         o.Workers,
+		CheckTimeout:    o.CheckTimeout,
+		ExhaustiveLimit: o.ExhaustiveLimit,
+		Faults:          o.Faults,
+	}
 }
 
 // ParseBugSpec parses the CLIs' -bugs syntax: "none" (or empty), "all", or
@@ -64,21 +82,28 @@ func ParseBugSpec(spec string) (bugs.Set, error) {
 // FlagSpec holds the raw values of the shared CLI flags between flag
 // registration and parsing.
 type FlagSpec struct {
-	FS      *string
-	Bugs    *string
-	Cap     *int
-	Workers *int
+	FS              *string
+	Bugs            *string
+	Cap             *int
+	Workers         *int
+	CheckTimeout    *time.Duration
+	ExhaustiveLimit *int
 }
 
-// BindFlags registers the shared -fs, -bugs, -cap, and -workers flags on fl
-// with the given defaults. Call fl.Parse (or flag.Parse for the default
-// set), then Options to resolve the parsed values.
+// BindFlags registers the shared -fs, -bugs, -cap, -workers,
+// -check-timeout, and -exhaustive-limit flags on fl with the given
+// defaults. Call fl.Parse (or flag.Parse for the default set), then Options
+// to resolve the parsed values.
 func BindFlags(fl *flag.FlagSet, defFS, defBugs string, defCap int) *FlagSpec {
 	return &FlagSpec{
 		FS:      fl.String("fs", defFS, "file system: nova, nova-fortis, pmfs, winefs, splitfs, ext4-dax, xfs-dax"),
 		Bugs:    fl.String("bugs", defBugs, `injected bugs: "none", "all", or comma-separated IDs (e.g. "4,5")`),
 		Cap:     fl.Int("cap", defCap, "max in-flight writes replayed per crash state (0 = exhaustive)"),
 		Workers: fl.Int("workers", 1, "crash-state check workers inside each engine run (<=1 = serial)"),
+		CheckTimeout: fl.Duration("check-timeout", core.DefaultCheckTimeout,
+			"per-crash-state check deadline; hung checks are quarantined as check-timeout (negative = no deadline)"),
+		ExhaustiveLimit: fl.Int("exhaustive-limit", core.DefaultExhaustiveLimit,
+			"max in-flight writes for exhaustive subset enumeration before falling back to the safety cap"),
 	}
 }
 
@@ -88,5 +113,12 @@ func (fs *FlagSpec) Options() (Options, error) {
 	if err != nil {
 		return Options{}, err
 	}
-	return Options{FS: *fs.FS, Bugs: set, Cap: *fs.Cap, Workers: *fs.Workers}, nil
+	return Options{
+		FS:              *fs.FS,
+		Bugs:            set,
+		Cap:             *fs.Cap,
+		Workers:         *fs.Workers,
+		CheckTimeout:    *fs.CheckTimeout,
+		ExhaustiveLimit: *fs.ExhaustiveLimit,
+	}, nil
 }

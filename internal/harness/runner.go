@@ -141,13 +141,18 @@ func Run(ctx context.Context, cfg core.Config, suite []workload.Workload, opts .
 	}
 	wg.Wait()
 
+	// Rebuild the quarantine ledger in suite order: add folded it in
+	// completion order (fine for progress snapshots), but the final census
+	// promises deterministic ordering regardless of worker count.
 	var viol []core.Violation
+	agg.c.Quarantined = nil
 	for i, res := range results {
 		if err := errs[i]; err != nil && ctx.Err() == nil {
 			return nil, nil, fmt.Errorf("workload %s: %w", suite[i].Name, err)
 		}
 		if res != nil {
 			viol = append(viol, res.Violations...)
+			agg.c.Quarantined = append(agg.c.Quarantined, res.Quarantined...)
 		}
 	}
 	return finalize(viol, ctx.Err())
@@ -175,6 +180,9 @@ func (a *aggregator) add(res *core.Result) {
 		}
 	}
 	a.c.Violations += len(res.Violations)
+	a.c.Quarantined = append(a.c.Quarantined, res.Quarantined...)
+	a.c.SuppressedQuarantine += res.SuppressedQuarantine
+	a.c.RetriedChecks += res.RetriedChecks
 }
 
 func (a *aggregator) finish(elapsed time.Duration) {

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled by the first SIGINT/SIGTERM, so
+// a long census winds down gracefully (partial results are still reported).
+// A second signal force-exits with status 130 — the escape hatch when a
+// hostile crash state has wedged a check goroutine past even the sandbox
+// deadline. The returned stop func releases the signal handler.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			fmt.Fprintln(os.Stderr, "\ninterrupt: finishing in-flight work (interrupt again to force exit)")
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+		<-ch
+		fmt.Fprintln(os.Stderr, "second interrupt: forcing exit")
+		os.Exit(130)
+	}()
+	stop := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	return ctx, stop
+}

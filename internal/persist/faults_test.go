@@ -1,0 +1,38 @@
+package persist
+
+import (
+	"testing"
+
+	"chipmunk/internal/pmem"
+)
+
+// TestTryLoadConvertsMediaFault: TryLoad is the error-returning read for
+// recovery paths — an injected *pmem.MediaError comes back as an error,
+// while unrelated panics propagate unchanged.
+func TestTryLoadConvertsMediaFault(t *testing.T) {
+	dev := pmem.NewDevice(1024)
+	pm := New(dev)
+	if _, err := pm.TryLoad(0, 16); err != nil {
+		t.Fatalf("TryLoad on a clean device: %v", err)
+	}
+
+	dev.InjectFaults(pmem.NewInjector(&pmem.FaultConfig{Seed: 1, ReadErrOneInN: 1}, 3))
+	data, err := pm.TryLoad(0, 16)
+	if err == nil {
+		t.Fatal("TryLoad on a poisoned line returned no error")
+	}
+	if data != nil {
+		t.Fatalf("TryLoad returned data %v alongside the error", data)
+	}
+	if _, ok := err.(*pmem.MediaError); !ok {
+		t.Fatalf("TryLoad error %T, want *pmem.MediaError", err)
+	}
+
+	// Non-media panics (here: out-of-range access) must propagate.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryLoad swallowed a non-media panic")
+		}
+	}()
+	pm.TryLoad(2000, 16)
+}

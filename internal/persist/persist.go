@@ -182,9 +182,33 @@ func (p *PM) PersistStore64(off int64, v uint64) {
 }
 
 // Load reads n bytes at off.
+//
+// Fault model: when the device carries an injected fault set
+// (pmem.Injector), a load touching a poisoned cache line panics with
+// *pmem.MediaError — the software-visible form of an uncorrectable media
+// error. PM propagates that panic unchanged; the engine's check sandbox
+// catches and classifies it. Recovery code that wants to survive poisoned
+// lines instead of aborting the mount should use TryLoad.
 func (p *PM) Load(off int64, n int) []byte {
 	p.notifyLoad(off, n)
 	return p.mem.Load(off, n)
+}
+
+// TryLoad is Load with media faults returned as an error instead of raised
+// as a panic: the API through which file systems can tolerate read-time
+// media errors on their recovery paths. Panics that are not *pmem.MediaError
+// propagate unchanged.
+func (p *PM) TryLoad(off int64, n int) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if me, ok := r.(*pmem.MediaError); ok {
+				data, err = nil, me
+				return
+			}
+			panic(r)
+		}
+	}()
+	return p.Load(off, n), nil
 }
 
 // LoadInto reads len(dst) bytes at off into dst.

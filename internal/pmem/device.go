@@ -65,6 +65,10 @@ type Device struct {
 	// flushed yet, so MissingFlushCheck and line-granular Flush work.
 	dirty map[int64]struct{}
 
+	// faults, when non-nil, poisons cache lines: loads touching one panic
+	// with *MediaError (see InjectFaults).
+	faults *Injector
+
 	stats Stats
 }
 
@@ -191,10 +195,30 @@ func (d *Device) Fence() int {
 	return n
 }
 
+// InjectFaults attaches a fault injector to the device: subsequent Load and
+// LoadInto calls touching a poisoned cache line panic with *MediaError. The
+// engine attaches injectors only to the private per-crash-state devices its
+// sandbox mounts, never to the recording device.
+func (d *Device) InjectFaults(inj *Injector) { d.faults = inj }
+
+// failOnPoisoned raises the media error for reads overlapping a poisoned
+// line. No-op without an attached injector.
+func (d *Device) failOnPoisoned(off int64, n int) {
+	if d.faults == nil || n <= 0 {
+		return
+	}
+	for line := off / CacheLineSize; line <= (off+int64(n)-1)/CacheLineSize; line++ {
+		if d.faults.Poisoned(line) {
+			panic(&MediaError{Off: line * CacheLineSize})
+		}
+	}
+}
+
 // Load copies n bytes at off into a fresh slice, observing the volatile
 // image (i.e. the most recent stores, durable or not).
 func (d *Device) Load(off int64, n int) []byte {
 	d.checkRange(off, n)
+	d.failOnPoisoned(off, n)
 	out := make([]byte, n)
 	copy(out, d.volatile[off:])
 	d.stats.SimNanos += costLoad(n)
@@ -212,6 +236,7 @@ func (d *Device) Peek(off int64, p []byte) {
 // LoadInto reads n = len(p) bytes at off into p without allocating.
 func (d *Device) LoadInto(off int64, p []byte) {
 	d.checkRange(off, len(p))
+	d.failOnPoisoned(off, len(p))
 	copy(p, d.volatile[off:])
 	d.stats.SimNanos += costLoad(len(p))
 }

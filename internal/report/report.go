@@ -57,6 +57,37 @@ func (w *Writer) WriteClusters(fsName string, clusters []*core.Cluster) ([]strin
 	return paths, nil
 }
 
+// WriteQuarantine persists the quarantine ledger — crash states whose check
+// panicked or hung deterministically inside the sandbox — as QUARANTINE.txt.
+// An empty ledger writes nothing and returns "". These states still appear
+// as VPanic/VTimeout violations in the census; the ledger adds the replay
+// coordinates (fence, rank, subset, state key) and the captured stack.
+func (w *Writer) WriteQuarantine(fsName string, entries []core.Quarantine, suppressed int) (string, error) {
+	if len(entries) == 0 && suppressed == 0 {
+		return "", nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Chipmunk quarantine ledger for %s: %d states\n", fsName, len(entries))
+	fmt.Fprintf(&b, "# Each entry is a crash state whose consistency check failed\n")
+	fmt.Fprintf(&b, "# deterministically (panic or deadline) and was isolated so the\n")
+	fmt.Fprintf(&b, "# census could complete.\n\n")
+	for i, q := range entries {
+		fmt.Fprintf(&b, "[%d] %s\n", i+1, q.String())
+		if q.Stack != "" {
+			fmt.Fprintf(&b, "%s\n", indent(strings.TrimRight(q.Stack, "\n"), "    "))
+		}
+		b.WriteString("\n")
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(&b, "... and %d more quarantined states suppressed (ledger cap)\n", suppressed)
+	}
+	path := filepath.Join(w.root, "QUARANTINE.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 func renderReport(c *core.Cluster) string {
 	v := c.Representative
 	var b strings.Builder
