@@ -16,6 +16,7 @@ import (
 	"chipmunk/internal/fs/nova"
 	"chipmunk/internal/fuzz"
 	"chipmunk/internal/harness"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/persist"
 	"chipmunk/internal/pmem"
 	"chipmunk/internal/vfs"
@@ -161,8 +162,14 @@ func BenchmarkObs2_RenameFix(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(dev.Stats().SimNanos)/float64(b.N), "sim-ns/op")
-		b.ReportMetric(float64(dev.Stats().Fences)/float64(b.N), "fences/op")
+		// The paper-comparable numbers come from the obs snapshot: the
+		// device's cost model feeds the collector, and the benchmark reads
+		// the merged PM counters back instead of poking Stats directly.
+		col := obs.New()
+		dev.Stats().Feed(col)
+		snap := col.Snapshot()
+		b.ReportMetric(float64(snap.PM.SimNanos)/float64(b.N), "sim-ns/op")
+		b.ReportMetric(float64(snap.PM.Fences)/float64(b.N), "fences/op")
 	}
 	b.Run("published", func(b *testing.B) {
 		run(b, bugs.Of(bugs.NovaRenameInPlaceDelete, bugs.NovaRenameOldSurvives))
@@ -192,7 +199,9 @@ func BenchmarkObs2_LinkFix(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(dev.Stats().SimNanos)/float64(b.N), "sim-ns/op")
+		col := obs.New()
+		dev.Stats().Feed(col)
+		b.ReportMetric(float64(col.Snapshot().PM.SimNanos)/float64(b.N), "sim-ns/op")
 	}
 	b.Run("published", func(b *testing.B) { run(b, bugs.Of(bugs.NovaLinkCountEarly)) })
 	b.Run("fixed", func(b *testing.B) { run(b, bugs.None()) })
@@ -361,17 +370,20 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 1024, Seed: 1},
 		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
 	}}
-	cfg := core.Config{NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) }}
-	states := 0
+	col := obs.New()
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+		Obs:   col,
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Run(cfg, w)
-		if err != nil {
+		if _, err := core.Run(cfg, w); err != nil {
 			b.Fatal(err)
 		}
-		states += res.StatesChecked
 	}
-	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+	snap := col.Snapshot()
+	b.ReportMetric(float64(snap.Count(obs.CtrStatesChecked))/b.Elapsed().Seconds(), "states/sec")
+	b.ReportMetric(float64(snap.Count(obs.CtrFences))/float64(b.N), "fences/op")
 }
 
 // BenchmarkEngineParallel measures the in-workload crash-state worker pool
@@ -390,10 +402,12 @@ func BenchmarkEngineParallel(b *testing.B) {
 		workers int
 	}{{"serial", 1}, {"workers-4", 4}} {
 		b.Run(tc.name, func(b *testing.B) {
+			col := obs.New()
 			cfg := core.Config{
 				NewFS:   func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
 				Cap:     0,
 				Workers: tc.workers,
+				Obs:     col,
 			}
 			for i := 0; i < b.N; i++ {
 				res, err := core.Run(cfg, w)
@@ -403,8 +417,44 @@ func BenchmarkEngineParallel(b *testing.B) {
 				if res.Buggy() {
 					b.Fatalf("false positives: %d", len(res.Violations))
 				}
-				b.ReportMetric(float64(res.StatesChecked), "crash-states")
-				b.ReportMetric(float64(res.StatesDeduped), "states-deduped")
+			}
+			snap := col.Snapshot()
+			b.ReportMetric(float64(snap.Count(obs.CtrStatesChecked))/float64(b.N), "crash-states")
+			b.ReportMetric(float64(snap.Count(obs.CtrDedupHits))/float64(b.N), "states-deduped")
+		})
+	}
+}
+
+// BenchmarkObsOverhead quantifies what the observability hooks cost the
+// engine's hot path. "off" leaves Config.Obs nil — every hook is a
+// nil-receiver no-op and the engine never reads the clock — and must match
+// BenchmarkEngineParallel/serial to within noise (<1%); "on" attaches a
+// collector and pays the clock reads and atomic adds. The zero-allocation
+// claim for the disabled path is asserted exactly by TestDisabledSinkAllocs
+// in internal/obs.
+func BenchmarkObsOverhead(b *testing.B) {
+	w := workload.Workload{Name: "obs-overhead", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 16384, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	for _, tc := range []struct {
+		name    string
+		enabled bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := core.Config{
+				NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
+				Cap:   0,
+			}
+			if tc.enabled {
+				cfg.Obs = obs.New()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(cfg, w); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -416,6 +466,7 @@ func BenchmarkFuzzerThroughput(b *testing.B) {
 	cfg := core.Config{
 		NewFS: func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) },
 		Cap:   2,
+		Obs:   obs.New(),
 	}
 	fz := fuzz.New(cfg, 1, nil)
 	b.ResetTimer()
@@ -424,5 +475,6 @@ func BenchmarkFuzzerThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(fz.StatesChecked)/b.Elapsed().Seconds(), "states/sec")
+	// The campaign totals come back through the fuzzer's merged snapshot.
+	b.ReportMetric(float64(fz.ObsTotals.Count(obs.CtrStatesChecked))/b.Elapsed().Seconds(), "states/sec")
 }

@@ -35,6 +35,7 @@ import (
 func main() {
 	var (
 		spec    = harness.BindFlags(flag.CommandLine, "nova", "none", 0)
+		ospec   = harness.BindObsFlags(flag.CommandLine)
 		suite   = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
 		max     = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
 		verbose = flag.Bool("v", false, "print every violation")
@@ -52,6 +53,10 @@ func main() {
 	if *faults {
 		opts.Faults = pmem.DefaultFaults(*faultSeed)
 	}
+	inst, err := ospec.Instrument()
+	fatalIf(err)
+	defer inst.Close() //nolint:errcheck // re-checked explicitly below
+	inst.Apply(&opts)
 	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
 	var suiteWs []workload.Workload
@@ -83,12 +88,18 @@ func main() {
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
 
+	inst.EmitRun(sys.Name, len(suiteWs))
+	if addr := inst.Debug.Addr(); addr != "" {
+		fmt.Printf("debug listener on http://%s (/debug/vars, /debug/pprof/, /progress)\n", addr)
+	}
+
 	runOpts := []harness.Option{harness.WithWorkers(*jobs)}
 	if *stopOne {
 		runOpts = append(runOpts, harness.WithStopOnFirstBug())
 	}
 	lastBugs := 0
 	runOpts = append(runOpts, harness.WithProgress(func(done, total int, c harness.Census) {
+		inst.Progress(done, total, c)
 		if *verbose && c.Violations > lastBugs {
 			lastBugs = c.Violations
 			fmt.Printf("  BUG count now %d after %d/%d workloads\n", c.Violations, done, total)
@@ -132,7 +143,15 @@ func main() {
 				i+1, c.Count, c.Representative.Kind, c.Representative.SysName)
 		}
 	}
+	if s := inst.RenderStats(census.Elapsed); s != "" {
+		fmt.Printf("\n%s", s)
+	}
+	if inst.Journal != nil {
+		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), *ospec.Journal)
+	}
 	writeReports(*outDir, sys.Name, clusters, census)
+	// os.Exit skips defers: flush the journal and stop the listener first.
+	fatalIf(inst.Close())
 	if len(viol) > 0 {
 		os.Exit(1)
 	}

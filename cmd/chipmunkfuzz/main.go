@@ -20,6 +20,7 @@ import (
 
 	"chipmunk/internal/fuzz"
 	"chipmunk/internal/harness"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/report"
 	"chipmunk/internal/workload"
 )
@@ -27,6 +28,7 @@ import (
 func main() {
 	var (
 		spec     = harness.BindFlags(flag.CommandLine, "nova", "all", 2)
+		ospec    = harness.BindObsFlags(flag.CommandLine)
 		execs    = flag.Int("execs", 500, "number of fuzzer executions")
 		seed     = flag.Int64("seed", 1, "fuzzer RNG seed")
 		minimize = flag.Bool("minimize", true, "minimize each cluster's reproducer workload")
@@ -37,6 +39,10 @@ func main() {
 
 	opts, err := spec.Options()
 	fatalIf(err)
+	inst, err := ospec.Instrument()
+	fatalIf(err)
+	defer inst.Close() //nolint:errcheck // re-checked explicitly below
+	inst.Apply(&opts)
 	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
 
@@ -58,6 +64,11 @@ func main() {
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
 
+	inst.EmitRun(sys.Name, *execs)
+	if addr := inst.Debug.Addr(); addr != "" {
+		fmt.Printf("debug listener on http://%s (/debug/vars, /debug/pprof/, /progress)\n", addr)
+	}
+
 	start := time.Now()
 	ran := 0
 	for i := 0; i < *execs; i++ {
@@ -68,6 +79,10 @@ func main() {
 		_, _, err := fz.Step()
 		fatalIf(err)
 		ran++
+		inst.Debug.SetProgress(obs.ProgressInfo{
+			Done: ran, Total: *execs,
+			StatesChecked: fz.StatesChecked, Violations: len(fz.Violations),
+		})
 		if ran%100 == 0 {
 			fmt.Printf("  %5d execs | corpus %4d | coverage %5d | states %8d | clusters %d\n",
 				ran, fz.CorpusSize(), fz.CoverageSize(), fz.StatesChecked, len(fz.Clusters))
@@ -102,6 +117,14 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("\nwrote %d report directories under %s\n", len(paths), *outDir)
 	}
+	if s := inst.RenderStats(time.Since(start)); s != "" {
+		fmt.Printf("\n%s", s)
+	}
+	if inst.Journal != nil {
+		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), *ospec.Journal)
+	}
+	// os.Exit skips defers: flush the journal and stop the listener first.
+	fatalIf(inst.Close())
 	if len(fz.Violations) > 0 {
 		os.Exit(1)
 	}

@@ -37,6 +37,11 @@ import (
 var (
 	capFlag = flag.Int("cap", 0, "crash-state write cap for detection runs (0 = exhaustive)")
 	workers = flag.Int("workers", 0, "in-workload crash-state workers (<= 1 = serial)")
+	ospec   = harness.BindObsFlags(flag.CommandLine)
+
+	// inst carries the -stats/-journal/-debug-addr plumbing shared by every
+	// experiment's engine runs; resolved once in main, nil-safe throughout.
+	inst *harness.Instrumentation
 )
 
 func main() {
@@ -45,6 +50,11 @@ func main() {
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
 	}
+	var err error
+	inst, err = ospec.Instrument()
+	fatalIfErr(err)
+	inst.EmitRun("experiments/"+what, 0)
+	start := time.Now()
 	// First Ctrl-C stops between experiments; a second force-exits (130).
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
@@ -67,6 +77,7 @@ func main() {
 				fatal(err)
 			}
 		}
+		finish(start)
 		return
 	}
 	fn, ok := run[what]
@@ -74,6 +85,28 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q", what))
 	}
 	if err := fn(); err != nil {
+		fatal(err)
+	}
+	finish(start)
+}
+
+// finish prints the -stats breakdown (when requested) and flushes the
+// instrumentation before exit.
+func finish(start time.Time) {
+	if s := inst.RenderStats(time.Since(start)); s != "" {
+		fmt.Printf("\n%s", s)
+	}
+	fatalIfErr(inst.Close())
+}
+
+// detectOpts builds the DetectOptions every detection-based experiment
+// shares, with the instrumentation wired in.
+func detectOpts(cap int) harness.DetectOptions {
+	return harness.DetectOptions{Cap: cap, Workers: *workers, Obs: inst.Col, Journal: inst.Journal}
+}
+
+func fatalIfErr(err error) {
+	if err != nil {
 		fatal(err)
 	}
 }
@@ -84,7 +117,7 @@ func header(s string) {
 
 func table1() error {
 	header("Table 1 — bugs found by Chipmunk (targeted workloads, exhaustive replay)")
-	rows, err := harness.RunTable1(harness.DetectOptions{Cap: *capFlag, Workers: *workers})
+	rows, err := harness.RunTable1(detectOpts(*capFlag))
 	if err != nil {
 		return err
 	}
@@ -112,7 +145,7 @@ func table2() error {
 func fig3() error {
 	header("Figure 3 — cumulative time to find bugs: ACE vs fuzzer")
 	fmt.Println("running per-bug ACE scans (bounded at 600 workloads/bug)...")
-	acePts, err := harness.Fig3ACE(600, harness.DetectOptions{Cap: 2, Workers: *workers})
+	acePts, err := harness.Fig3ACE(600, detectOpts(2))
 	if err != nil {
 		return err
 	}
@@ -190,7 +223,7 @@ func coalesce() error {
 		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 1024, Seed: 1},
 	}}
 	sys, _ := harness.SystemByName("nova")
-	cfg := harness.Options{Bugs: bugs.None()}.ConfigFor(sys)
+	cfg := harness.Options{Bugs: bugs.None(), Obs: inst.Col, Journal: inst.Journal}.ConfigFor(sys)
 	cfg.TraceStores = true
 	res, err := core.Run(cfg, w)
 	if err != nil {
@@ -237,6 +270,7 @@ func renameLoopCost(set bugs.Set) int64 {
 		f.Close(fd)
 		must(f.Rename("/tmp", "/target"))
 	}
+	dev.Stats().Feed(inst.Col)
 	return dev.Stats().SimNanos / iters
 }
 
@@ -253,6 +287,7 @@ func linkLoopCost(set bugs.Set) int64 {
 		must(f.Link("/target", "/l"))
 		must(f.Unlink("/l"))
 	}
+	dev.Stats().Feed(inst.Col)
 	return dev.Stats().SimNanos / iters
 }
 

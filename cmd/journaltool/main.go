@@ -1,0 +1,65 @@
+// Command journaltool inspects run journals written by the -journal flag
+// of chipmunk, chipmunkfuzz, and experiments:
+//
+//	journaltool run.jsonl                  # human-readable summary
+//	journaltool -strict run.jsonl          # fail (exit 1) on corrupt lines
+//	journaltool -canonical run.jsonl       # sorted canonical event keys
+//
+// The reader is tolerant by design — a journal truncated by a crashed or
+// killed run still summarizes, with a warning counting the skipped lines.
+// -strict turns that warning into a failure, which is what CI uses to
+// assert a run produced valid JSONL. -canonical emits each event's
+// order-normalized identity (timestamps and durations cleared), one per
+// line, sorted: diffing two runs' canonical dumps verifies the journal
+// determinism contract (serial and parallel runs of one suite produce the
+// same event multiset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"chipmunk/internal/obs"
+	"chipmunk/internal/report"
+)
+
+func main() {
+	var (
+		strict    = flag.Bool("strict", false, "exit nonzero if any journal line is corrupt or truncated")
+		canonical = flag.Bool("canonical", false, "dump sorted canonical event keys instead of a summary")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: journaltool [-strict] [-canonical] <journal.jsonl>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	events, skipped, err := obs.ReadJournalFile(path)
+	fatalIf(err)
+	if *canonical {
+		keys := make([]string, len(events))
+		for i, e := range events {
+			keys[i] = e.CanonicalKey()
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+	} else {
+		fatalIf(report.WriteJournalSummary(os.Stdout, events, skipped))
+	}
+	if *strict && skipped > 0 {
+		fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines in %s\n", skipped, path)
+		os.Exit(1)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journaltool:", err)
+		os.Exit(2)
+	}
+}

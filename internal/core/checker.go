@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"chipmunk/internal/obs"
 	"chipmunk/internal/persist"
 	"chipmunk/internal/pmem"
 	"chipmunk/internal/vfs"
@@ -20,36 +22,47 @@ import (
 // fault injector), so checkState is goroutine-safe; it normally runs inside
 // the sandbox (sandbox.go), which converts guest panics, media faults, and
 // hangs into classified outcomes.
-func (ck *checker) checkState(dev *pmem.Device, ctx crashCtx) *Violation {
+//
+// The stage windows tile across the sandbox handoff so the -stats sum
+// tracks wall-clock: mountStart is an already-open mount window (opened by
+// the caller before spawning the sandbox goroutine, so the spawn and
+// scheduling costs bill to mount), and the returned checkStart is the open
+// check window, closed by the caller after the sandbox hands the result
+// back. Both are the zero time when observability is off.
+func (ck *checker) checkState(dev *pmem.Device, ctx crashCtx, mountStart time.Time) (v *Violation, checkStart time.Time) {
 	fs := ck.cfg.NewFS(persist.New(dev))
 
-	if err := fs.Mount(); err != nil {
-		return ck.violation(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err))
+	err := fs.Mount()
+	ck.obs.ObserveSince(obs.StageMount, mountStart)
+	ct := ck.obs.Start()
+	if err != nil {
+		return ck.violation(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err)), ct
 	}
+
 	st, err := vfs.Capture(fs)
 	if err != nil {
-		return ck.violation(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err))
+		return ck.violation(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err)), ct
 	}
 
 	switch ctx.phase {
 	case PhasePost:
 		if ctx.oracleIdx >= 0 && ctx.oracleIdx < len(ck.states) {
 			if d := vfs.Diff(st, ck.states[ctx.oracleIdx]); d != "" {
-				return ck.violation(ctx, VSynchrony, d)
+				return ck.violation(ctx, VSynchrony, d), ct
 			}
 		}
 	case PhaseMid:
 		if detail := ck.checkAtomic(st, ctx); detail != "" {
-			return ck.violation(ctx, VAtomicity, detail)
+			return ck.violation(ctx, VAtomicity, detail), ct
 		}
 	}
 
 	if !ck.cfg.SkipUsability {
 		if detail := ck.usability(fs, st); detail != "" {
-			return ck.violation(ctx, VUsability, detail)
+			return ck.violation(ctx, VUsability, detail), ct
 		}
 	}
-	return nil
+	return nil, ct
 }
 
 // checkAtomic validates a mid-syscall crash state: every file the call

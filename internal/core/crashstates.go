@@ -7,7 +7,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"chipmunk/internal/obs"
 	"chipmunk/internal/trace"
 	"chipmunk/internal/vfs"
 	"chipmunk/internal/workload"
@@ -40,6 +42,14 @@ type checker struct {
 	res    *Result
 	states []vfs.State
 
+	// obs is the run's private metrics collector and journal the shared
+	// event stream; both are nil-safe no-ops when observability is off.
+	// obs is recorded into from worker goroutines (atomics only); journal
+	// events are emitted from the coordinator exclusively, which is what
+	// makes the journal's event set deterministic across worker counts.
+	obs     *obs.Collector
+	journal *obs.Journal
+
 	// scratch is the coordinator-only buffer state-key computation
 	// materializes written ranges into; workers use pooled buffers.
 	scratch []byte
@@ -68,9 +78,14 @@ type span struct{ lo, hi int64 }
 // system calls use the current persistent image: writes that were never
 // fenced are — correctly — absent, which is how missing-fence bugs surface.
 func (ck *checker) walk(baseline []byte, log *trace.Log) error {
+	// The working image, key scratch, and pool priming are crash-state
+	// construction costs: bill them to the replay stage so the -stats sum
+	// tracks wall-clock.
+	wt := ck.obs.Start()
 	img := append([]byte(nil), baseline...)
 	ck.scratch = make([]byte, len(img))
 	ck.pool.New = func() any { return make([]byte, len(img)) }
+	ck.obs.ObserveSince(obs.StageReplay, wt)
 	var pending []int
 	lastDone := -1
 	sig := fnv.New64a()
@@ -104,9 +119,12 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 					return err
 				}
 			}
+			// Advancing the persistent base past the fence is replay work.
+			at := ck.obs.Start()
 			for _, idx := range pending {
 				trace.Apply(img, log.At(idx))
 			}
+			ck.obs.ObserveSince(obs.StageReplay, at)
 			pending = pending[:0]
 		case trace.KindSyscallEnd:
 			lastDone = e.Sys
@@ -189,6 +207,12 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	ctx := fenceCtx(sys, lastDone)
 	ctx.fence = ck.res.Fences // walk increments before enumerating: 1-based
 
+	var fenceStart time.Time
+	if ck.journal != nil {
+		fenceStart = time.Now()
+	}
+	dt := ck.obs.Start()
+
 	// Enumerate candidate subsets in canonical rank order: size ascending,
 	// lexicographic within a size, the full set last when not already the
 	// final combination. Rank order is the serial checking order, so the
@@ -213,17 +237,29 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	// no silently skipped distinct states.
 	seen := make(map[string]struct{}, len(subsets))
 	distinct := subsets[:0]
+	dedupedHere := 0
 	for _, s := range subsets {
 		k := ck.stateKey(img, log, s)
 		if _, dup := seen[k]; dup {
 			ck.res.StatesDeduped++
+			dedupedHere++
 			continue
 		}
 		seen[k] = struct{}{}
 		distinct = append(distinct, s)
 	}
+	ck.obs.ObserveSince(obs.StageDedup, dt)
 
-	return ck.runChecks(img, log, distinct, ctx)
+	if err := ck.runChecks(img, log, distinct, ctx); err != nil {
+		return err
+	}
+	ck.journal.Emit(obs.Event{
+		Type: "fence", FS: ck.caps.Name, Workload: ck.w.Name,
+		Fence: ctx.fence, Sys: sys, Phase: ctx.phase.String(),
+		InFlight: n, States: len(distinct), Deduped: dedupedHere,
+		DurNanos: sinceNanos(fenceStart),
+	})
+	return nil
 }
 
 // runChecks materializes and checks each distinct subset, inline or across

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/persist"
 	"chipmunk/internal/pmem"
 	"chipmunk/internal/trace"
@@ -104,6 +105,18 @@ type Config struct {
 	// pmem.FaultConfig). Faults apply only to the materialized crash images
 	// and the devices mounted on them, never to the recording pass.
 	Faults *pmem.FaultConfig
+	// Obs, when non-nil, enables per-stage metrics: the run records into a
+	// private collector (lock-free, safe from check workers), publishes the
+	// frozen per-workload snapshot as Result.Obs, and merges it into Obs at
+	// workload end so a long campaign's live totals can be watched via the
+	// debug server. Nil disables collection at zero hot-path cost.
+	Obs *obs.Collector
+	// Journal, when non-nil, receives one event per workload, fence,
+	// violation, quarantine, and sandbox retry — the append-only JSONL run
+	// journal (-journal). All events are emitted from the coordinator, so
+	// the journal's order-normalized event set is identical between serial
+	// and parallel runs of the same suite.
+	Journal *obs.Journal
 }
 
 // Phase says when the simulated crash happened.
@@ -262,6 +275,12 @@ type Result struct {
 	// deterministic ones the ledger records.
 	RetriedChecks int
 	OpResults     []workload.Result
+	// Obs is the run's frozen per-stage metrics snapshot (nil when
+	// Config.Obs was nil). Counters mirror the Result fields exactly —
+	// they are set from them at run end — so serial and parallel runs
+	// carry identical counter totals; stage durations are wall-clock
+	// measurements and vary with scheduling.
+	Obs *obs.Snapshot
 	// SyscallSigs holds one hash per system call summarizing the shape of
 	// its persistence-function trace (kinds, bucketed sizes, fences). The
 	// fuzzer uses these as its gray-box coverage signal: Go cannot
@@ -292,8 +311,21 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		devSize = DefaultDevSize
 	}
 
+	// Observability: a per-run collector keeps worker recording lock-free
+	// and gives the workload its own attribution; the frozen snapshot is
+	// merged into cfg.Obs at run end. Both stay nil when disabled.
+	var col *obs.Collector
+	if cfg.Obs != nil {
+		col = obs.New()
+	}
+	var runStart time.Time
+	if cfg.Obs != nil || cfg.Journal != nil {
+		runStart = time.Now()
+	}
+
 	// --- Oracle pass: run the workload on the reference model, recording
 	// the observable state around every system call.
+	ot := col.Start()
 	oracle := memfs.New()
 	if err := oracle.Mkfs(); err != nil {
 		return nil, fmt.Errorf("oracle mkfs: %w", err)
@@ -317,8 +349,10 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		return nil, fmt.Errorf("oracle final capture: %w", err)
 	}
 	states = append(states, final)
+	col.ObserveSince(obs.StageOracle, ot)
 
 	// --- Record pass: run the workload on the target, tracing writes.
+	rt := col.Start()
 	dev := pmem.NewDevice(devSize)
 	pm := persist.New(dev)
 	pm.TraceStores = cfg.TraceStores
@@ -336,6 +370,8 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	})
 	pm.Detach(rec)
 	caps := target.Caps()
+	col.ObserveSince(obs.StageRecord, rt)
+	dev.Stats().Feed(col)
 
 	res := &Result{OpResults: targetResults}
 
@@ -356,9 +392,43 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	}
 
 	// --- Crash-state construction and checking.
-	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, states: states, res: res}
+	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, states: states, res: res,
+		obs: col, journal: cfg.Journal}
 	if err := ck.walk(baseline, log); err != nil {
 		return nil, err
 	}
+
+	// Freeze the run's metrics. Counters are copied from the Result fields
+	// — not accumulated on the hot path — so snapshot counters and Result
+	// agree exactly, and serial == parallel totals follow from the
+	// engine's own determinism guarantee.
+	if col != nil {
+		col.Add(obs.CtrWorkloads, 1)
+		col.Add(obs.CtrFences, int64(res.Fences))
+		col.Add(obs.CtrStatesChecked, int64(res.StatesChecked))
+		col.Add(obs.CtrDedupHits, int64(res.StatesDeduped))
+		col.Add(obs.CtrTruncatedFences, int64(res.TruncatedFences))
+		col.Add(obs.CtrSandboxRetries, int64(res.RetriedChecks))
+		col.Add(obs.CtrQuarantines, int64(len(res.Quarantined)+res.SuppressedQuarantine))
+		col.Add(obs.CtrViolations, int64(len(res.Violations)+res.SuppressedViolations))
+		snap := col.Snapshot()
+		res.Obs = &snap
+		cfg.Obs.Merge(snap)
+	}
+	cfg.Journal.Emit(obs.Event{
+		Type: "workload", FS: caps.Name, Workload: w.Name, Sys: -1,
+		States: res.StatesChecked, Deduped: res.StatesDeduped,
+		Fences: res.Fences, Violations: len(res.Violations) + res.SuppressedViolations,
+		DurNanos: sinceNanos(runStart),
+	})
 	return res, nil
+}
+
+// sinceNanos returns the elapsed nanoseconds since start, or 0 for the
+// zero time (observability disabled).
+func sinceNanos(start time.Time) int64 {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start).Nanoseconds()
 }

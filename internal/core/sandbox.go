@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"chipmunk/internal/obs"
 	"chipmunk/internal/pmem"
 	"chipmunk/internal/trace"
 )
@@ -40,6 +41,7 @@ type checkOutcome struct {
 	q         *Quarantine
 	retried   bool // succeeded only after a retry (transient failure)
 	cancelled bool // run context cancelled mid-check; nothing counted
+	ctx       crashCtx // crash point identity, for journal attribution
 }
 
 // attemptResult is the raw outcome of one sandboxed attempt.
@@ -52,6 +54,11 @@ type attemptResult struct {
 	stack     string
 	timedOut  bool
 	cancelled bool
+	// checkStart is the open check-stage window (see checkState): the
+	// dispatching side closes it after the hand-back so the stage total
+	// includes the sandbox return path. Zero when the attempt failed before
+	// the check phase or observability is off.
+	checkStart time.Time
 }
 
 // fold applies one outcome to the result. Coordinator-only: parallel
@@ -64,6 +71,11 @@ func (ck *checker) fold(out checkOutcome) {
 	ck.res.StatesChecked++
 	if out.retried {
 		ck.res.RetriedChecks++
+		ck.journal.Emit(obs.Event{
+			Type: "retry", FS: ck.caps.Name, Workload: ck.w.Name,
+			Fence: out.ctx.fence, Sys: out.ctx.sys, Rank: out.ctx.rank,
+			Phase: out.ctx.phase.String(),
+		})
 	}
 	if out.q != nil {
 		if len(ck.res.Quarantined) >= maxViolationsPerRun {
@@ -71,9 +83,22 @@ func (ck *checker) fold(out checkOutcome) {
 		} else {
 			ck.res.Quarantined = append(ck.res.Quarantined, *out.q)
 		}
+		ck.journal.Emit(obs.Event{
+			Type: "quarantine", FS: ck.caps.Name, Workload: ck.w.Name,
+			Fence: out.q.Fence, Sys: out.q.Sys, Rank: out.q.Rank,
+			Phase: out.q.Phase.String(), Kind: out.q.Kind.String(),
+			StateKey: fmt.Sprintf("%016x", out.q.StateKey),
+			Detail:   out.q.Detail,
+		})
 	}
 	if out.v != nil {
 		ck.reportViolation(*out.v)
+		ck.journal.Emit(obs.Event{
+			Type: "violation", FS: ck.caps.Name, Workload: ck.w.Name,
+			Fence: out.ctx.fence, Sys: out.ctx.sys, Rank: out.ctx.rank,
+			Phase: out.v.Phase.String(), Kind: out.v.Kind.String(),
+			Detail: firstLine(out.v.Detail),
+		})
 	}
 }
 
@@ -83,7 +108,7 @@ func (ck *checker) fold(out checkOutcome) {
 func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crashCtx) checkOutcome {
 	cctx.subset = subset
 	if ck.cfg.DisableSandbox && !ck.cfg.Faults.Enabled() {
-		return checkOutcome{done: true, v: ck.checkDirect(img, log, subset, cctx)}
+		return checkOutcome{done: true, v: ck.checkDirect(img, log, subset, cctx), ctx: cctx}
 	}
 
 	timeout := ck.cfg.CheckTimeout
@@ -107,13 +132,14 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 		case last.cancelled:
 			return checkOutcome{cancelled: true}
 		case last.ok:
-			return checkOutcome{done: true, v: last.v, retried: attempts > 1}
+			return checkOutcome{done: true, v: last.v, retried: attempts > 1, ctx: cctx}
 		case last.media != nil:
 			// An injected media fault is deterministic by construction:
 			// classify immediately, no retry, no quarantine — it is a
 			// modeled crash outcome, not a checker failure.
+			ck.obs.Inc(obs.CtrFaultsInjected)
 			return checkOutcome{done: true, v: ck.violation(cctx, VUnreadable,
-				fmt.Sprintf("reading recovered state failed: %v", last.media))}
+				fmt.Sprintf("reading recovered state failed: %v", last.media)), ctx: cctx}
 		}
 		if attempts <= retries {
 			time.Sleep(backoff)
@@ -141,17 +167,43 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 		Stack:    last.stack,
 		Attempts: attempts,
 	}
-	return checkOutcome{done: true, v: ck.violation(cctx, kind, detail), q: q}
+	return checkOutcome{done: true, v: ck.violation(cctx, kind, detail), q: q, ctx: cctx}
 }
 
 // attempt runs one sandboxed check attempt: materialize the crash image
-// into pooled buffers, apply injected faults, mount and check — all on a
-// fresh goroutine guarded by recover() and a watchdog timer.
+// into pooled buffers and apply injected faults on the dispatching side,
+// then mount and check on a fresh goroutine guarded by recover() and a
+// watchdog timer.
+//
+// Replay runs OUTSIDE the sandbox goroutine on purpose: the working image
+// belongs to the coordinator, which keeps advancing it after a timed-out
+// goroutine is abandoned — a goroutine still reading img at that point is
+// a data race. Replay is trusted engine code (no guest involvement), so
+// only the guest-facing mount/check phase needs containment; media-error
+// panics are raised at read time, inside that phase. It also means the
+// replay stage window is a synchronous span of the dispatcher's timeline,
+// which keeps the -stats stage sum tracking wall-clock.
 func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashCtx, timeout time.Duration) attemptResult {
+	rt := ck.obs.Start()
+	persistent := ck.pool.Get().([]byte)
+	volatile := ck.pool.Get().([]byte)
+	inj := ck.injector(cctx)
+	ck.materialize(persistent, img, log, subset, inj)
+	if inj != nil {
+		if _, _, flipped := inj.FlipBit(persistent); flipped {
+			ck.obs.Inc(obs.CtrFaultsInjected)
+		}
+	}
+	copy(volatile, persistent)
+	ck.obs.ObserveSince(obs.StageReplay, rt)
+	dev := pmem.WrapImages(volatile, persistent)
+	dev.InjectFaults(inj)
+
+	// The mount window opens before the spawn so the goroutine handoff
+	// bills to mount — the windows tile across the sandbox boundary.
+	mt := ck.obs.Start()
 	done := make(chan attemptResult, 1)
 	go func() {
-		persistent := ck.pool.Get().([]byte)
-		volatile := ck.pool.Get().([]byte)
 		defer func() {
 			if r := recover(); r != nil {
 				// Every attempt re-copies the buffers in full before use,
@@ -170,19 +222,13 @@ func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashC
 			}
 		}()
 
-		inj := ck.injector(cctx)
-		ck.materialize(persistent, img, log, subset, inj)
-		if inj != nil {
-			inj.FlipBit(persistent)
-		}
-		copy(volatile, persistent)
-		dev := pmem.WrapImages(volatile, persistent)
-		dev.InjectFaults(inj)
-		v := ck.checkState(dev, cctx)
+		v, ct := ck.checkState(dev, cctx, mt)
 
+		// A timed-out check was abandoned together with these buffers; only
+		// the goroutine itself knows when they are safe to recycle.
 		ck.pool.Put(persistent) //nolint:staticcheck
 		ck.pool.Put(volatile)   //nolint:staticcheck
-		done <- attemptResult{ok: true, v: v}
+		done <- attemptResult{ok: true, v: v, checkStart: ct}
 	}()
 
 	var timerC <-chan time.Time
@@ -197,6 +243,9 @@ func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashC
 	}
 	select {
 	case r := <-done:
+		if r.ok {
+			ck.obs.ObserveSince(obs.StageCheck, r.checkStart)
+		}
 		return r
 	case <-timerC:
 		return attemptResult{timedOut: true}
@@ -215,9 +264,13 @@ func (ck *checker) checkDirect(img []byte, log *trace.Log, subset []int, cctx cr
 		ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
 		ck.pool.Put(volatile)   //nolint:staticcheck
 	}()
+	rt := ck.obs.Start()
 	ck.materialize(persistent, img, log, subset, nil)
 	copy(volatile, persistent)
-	return ck.checkState(pmem.WrapImages(volatile, persistent), cctx)
+	ck.obs.ObserveSince(obs.StageReplay, rt)
+	v, ct := ck.checkState(pmem.WrapImages(volatile, persistent), cctx, ck.obs.Start())
+	ck.obs.ObserveSince(obs.StageCheck, ct)
+	return v
 }
 
 // materialize builds the crash image: base bytes plus the replayed subset,
@@ -230,6 +283,9 @@ func (ck *checker) materialize(persistent, img []byte, log *trace.Log, subset []
 			continue
 		}
 		n := inj.TornPrefix(uint64(e.Seq), len(e.Data))
+		if n < len(e.Data) {
+			ck.obs.Inc(obs.CtrFaultsInjected)
+		}
 		copy(persistent[e.Off:e.Off+int64(n)], e.Data[:n])
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 
 	"chipmunk/internal/core"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/workload"
 )
 
@@ -51,7 +52,11 @@ type Fuzzer struct {
 	// the whole campaign; RetriedChecks counts transient check retries.
 	Quarantined   int
 	RetriedChecks int
-	crashSaves    int
+	// ObsTotals merges every exec's per-run metrics snapshot — the
+	// campaign-wide stage/counter totals. Nil until an exec runs with
+	// Config.Obs set.
+	ObsTotals  *obs.Snapshot
+	crashSaves int
 }
 
 // New builds a fuzzer. seeds may be empty (the paper's runs start with an
@@ -206,6 +211,12 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 	f.Execs++
 	f.StatesChecked += res.StatesChecked
 	f.RetriedChecks += res.RetriedChecks
+	if res.Obs != nil {
+		if f.ObsTotals == nil {
+			f.ObsTotals = &obs.Snapshot{}
+		}
+		f.ObsTotals.Merge(*res.Obs)
+	}
 	if n := len(res.Quarantined) + res.SuppressedQuarantine; n > 0 {
 		f.Quarantined += n
 		f.saveCrash("sandbox", w)

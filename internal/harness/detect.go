@@ -8,6 +8,7 @@ import (
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
 	"chipmunk/internal/fuzz"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/workload"
 )
 
@@ -32,11 +33,16 @@ type DetectOptions struct {
 	PostOnly bool
 	// Workers is the in-engine crash-state worker count (<= 1 = serial).
 	Workers int
+	// Obs receives per-stage metrics from the detection's engine runs
+	// (nil = off); Journal receives their run-journal events.
+	Obs     *obs.Collector
+	Journal *obs.Journal
 }
 
 // config builds the engine Config for one detection run.
 func (o DetectOptions) config(sys System, set bugs.Set) core.Config {
-	cfg := Options{Bugs: set, Cap: o.Cap, Workers: o.Workers}.ConfigFor(sys)
+	cfg := Options{Bugs: set, Cap: o.Cap, Workers: o.Workers,
+		Obs: o.Obs, Journal: o.Journal}.ConfigFor(sys)
 	cfg.PostOnly = o.PostOnly
 	return cfg
 }

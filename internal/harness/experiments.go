@@ -9,6 +9,7 @@ import (
 	"chipmunk/internal/ace"
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/workload"
 )
 
@@ -272,7 +273,12 @@ type Census struct {
 	// RetriedChecks counts checks that succeeded only after a sandbox
 	// retry (transient failures, e.g. pool pressure).
 	RetriedChecks int
-	Elapsed       time.Duration
+	// Obs is the merged per-stage metrics snapshot across the suite's
+	// engine runs — nil unless Config.Obs was set. Merging is commutative
+	// (sums, maxima, histogram-bucket adds), so serial and parallel runs
+	// of the same suite agree on every counter.
+	Obs     *obs.Snapshot
+	Elapsed time.Duration
 }
 
 // InFlightCensus measures the average and maximum in-flight write counts

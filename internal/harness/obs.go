@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"chipmunk/internal/obs"
+)
+
+// This file is the CLIs' shared observability frontend: the -stats,
+// -journal, and -debug-addr flags and the Instrumentation bundle they
+// resolve to. The three commands bind the same flags, build one
+// Instrumentation, apply it to their Options, and close it on exit — the
+// same pattern FlagSpec established for the engine tuning flags.
+
+// ObsFlagSpec holds the raw values of the shared observability flags
+// between flag registration and parsing.
+type ObsFlagSpec struct {
+	Stats     *bool
+	Journal   *string
+	DebugAddr *string
+}
+
+// BindObsFlags registers the shared -stats, -journal, and -debug-addr
+// flags on fl. Call fl.Parse, then Instrument to resolve the parsed
+// values.
+func BindObsFlags(fl *flag.FlagSet) *ObsFlagSpec {
+	return &ObsFlagSpec{
+		Stats: fl.Bool("stats", false,
+			"print the per-stage time/counter breakdown after the run"),
+		Journal: fl.String("journal", "",
+			"append one JSONL event per workload/fence/violation/quarantine/retry to this file"),
+		DebugAddr: fl.String("debug-addr", "",
+			"serve live introspection (/debug/vars, /debug/pprof/, /progress) on this host:port"),
+	}
+}
+
+// Instrument resolves the parsed flags into an Instrumentation. All three
+// facilities are off by default; the returned value (possibly holding only
+// nils) is always safe to Apply and Close. Errors (unwritable journal
+// path, unbindable debug address) are reported, not ignored.
+func (s *ObsFlagSpec) Instrument() (*Instrumentation, error) {
+	in := &Instrumentation{stats: *s.Stats}
+	if *s.Stats || *s.DebugAddr != "" {
+		in.Col = obs.New()
+	}
+	if *s.Journal != "" {
+		j, err := obs.Create(*s.Journal)
+		if err != nil {
+			return nil, err
+		}
+		in.Journal = j
+	}
+	if *s.DebugAddr != "" {
+		ds, err := obs.ServeDebug(*s.DebugAddr, in.Col)
+		if err != nil {
+			in.Journal.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		in.Debug = ds
+	}
+	return in, nil
+}
+
+// Instrumentation bundles one run's observability plumbing: the live
+// metrics collector, the run journal, and the debug listener. Any field
+// may be nil (that facility is off); all methods are nil-safe on the
+// receiver too, so call sites need no guards.
+type Instrumentation struct {
+	Col     *obs.Collector
+	Journal *obs.Journal
+	Debug   *obs.DebugServer
+	stats   bool
+}
+
+// Apply wires the instrumentation into an Options value.
+func (in *Instrumentation) Apply(o *Options) {
+	if in == nil {
+		return
+	}
+	o.Obs = in.Col
+	o.Journal = in.Journal
+}
+
+// EmitRun journals the run-level header event (suite size, target FS).
+func (in *Instrumentation) EmitRun(fsName string, workloads int) {
+	if in == nil {
+		return
+	}
+	in.Journal.Emit(obs.Event{Type: "run", FS: fsName, Sys: -1, States: workloads})
+}
+
+// Progress publishes suite progress to the debug listener; shaped to slot
+// into a WithProgress callback.
+func (in *Instrumentation) Progress(done, total int, c Census) {
+	if in == nil {
+		return
+	}
+	in.Debug.SetProgress(obs.ProgressInfo{
+		Done: done, Total: total,
+		StatesChecked: c.StatesChecked, Violations: c.Violations,
+	})
+}
+
+// RenderStats formats the -stats breakdown against the run's wall-clock
+// time, or returns "" when -stats was not requested.
+func (in *Instrumentation) RenderStats(wall time.Duration) string {
+	if in == nil || !in.stats || in.Col == nil {
+		return ""
+	}
+	snap := in.Col.Snapshot()
+	return snap.Render(wall)
+}
+
+// Close flushes and closes the journal and shuts the debug listener down,
+// reporting the first error.
+func (in *Instrumentation) Close() error {
+	if in == nil {
+		return nil
+	}
+	var first error
+	if err := in.Journal.Close(); err != nil && first == nil {
+		first = fmt.Errorf("journal: %w", err)
+	}
+	if err := in.Debug.Close(); err != nil && first == nil {
+		first = fmt.Errorf("debug server: %w", err)
+	}
+	return first
+}

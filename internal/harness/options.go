@@ -9,6 +9,7 @@ import (
 
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/pmem"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// Faults enables the pmem fault injector for crash-state checks
 	// (nil = off).
 	Faults *pmem.FaultConfig
+	// Obs receives per-stage metrics from every engine run (nil = off;
+	// the engine then skips all clock reads).
+	Obs *obs.Collector
+	// Journal receives run-journal events from every engine run (nil = off).
+	Journal *obs.Journal
 }
 
 // Resolve looks up the system and builds its engine Config.
@@ -53,6 +59,8 @@ func (o Options) ConfigFor(sys System) core.Config {
 		CheckTimeout:    o.CheckTimeout,
 		ExhaustiveLimit: o.ExhaustiveLimit,
 		Faults:          o.Faults,
+		Obs:             o.Obs,
+		Journal:         o.Journal,
 	}
 }
 

@@ -9,12 +9,19 @@ import (
 	"time"
 
 	"chipmunk/internal/core"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/workload"
 )
 
 // Progress is the suite-progress callback: done workloads out of total,
-// with a snapshot of the census so far. Calls are serialized (under a lock
-// in parallel mode), one per completed workload.
+// with a snapshot of the census so far. Calls are always serialized, and
+// never run under the aggregation lock. In serial mode there is one
+// synchronous call per completed workload; in parallel mode updates are
+// delivered from a dedicated goroutine and COALESCED — a slow callback
+// (e.g. a terminal printer) observes the latest census rather than
+// queueing one call per workload, so it can never serialize the workers.
+// The final completed-workload update is always delivered before Run
+// returns.
 type Progress func(done, total int, c Census)
 
 // Option tunes a Run call.
@@ -41,9 +48,85 @@ func WithStopOnFirstBug() Option {
 	return func(rc *runConfig) { rc.stopOnce = true }
 }
 
-// WithProgress reports progress after every completed workload.
+// WithProgress reports suite progress as workloads complete (see Progress
+// for the delivery contract).
 func WithProgress(fn Progress) Option {
 	return func(rc *runConfig) { rc.progress = fn }
+}
+
+// notifier delivers progress callbacks for the parallel path from its own
+// goroutine so the aggregation lock is never held across user code.
+// Posts coalesce: only the latest pending update is kept, and the wake
+// channel holds at most one token, so posting is non-blocking no matter
+// how slow the callback is.
+type notifier struct {
+	fn      Progress
+	total   int
+	mu      sync.Mutex
+	pending *progressUpdate
+	wake    chan struct{}
+	idle    chan struct{}
+}
+
+type progressUpdate struct {
+	done int
+	c    Census
+}
+
+func newNotifier(fn Progress, total int) *notifier {
+	n := &notifier{fn: fn, total: total, wake: make(chan struct{}, 1), idle: make(chan struct{})}
+	go n.loop()
+	return n
+}
+
+// post records an update and nudges the delivery goroutine. Nil-safe
+// (no WithProgress = no notifier) and safe under the aggregation lock's
+// caller — but call it after unlocking anyway; it only takes its own
+// micro-lock.
+func (n *notifier) post(done int, c Census) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.pending = &progressUpdate{done: done, c: c}
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default: // a wake-up is already queued; it will see this update
+	}
+}
+
+func (n *notifier) loop() {
+	defer close(n.idle)
+	for range n.wake {
+		n.mu.Lock()
+		u := n.pending
+		n.pending = nil
+		n.mu.Unlock()
+		if u != nil {
+			n.fn(u.done, n.total, u.c)
+		}
+	}
+}
+
+// stop drains and shuts the delivery goroutine down. Call only after all
+// posts have happened (post-wg.Wait); every posted update is guaranteed
+// delivered or superseded by a later one that is.
+func (n *notifier) stop() {
+	if n == nil {
+		return
+	}
+	close(n.wake)
+	<-n.idle
+	// Belt and braces: a pending update can't survive the drain (a kept
+	// pending implies a queued wake token), but deliver it if it did.
+	n.mu.Lock()
+	u := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	if u != nil {
+		n.fn(u.done, n.total, u.c)
+	}
 }
 
 // Run executes a workload suite against a system configuration and
@@ -107,7 +190,11 @@ func Run(ctx context.Context, cfg core.Config, suite []workload.Workload, opts .
 	errs := make([]error, len(suite))
 	var next int64
 	var stop atomic.Bool
-	var mu sync.Mutex // guards agg and progress calls
+	var mu sync.Mutex // guards agg only; progress runs on the notifier goroutine
+	var note *notifier
+	if rc.progress != nil {
+		note = newNotifier(rc.progress, len(suite))
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -129,10 +216,9 @@ func Run(ctx context.Context, cfg core.Config, suite []workload.Workload, opts .
 				results[j] = res
 				mu.Lock()
 				agg.add(res)
-				if rc.progress != nil {
-					rc.progress(agg.c.Workloads, len(suite), *agg.c)
-				}
+				done, snap := agg.c.Workloads, *agg.c
 				mu.Unlock()
+				note.post(done, snap)
 				if rc.stopOnce && res.Buggy() {
 					stop.Store(true)
 				}
@@ -140,6 +226,7 @@ func Run(ctx context.Context, cfg core.Config, suite []workload.Workload, opts .
 		}()
 	}
 	wg.Wait()
+	note.stop()
 
 	// Rebuild the quarantine ledger in suite order: add folded it in
 	// completion order (fine for progress snapshots), but the final census
@@ -183,6 +270,12 @@ func (a *aggregator) add(res *core.Result) {
 	a.c.Quarantined = append(a.c.Quarantined, res.Quarantined...)
 	a.c.SuppressedQuarantine += res.SuppressedQuarantine
 	a.c.RetriedChecks += res.RetriedChecks
+	if res.Obs != nil {
+		if a.c.Obs == nil {
+			a.c.Obs = &obs.Snapshot{}
+		}
+		a.c.Obs.Merge(*res.Obs)
+	}
 }
 
 func (a *aggregator) finish(elapsed time.Duration) {

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressInfo is the live view /progress serves: how far the run is and
+// what it has found so far. Producers update it via DebugServer.SetProgress
+// (or a harness Instrumentation wrapper).
+type ProgressInfo struct {
+	Done          int     `json:"done"`
+	Total         int     `json:"total"`
+	StatesChecked int     `json:"states_checked"`
+	Violations    int     `json:"violations"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+}
+
+// DebugServer is the opt-in live-introspection listener (-debug-addr): it
+// serves an expvar-style JSON dump of the live metrics snapshot at
+// /debug/vars, the standard pprof handlers under /debug/pprof/, and the
+// run's progress at /progress. It reads the collector with atomic loads
+// only, so watching a run costs the workers nothing.
+type DebugServer struct {
+	ln       net.Listener
+	srv      *http.Server
+	col      *Collector
+	start    time.Time
+	progress atomic.Value // ProgressInfo
+}
+
+// ServeDebug starts the listener on addr (host:port; port 0 picks a free
+// one) reading live metrics from col (which may be nil — endpoints then
+// serve empty snapshots). The server runs until Close.
+func ServeDebug(addr string, col *Collector) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	ds := &DebugServer{ln: ln, col: col, start: time.Now()}
+	ds.progress.Store(ProgressInfo{})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", ds.handleVars)
+	mux.HandleFunc("/progress", ds.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go ds.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.ln.Addr().String()
+}
+
+// SetProgress publishes the run's current progress for /progress.
+// Nil-safe and lock-free.
+func (ds *DebugServer) SetProgress(p ProgressInfo) {
+	if ds == nil {
+		return
+	}
+	if p.ElapsedSec == 0 {
+		p.ElapsedSec = time.Since(ds.start).Seconds()
+	}
+	ds.progress.Store(p)
+}
+
+// Close shuts the listener down.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}
+
+func (ds *DebugServer) handleVars(w http.ResponseWriter, _ *http.Request) {
+	snap := ds.col.Snapshot()
+	writeJSON(w, map[string]any{
+		"uptime_sec": time.Since(ds.start).Seconds(),
+		"obs":        snap,
+		"progress":   ds.progress.Load(),
+	})
+}
+
+func (ds *DebugServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	p, _ := ds.progress.Load().(ProgressInfo)
+	if p.ElapsedSec == 0 {
+		p.ElapsedSec = time.Since(ds.start).Seconds()
+	}
+	writeJSON(w, p)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort debug endpoint
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	col := New()
+	col.Observe(StageCheck, time.Millisecond)
+	col.Inc(CtrStatesChecked)
+
+	ds, err := ServeDebug("127.0.0.1:0", col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ds.SetProgress(ProgressInfo{Done: 3, Total: 10, StatesChecked: 42, Violations: 1})
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var vars struct {
+		UptimeSec float64      `json:"uptime_sec"`
+		Obs       Snapshot     `json:"obs"`
+		Progress  ProgressInfo `json:"progress"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if vars.Obs.Count(CtrStatesChecked) != 1 {
+		t.Fatalf("vars.obs counters = %v", vars.Obs.Counters)
+	}
+	if vars.Progress.Done != 3 || vars.Progress.Total != 10 {
+		t.Fatalf("vars.progress = %+v", vars.Progress)
+	}
+
+	var p ProgressInfo
+	if err := json.Unmarshal(get("/progress"), &p); err != nil {
+		t.Fatalf("progress not JSON: %v", err)
+	}
+	if p.StatesChecked != 42 || p.Violations != 1 {
+		t.Fatalf("progress = %+v", p)
+	}
+	if p.ElapsedSec < 0 {
+		t.Fatalf("elapsed = %v", p.ElapsedSec)
+	}
+
+	// pprof index is mounted (the profile endpoints themselves block).
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Fatal("pprof index empty")
+	}
+
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Nil receiver contract.
+	var nilDS *DebugServer
+	nilDS.SetProgress(ProgressInfo{})
+	if nilDS.Addr() != "" || nilDS.Close() != nil {
+		t.Fatal("nil DebugServer methods not no-ops")
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	in := []Event{
+		{Type: "run", FS: "nova", Sys: -1},
+		{Type: "fence", FS: "nova", Workload: "w1", Fence: 2, Sys: 1, Phase: "mid", InFlight: 3, States: 7, Deduped: 1, DurNanos: 42},
+		{Type: "violation", FS: "nova", Workload: "w1", Fence: 2, Sys: 1, Kind: "atomicity", Detail: "matches neither"},
+	}
+	for _, e := range in {
+		j.Emit(e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != int64(len(in)) {
+		t.Fatalf("Events() = %d, want %d", j.Events(), len(in))
+	}
+
+	out, skipped, err := ReadJournal(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("read: err=%v skipped=%d", err, skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Time.IsZero() {
+			t.Fatalf("event %d missing emit timestamp", i)
+		}
+		if got, want := out[i].CanonicalKey(), in[i].CanonicalKey(); got != want {
+			t.Fatalf("event %d canonical key mismatch:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestJournalTolerantReader: corrupt, truncated, and blank lines are
+// skipped and counted — never fatal. A journal from a killed run must
+// still parse.
+func TestJournalTolerantReader(t *testing.T) {
+	raw := strings.Join([]string{
+		`{"t":"2026-08-05T10:00:00Z","type":"run","fs":"nova","sys":-1,"rank":0}`,
+		``,
+		`{"type":"fence","fs":"nova","sys":0,` /* truncated mid-object */,
+		`this is not json at all`,
+		`{"t":"2026-08-05T10:00:01Z","sys":0,"rank":0}` /* valid JSON, no type */,
+		`{"t":"2026-08-05T10:00:02Z","type":"workload","workload":"w","sys":-1,"rank":0}`,
+	}, "\n")
+	events, skipped, err := ReadJournal(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+	if events[0].Type != "run" || events[1].Type != "workload" {
+		t.Fatalf("wrong events survived: %+v", events)
+	}
+}
+
+func TestCanonicalKeyClearsWallClock(t *testing.T) {
+	a := Event{Time: time.Now(), Type: "fence", Fence: 1, Sys: 0, DurNanos: 111}
+	b := Event{Time: time.Now().Add(time.Hour), Type: "fence", Fence: 1, Sys: 0, DurNanos: 999}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatal("canonical keys differ on wall-clock-only fields")
+	}
+	c := Event{Type: "fence", Fence: 2, Sys: 0}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Fatal("canonical keys collide across different fences")
+	}
+}
+
+func TestJournalCreateFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Type: "run", FS: "pmfs", Sys: -1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent (CLIs close once explicitly and once deferred).
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	events, skipped, err := ReadJournalFile(path)
+	if err != nil || skipped != 0 || len(events) != 1 {
+		t.Fatalf("read back: events=%d skipped=%d err=%v", len(events), skipped, err)
+	}
+	data, _ := os.ReadFile(path)
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatal("journal not newline-terminated")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDisabledSinkAllocs pins the contract the engine's hot path relies
+// on: every method of a nil collector and a nil journal returns without
+// allocating (and Start never reads the clock, returning the zero time).
+func TestDisabledSinkAllocs(t *testing.T) {
+	var c *Collector
+	var j *Journal
+	allocs := testing.AllocsPerRun(100, func() {
+		st := c.Start()
+		c.ObserveSince(StageCheck, st)
+		c.Observe(StageMount, time.Millisecond)
+		c.Inc(CtrStatesChecked)
+		c.Add(CtrFences, 3)
+		c.RecordPM(1, 2, 3, 4, 5, 6)
+		j.Emit(Event{Type: "fence"})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled sink allocated %v times per op, want 0", allocs)
+	}
+	if !(*Collector)(nil).Start().IsZero() {
+		t.Fatal("nil collector Start() read the clock")
+	}
+}
+
+func TestCollectorObserveSnapshot(t *testing.T) {
+	c := New()
+	c.Observe(StageMount, 100*time.Microsecond)
+	c.Observe(StageMount, 300*time.Microsecond)
+	c.Observe(StageCheck, time.Millisecond)
+	c.Inc(CtrStatesChecked)
+	c.Add(CtrDedupHits, 4)
+	c.RecordPM(10, 20, 3, 4, 5, 600)
+
+	s := c.Snapshot()
+	mount := s.Stage(StageMount)
+	if mount.Count != 2 || mount.Nanos != int64(400*time.Microsecond) {
+		t.Fatalf("mount stat = %+v, want count 2, 400us total", mount)
+	}
+	if mount.MaxNanos != int64(300*time.Microsecond) {
+		t.Fatalf("mount max = %d, want 300us", mount.MaxNanos)
+	}
+	if mount.Avg() != 200*time.Microsecond {
+		t.Fatalf("mount avg = %v", mount.Avg())
+	}
+	if q := mount.Quantile(0.99); q < 300*time.Microsecond {
+		t.Fatalf("p99 %v below max observation", q)
+	}
+	if s.Count(CtrStatesChecked) != 1 || s.Count(CtrDedupHits) != 4 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Count(CtrViolations) != 0 {
+		t.Fatal("untouched counter nonzero")
+	}
+	if s.PM.SimNanos != 600 || s.PM.StoreBytes != 10 {
+		t.Fatalf("pm = %+v", s.PM)
+	}
+	if got, want := s.StageTotal(), 1400*time.Microsecond; got != want {
+		t.Fatalf("StageTotal = %v, want %v", got, want)
+	}
+}
+
+// TestMergeCommutes: snapshot merging is commutative and lossless — the
+// property that makes serial and parallel censuses agree.
+func TestMergeCommutes(t *testing.T) {
+	a := New()
+	a.Observe(StageCheck, time.Millisecond)
+	a.Inc(CtrStatesChecked)
+	a.RecordPM(1, 0, 0, 0, 0, 10)
+	b := New()
+	b.Observe(StageCheck, 3*time.Millisecond)
+	b.Observe(StageOracle, time.Microsecond)
+	b.Add(CtrStatesChecked, 2)
+
+	ab, ba := a.Snapshot(), b.Snapshot()
+	ab.Merge(b.Snapshot())
+	ba.Merge(a.Snapshot())
+
+	if ab.Count(CtrStatesChecked) != 3 || ba.Count(CtrStatesChecked) != 3 {
+		t.Fatalf("merged counters: ab=%d ba=%d", ab.Count(CtrStatesChecked), ba.Count(CtrStatesChecked))
+	}
+	if ab.Stage(StageCheck) != ba.Stage(StageCheck) {
+		t.Fatal("merged check stats differ by order")
+	}
+	if ab.Stage(StageCheck).MaxNanos != int64(3*time.Millisecond) {
+		t.Fatalf("merged max = %d", ab.Stage(StageCheck).MaxNanos)
+	}
+	if ab.StageTotal() != ba.StageTotal() {
+		t.Fatal("merged totals differ by order")
+	}
+
+	// Collector-level merge (the campaign collector) agrees too.
+	camp := New()
+	camp.Merge(a.Snapshot())
+	camp.Merge(b.Snapshot())
+	if got := camp.Snapshot(); got.Count(CtrStatesChecked) != 3 ||
+		got.Stage(StageCheck) != ab.Stage(StageCheck) || got.PM != ab.PM {
+		t.Fatalf("collector merge diverges from snapshot merge: %+v", got)
+	}
+}
+
+func TestSnapshotRender(t *testing.T) {
+	c := New()
+	c.Observe(StageMount, time.Millisecond)
+	c.Observe(StageCheck, 2*time.Millisecond)
+	c.Inc(CtrStatesChecked)
+	c.RecordPM(1, 2, 3, 4, 5, 6)
+	s := c.Snapshot()
+	out := s.Render(10 * time.Millisecond)
+	for _, want := range []string{"mount", "check", "sum", "states-checked=1", "% wall", "pm: "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "oracle") {
+		t.Fatalf("render shows empty stage:\n%s", out)
+	}
+	// Zero wall omits percentages but still renders.
+	if out := s.Render(0); !strings.Contains(out, "mount") {
+		t.Fatalf("wall-less render broken:\n%s", out)
+	}
+	var nilSnap *Snapshot
+	if got := nilSnap.Render(time.Second); !strings.Contains(got, "no metrics") {
+		t.Fatalf("nil render = %q", got)
+	}
+}
+
+func TestNilSnapshotAccessors(t *testing.T) {
+	var s *Snapshot
+	if s.Count(CtrFences) != 0 || s.Stage(StageMount).Count != 0 || s.StageTotal() != 0 {
+		t.Fatal("nil snapshot accessors not zero")
+	}
+}
+
+// TestObserveBucketsSpan: durations land in ascending log2 buckets and
+// overflow clamps to the last bucket instead of indexing out of range.
+func TestObserveBucketsSpan(t *testing.T) {
+	c := New()
+	c.Observe(StageCheck, 0)
+	c.Observe(StageCheck, time.Nanosecond)
+	c.Observe(StageCheck, time.Hour)
+	snap := c.Snapshot()
+	st := snap.Stage(StageCheck)
+	if st.Count != 3 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	var n int64
+	for _, b := range st.Buckets {
+		n += b
+	}
+	if n != 3 {
+		t.Fatalf("bucket sum = %d, want 3", n)
+	}
+	if st.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("1h observation not clamped to last bucket: %v", st.Buckets[histBuckets-1])
+	}
+}

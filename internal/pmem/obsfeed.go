@@ -1,0 +1,12 @@
+package pmem
+
+import "chipmunk/internal/obs"
+
+// Feed accumulates the device's cost-model counters into an observability
+// collector (nil-safe: feeding a nil collector is a no-op). The engine
+// calls this after the record pass so the -stats breakdown carries the
+// simulated-PM numbers (store/flush/fence counts, simulated nanoseconds)
+// next to the real-time stage timings.
+func (s Stats) Feed(c *obs.Collector) {
+	c.RecordPM(s.StoreBytes, s.NTBytes, s.Flushes, s.LinesFlushed, s.Fences, s.SimNanos)
+}
