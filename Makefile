@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -short -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates BENCH_core.json: the materialization cost matrix
+# ({delta, full-copy} x {workers 1,4} x {device 1x,2x}) the perf acceptance
+# gates read. Best-of-3 per cell; see cmd/benchcore.
+bench:
+	$(GO) run ./cmd/benchcore -o BENCH_core.json
+
+# bench-smoke is the CI variant: one round, printed to stdout.
+bench-smoke:
+	$(GO) run ./cmd/benchcore -rounds 1

@@ -1,0 +1,132 @@
+// Command benchcore measures the engine's crash-image materialization cost
+// and writes the numbers the perf acceptance gates read, as JSON:
+//
+//	benchcore -o BENCH_core.json            # full matrix, best-of-3
+//	benchcore -rounds 1                     # CI smoke, print to stdout
+//
+// The matrix crosses {delta, full-copy} x {workers 1, 4} x {device 1x, 2x}
+// on the exhaustive data-heavy workload BenchmarkEngineParallel uses. Each
+// row carries ns/state, states/sec, and the per-state byte traffic taken
+// from the obs materialization counters — under the delta path the bytes
+// must track the workload's diff, not the device size.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"chipmunk/internal/bugs"
+	"chipmunk/internal/core"
+	"chipmunk/internal/harness"
+	"chipmunk/internal/obs"
+	"chipmunk/internal/workload"
+)
+
+// Row is one cell of the measurement matrix.
+type Row struct {
+	Mode             string  `json:"mode"` // "delta" or "full-copy"
+	Workers          int     `json:"workers"`
+	DevSize          int64   `json:"dev_size"`
+	States           int64   `json:"states"`
+	NsPerState       float64 `json:"ns_per_state"`
+	StatesPerSec     float64 `json:"states_per_sec"`
+	MatBytesPerState float64 `json:"mat_bytes_per_state"`
+	PrimeBytes       int64   `json:"prime_bytes"`
+	RolledBackBytes  int64   `json:"rolled_back_bytes"`
+	ImagePrimes      int64   `json:"image_primes"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Rounds int    `json:"rounds"`
+	FS     string `json:"fs"`
+	Rows   []Row  `json:"rows"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "write the JSON report here (default stdout)")
+		rounds = flag.Int("rounds", 3, "runs per cell; the fastest is reported")
+		fsName = flag.String("fs", "nova", "target file system")
+	)
+	flag.Parse()
+
+	sys, err := harness.SystemByName(*fsName)
+	fatalIf(err)
+	w := workload.Workload{Name: "benchcore", Ops: []workload.Op{
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Off: 0, Size: 16384, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+
+	rep := Report{Schema: "bench_core/v1", Go: runtime.Version(), Rounds: *rounds, FS: sys.Name}
+	for _, fullCopy := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			for _, devSize := range []int64{core.DefaultDevSize, 2 * core.DefaultDevSize} {
+				rep.Rows = append(rep.Rows, measure(sys, w, fullCopy, workers, devSize, *rounds))
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	fatalIf(err)
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	fatalIf(os.WriteFile(*out, enc, 0o644))
+	fmt.Printf("wrote %s (%d rows)\n", *out, len(rep.Rows))
+}
+
+func measure(sys harness.System, w workload.Workload, fullCopy bool, workers int, devSize int64, rounds int) Row {
+	best := Row{Mode: "delta", Workers: workers, DevSize: devSize}
+	if fullCopy {
+		best.Mode = "full-copy"
+	}
+	for r := 0; r < rounds; r++ {
+		col := obs.New()
+		cfg := harness.Options{
+			Bugs: bugs.None(), Cap: 0, Workers: workers,
+			DisableDeltaMaterialize: fullCopy, Obs: col,
+		}.ConfigFor(sys)
+		cfg.DevSize = devSize
+		start := time.Now()
+		res, err := core.Run(cfg, w)
+		elapsed := time.Since(start)
+		fatalIf(err)
+		if res.Buggy() {
+			fatalIf(fmt.Errorf("benchcore workload violated on a fixed system"))
+		}
+		snap := col.Snapshot()
+		states := snap.Count(obs.CtrStatesChecked)
+		if states == 0 {
+			fatalIf(fmt.Errorf("no crash states checked"))
+		}
+		nsPerState := float64(elapsed.Nanoseconds()) / float64(states)
+		if best.States != 0 && nsPerState >= best.NsPerState {
+			continue
+		}
+		best.States = states
+		best.NsPerState = nsPerState
+		best.StatesPerSec = float64(states) / elapsed.Seconds()
+		best.MatBytesPerState = float64(snap.Count(obs.CtrBytesMaterialized)) / float64(states)
+		best.PrimeBytes = snap.Count(obs.CtrBytesPrimed)
+		best.RolledBackBytes = snap.Count(obs.CtrBytesRolledBack)
+		best.ImagePrimes = snap.Count(obs.CtrImagePrimes)
+	}
+	return best
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcore:", err)
+		os.Exit(1)
+	}
+}

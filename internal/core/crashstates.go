@@ -55,7 +55,22 @@ type checker struct {
 	scratch []byte
 	keyBuf  []byte
 	spans   []span
+
+	// pool holds full-device []byte buffers for the legacy full-copy
+	// materialization path (Config.DisableDeltaMaterialize); imgPool holds
+	// *workerImage pairs for the delta path. Both are primed lazily.
 	pool    sync.Pool
+	imgPool sync.Pool
+
+	// baseGen is the generation of the coordinator's working image: walk
+	// bumps it each time a fence advances the persistent base, and records
+	// in advance the in-flight writes that advance applied (valid when
+	// advGen == baseGen). A pooled image at baseGen-1 catches up by
+	// replaying advance instead of re-copying the device; see prime.
+	// Written by the coordinator only, between check dispatches.
+	baseGen int64
+	advance []int
+	advGen  int64
 }
 
 func (ck *checker) cancelled() error {
@@ -67,6 +82,16 @@ func (ck *checker) cancelled() error {
 
 // span is a half-open byte interval [lo, hi) on the device.
 type span struct{ lo, hi int64 }
+
+// crashState is one distinct crash state queued for checking: the replayed
+// in-flight subset plus the merged byte spans its writes cover — the exact
+// spans stateKey computed during dedup, reused by the delta materializer as
+// the replay recipe (apply) and the restore recipe (revert). The zero value
+// is a post-syscall state: empty subset, the base image itself.
+type crashState struct {
+	subset []int
+	spans  []span
+}
 
 // walk replays the trace, generating crash states at every fence and after
 // every system call (§3.3 "Constructing crash states").
@@ -85,6 +110,10 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 	img := append([]byte(nil), baseline...)
 	ck.scratch = make([]byte, len(img))
 	ck.pool.New = func() any { return make([]byte, len(img)) }
+	ck.imgPool.New = func() any { return newWorkerImage(len(img)) }
+	// No advance recipe exists yet: a fresh image (gen -1) at generation 0
+	// must full-prime, not replay an empty recipe.
+	ck.advGen = -1
 	ck.obs.ObserveSince(obs.StageReplay, wt)
 	var pending []int
 	lastDone := -1
@@ -120,10 +149,16 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 				}
 			}
 			// Advancing the persistent base past the fence is replay work.
+			// The applied write set is kept as the advance recipe: a pooled
+			// image one generation behind replays it instead of re-copying
+			// the whole device.
 			at := ck.obs.Start()
 			for _, idx := range pending {
 				trace.Apply(img, log.At(idx))
 			}
+			ck.advance = append(ck.advance[:0], pending...)
+			ck.baseGen++
+			ck.advGen = ck.baseGen
 			ck.obs.ObserveSince(obs.StageReplay, at)
 			pending = pending[:0]
 		case trace.KindSyscallEnd:
@@ -132,7 +167,7 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 				if err := ck.cancelled(); err != nil {
 					return err
 				}
-				out := ck.checkOne(img, log, nil, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
+				out := ck.checkOne(img, log, crashState{}, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
 				ck.fold(out)
 				if out.cancelled {
 					return ck.cancelled()
@@ -213,40 +248,43 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	}
 	dt := ck.obs.Start()
 
-	// Enumerate candidate subsets in canonical rank order: size ascending,
+	// Stream candidate subsets in canonical rank order — size ascending,
 	// lexicographic within a size, the full set last when not already the
-	// final combination. Rank order is the serial checking order, so the
-	// parallel path can restore it when merging results.
-	var subsets [][]int
-	subset := make([]int, 0, n)
-	collect := func(s []int) {
-		subsets = append(subsets, append([]int(nil), s...))
-	}
-	for size := 1; size <= cap; size++ {
-		combinations(pending, subset, 0, size, collect)
-	}
-	if cap < n || len(full) != len(pending) {
-		// The full set is the next persistent base; always check it
-		// (including when the Vinter filter kept nothing in flight).
-		subsets = append(subsets, append([]int(nil), full...))
-	}
-
-	// Dedup: drop subsets whose materialized image is byte-identical to one
-	// already queued at this crash point. The key is the exact diff against
-	// the base image, so equal keys mean equal images — no hash collisions,
-	// no silently skipped distinct states.
-	seen := make(map[string]struct{}, len(subsets))
-	distinct := subsets[:0]
+	// final combination — deduplicating as they are generated: each
+	// candidate's key is computed from the enumerator's shared recursion
+	// buffer, and only the distinct ones are copied out (together with their
+	// merged write spans, which the delta materializer reuses as the replay
+	// recipe). Duplicates cost one key computation and zero allocations.
+	// Rank order is the serial checking order, so the parallel path can
+	// restore it when merging results.
+	//
+	// Dedup key: the exact byte diff against the base image, so equal keys
+	// mean equal images — no hash collisions, no silently skipped distinct
+	// states.
+	seen := make(map[string]struct{}, n*n)
+	var distinct []crashState
 	dedupedHere := 0
-	for _, s := range subsets {
+	admit := func(s []int) {
 		k := ck.stateKey(img, log, s)
 		if _, dup := seen[k]; dup {
 			ck.res.StatesDeduped++
 			dedupedHere++
-			continue
+			return
 		}
 		seen[k] = struct{}{}
-		distinct = append(distinct, s)
+		distinct = append(distinct, crashState{
+			subset: append([]int(nil), s...),
+			spans:  append([]span(nil), ck.spans...),
+		})
+	}
+	subset := make([]int, 0, n)
+	for size := 1; size <= cap; size++ {
+		combinations(pending, subset, 0, size, admit)
+	}
+	if cap < n || len(full) != len(pending) {
+		// The full set is the next persistent base; always check it
+		// (including when the Vinter filter kept nothing in flight).
+		admit(full)
 	}
 	ck.obs.ObserveSince(obs.StageDedup, dt)
 
@@ -267,19 +305,19 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 // accounting — are folded in subset-rank order either way, and
 // StatesChecked counts exactly the states whose check reached a classified
 // outcome (clean, violating, or quarantined).
-func (ck *checker) runChecks(img []byte, log *trace.Log, distinct [][]int, cctx crashCtx) error {
+func (ck *checker) runChecks(img []byte, log *trace.Log, distinct []crashState, cctx crashCtx) error {
 	workers := ck.cfg.Workers
 	if workers > len(distinct) {
 		workers = len(distinct)
 	}
 	if workers <= 1 || len(distinct) < parallelThreshold {
-		for rank, s := range distinct {
+		for rank, st := range distinct {
 			if err := ck.cancelled(); err != nil {
 				return err
 			}
 			c := cctx
 			c.rank = rank
-			out := ck.checkOne(img, log, s, c)
+			out := ck.checkOne(img, log, st, c)
 			ck.fold(out)
 			if out.cancelled {
 				return ck.cancelled()

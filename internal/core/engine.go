@@ -93,6 +93,12 @@ type Config struct {
 	// is forced) when Faults is enabled, because media errors surface as
 	// panics only the sandbox can classify.
 	DisableSandbox bool
+	// DisableDeltaMaterialize materializes every crash state by two full
+	// device copies into pooled buffers — the pre-O(diff) engine — instead
+	// of the default prime-once/delta-apply/rollback-after path. Kept for
+	// differential testing (mirroring DisableSandbox): results are
+	// guaranteed byte-identical either way; only the copy cost differs.
+	DisableDeltaMaterialize bool
 	// ExhaustiveLimit overrides the exhaustive-enumeration bound: fences
 	// with more in-flight writes fall back to SafetyCap, counted in
 	// Result.TruncatedFences (0 = DefaultExhaustiveLimit).

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"chipmunk/internal/obs"
@@ -29,9 +30,17 @@ import (
 //     quarantined (Result.Quarantined) and classified VPanic/VTimeout.
 //
 // A timed-out goroutine cannot be killed in Go; it is abandoned together
-// with its pooled buffers (it returns them itself if it ever completes).
-// That leak is the price of a census that always terminates — the same
-// trade the paper makes when it shoots a wedged VM.
+// with its pooled image (which is retired from the pool — see the lease
+// protocol below). That leak is the price of a census that always
+// terminates — the same trade the paper makes when it shoots a wedged VM.
+//
+// Crash-image materialization is O(diff), not O(device): pooled images are
+// primed with the fence's base once per generation, each crash state is
+// materialized by applying only its subset's merged byte spans (the spans
+// stateKey already computed during dedup), and after the check the image is
+// restored — guest mount-time mutations via the device's undo log, the
+// delta spans by re-copying them from the base. Config.DisableDeltaMaterialize
+// selects the legacy two-full-copies-per-state path for differential tests.
 
 // checkOutcome is what one sandboxed check contributes to the result; the
 // caller folds it (serially, in canonical rank order) via fold.
@@ -105,10 +114,10 @@ func (ck *checker) fold(out checkOutcome) {
 // checkOne checks one crash state (base image + replayed subset) end to end:
 // sandboxed attempt, bounded retry, quarantine on deterministic failure.
 // Safe to call from worker goroutines.
-func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crashCtx) checkOutcome {
-	cctx.subset = subset
+func (ck *checker) checkOne(img []byte, log *trace.Log, st crashState, cctx crashCtx) checkOutcome {
+	cctx.subset = st.subset
 	if ck.cfg.DisableSandbox && !ck.cfg.Faults.Enabled() {
-		return checkOutcome{done: true, v: ck.checkDirect(img, log, subset, cctx), ctx: cctx}
+		return checkOutcome{done: true, v: ck.checkDirect(img, log, st, cctx), ctx: cctx}
 	}
 
 	timeout := ck.cfg.CheckTimeout
@@ -126,7 +135,7 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 	var last attemptResult
 	attempts := 0
 	for {
-		last = ck.attempt(img, log, subset, cctx, timeout)
+		last = ck.attempt(img, log, st, cctx, timeout)
 		attempts++
 		switch {
 		case last.cancelled:
@@ -160,8 +169,8 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 		Sys:      cctx.sys,
 		Phase:    cctx.phase,
 		Rank:     cctx.rank,
-		Subset:   append([]int(nil), subset...),
-		StateKey: stateDigest(img, log, subset),
+		Subset:   append([]int(nil), st.subset...),
+		StateKey: stateDigest(img, log, st.subset),
 		Kind:     kind,
 		Detail:   detail,
 		Stack:    last.stack,
@@ -170,10 +179,54 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 	return checkOutcome{done: true, v: ck.violation(cctx, kind, detail), q: q, ctx: cctx}
 }
 
-// attempt runs one sandboxed check attempt: materialize the crash image
-// into pooled buffers and apply injected faults on the dispatching side,
-// then mount and check on a fresh goroutine guarded by recover() and a
-// watchdog timer.
+// workerImage is one pooled crash-image pair with its reusable device and
+// undo log. Invariant while pooled: both images hold exactly the contents of
+// the coordinator's working image at generation gen (-1 = never primed).
+// prime re-establishes the invariant for the current generation, applyDelta
+// perturbs it for one crash state, and release restores it — so a state
+// whose base is already primed costs only its own diff, never a device copy.
+type workerImage struct {
+	dev        *pmem.Device
+	volatile   []byte
+	persistent []byte
+	undo       *pmem.UndoLog
+	gen        int64
+}
+
+func newWorkerImage(size int) *workerImage {
+	wi := &workerImage{
+		volatile:   make([]byte, size),
+		persistent: make([]byte, size),
+		undo:       pmem.NewUndoLog(nil),
+		gen:        -1,
+	}
+	wi.dev = pmem.WrapImages(wi.volatile, wi.persistent)
+	wi.dev.TrackUndo(wi.undo)
+	return wi
+}
+
+// Image-lease states: the ownership protocol between the dispatcher and the
+// sandbox goroutine it spawned. The goroutine transitions running → clean
+// (after rolling back the guest's mutations) or running → poisoned (panic or
+// media error left the check half-done); the dispatcher transitions
+// running → abandoned when the watchdog fires or the run is cancelled.
+// Exactly one side wins the CAS, and with it, ownership of the image:
+// clean images are released back to the pool, everything else is retired —
+// an abandoned goroutine may still be scribbling on its buffers, and a
+// poisoned image can no longer be trusted to equal base-plus-delta.
+const (
+	leaseRunning int32 = iota
+	leaseClean
+	leasePoisoned
+	leaseAbandoned
+)
+
+// attempt runs one sandboxed check attempt: lease a pooled image, prime it
+// with the fence's base if its generation is stale, apply the crash state's
+// delta (subset writes and injected faults) on the dispatching side, then
+// mount and check on a fresh goroutine guarded by recover() and a watchdog
+// timer. On a clean finish the image is restored and pooled; on
+// abandonment or poisoning it is retired.
 //
 // Replay runs OUTSIDE the sandbox goroutine on purpose: the working image
 // belongs to the coordinator, which keeps advancing it after a timed-out
@@ -183,7 +236,195 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, subset []int, cctx crash
 // panics are raised at read time, inside that phase. It also means the
 // replay stage window is a synchronous span of the dispatcher's timeline,
 // which keeps the -stats stage sum tracking wall-clock.
-func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashCtx, timeout time.Duration) attemptResult {
+func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crashCtx, timeout time.Duration) attemptResult {
+	if ck.cfg.DisableDeltaMaterialize {
+		return ck.attemptFullCopy(img, log, st.subset, cctx, timeout)
+	}
+	rt := ck.obs.Start()
+	wi := ck.imgPool.Get().(*workerImage)
+	inj := ck.injector(cctx)
+	ck.prime(wi, img, log)
+	flipOff, flipped := ck.applyDelta(wi, log, st.subset, inj)
+	ck.obs.ObserveSince(obs.StageReplay, rt)
+	wi.dev.Reset()
+	wi.dev.InjectFaults(inj)
+
+	// The mount window opens before the spawn so the goroutine handoff
+	// bills to mount — the windows tile across the sandbox boundary.
+	mt := ck.obs.Start()
+	var lease atomic.Int32 // leaseRunning
+	done := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res := attemptResult{
+					panicked: true,
+					panicVal: fmt.Sprint(r),
+					stack:    string(debug.Stack()),
+				}
+				if me, ok := r.(*pmem.MediaError); ok {
+					res = attemptResult{media: me}
+				}
+				if lease.CompareAndSwap(leaseRunning, leasePoisoned) {
+					done <- res
+				}
+				// CAS lost: abandoned mid-check — the dispatcher already
+				// retired the image and stopped listening.
+			}
+		}()
+
+		v, ct := ck.checkState(wi.dev, cctx, mt)
+
+		// Undo the guest's mount-time mutations while still owning the
+		// image, THEN publish the clean hand-back: the dispatcher reverts
+		// only the delta spans. If abandonment won the CAS the rollback was
+		// wasted work on a retired buffer — harmless.
+		rolledBack := wi.undo.Rollback()
+		if lease.CompareAndSwap(leaseRunning, leaseClean) {
+			ck.obs.Add(obs.CtrBytesRolledBack, rolledBack)
+			done <- attemptResult{ok: true, v: v, checkStart: ct}
+		}
+	}()
+
+	// finish settles the image lease after a hand-back: clean images go
+	// back to the pool (delta reverted), poisoned ones are retired.
+	finish := func(r attemptResult) attemptResult {
+		if lease.Load() == leaseClean {
+			ck.release(wi, img, st.spans, flipOff, flipped)
+		} else {
+			ck.obs.Inc(obs.CtrImagesRetired)
+		}
+		if r.ok {
+			ck.obs.ObserveSince(obs.StageCheck, r.checkStart)
+		}
+		return r
+	}
+
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	var cancelC <-chan struct{}
+	if ck.ctx != nil {
+		cancelC = ck.ctx.Done()
+	}
+	select {
+	case r := <-done:
+		return finish(r)
+	case <-timerC:
+		if lease.CompareAndSwap(leaseRunning, leaseAbandoned) {
+			ck.obs.Inc(obs.CtrImagesRetired)
+			return attemptResult{timedOut: true}
+		}
+		// The check finished inside the deadline/CAS race window; its send
+		// is already buffered (or imminent) — use the real result.
+		return finish(<-done)
+	case <-cancelC:
+		if lease.CompareAndSwap(leaseRunning, leaseAbandoned) {
+			ck.obs.Inc(obs.CtrImagesRetired)
+			return attemptResult{cancelled: true}
+		}
+		// Reclaim or retire the image, but still report cancellation: a
+		// cancelled run's partial results are discarded either way.
+		finish(<-done)
+		return attemptResult{cancelled: true}
+	}
+}
+
+// prime establishes the pooled-image invariant for the current generation:
+// a current image is untouched (zero copies — the empty-subset fast path),
+// an image exactly one generation behind catches up by replaying the last
+// fence's advance recipe (O(advance bytes)), and anything older — fresh
+// from the pool, or stale after the coordinator moved on — is re-primed by
+// full device copy, the only O(device) operation left on the check path.
+func (ck *checker) prime(wi *workerImage, base []byte, log *trace.Log) {
+	if wi.gen == ck.baseGen {
+		return
+	}
+	if wi.gen == ck.baseGen-1 && ck.advGen == ck.baseGen {
+		var n int64
+		for _, idx := range ck.advance {
+			e := log.At(idx)
+			trace.Apply(wi.volatile, e)
+			trace.Apply(wi.persistent, e)
+			n += 2 * int64(len(e.Data))
+		}
+		wi.gen = ck.baseGen
+		ck.obs.Add(obs.CtrBytesPrimed, n)
+		return
+	}
+	copy(wi.volatile, base)
+	copy(wi.persistent, base)
+	wi.gen = ck.baseGen
+	ck.obs.Inc(obs.CtrImagePrimes)
+	ck.obs.Add(obs.CtrBytesPrimed, int64(2*len(base)))
+}
+
+// applyDelta perturbs a primed image into one crash state: the subset's
+// writes land on both images in program order (torn to a word-aligned
+// prefix when the injector says so), then the injected bit flip — applied
+// to the persistent image and mirrored into the volatile one, preserving
+// the just-rebooted volatile == persistent invariant the legacy path got
+// from its full copy. Cost is O(subset bytes), independent of device size.
+func (ck *checker) applyDelta(wi *workerImage, log *trace.Log, subset []int, inj *pmem.Injector) (flipOff int64, flipped bool) {
+	var n int64
+	for _, idx := range subset {
+		e := log.At(idx)
+		if !e.IsWrite() {
+			continue
+		}
+		tn := inj.TornPrefix(uint64(e.Seq), len(e.Data))
+		if tn < len(e.Data) {
+			ck.obs.Inc(obs.CtrFaultsInjected)
+		}
+		copy(wi.persistent[e.Off:e.Off+int64(tn)], e.Data[:tn])
+		copy(wi.volatile[e.Off:e.Off+int64(tn)], e.Data[:tn])
+		n += 2 * int64(tn)
+	}
+	if inj != nil {
+		var bit int
+		if flipOff, bit, flipped = inj.FlipBit(wi.persistent); flipped {
+			wi.volatile[flipOff] ^= 1 << bit
+			ck.obs.Inc(obs.CtrFaultsInjected)
+			n += 2
+		}
+	}
+	ck.obs.Add(obs.CtrBytesMaterialized, n)
+	return flipOff, flipped
+}
+
+// release returns a cleanly-finished image to the pool. The sandbox
+// goroutine already rolled back the guest's mutations, so exactly the delta
+// this attempt applied remains: re-copying the subset's merged spans and
+// the flipped byte from the base restores the pooled-image invariant
+// (contents == base at wi.gen). Span bytes the subset's writes did not
+// change are copied back too — the spans over-approximate the diff — but
+// that is still O(subset bytes). The flip byte may land outside every span;
+// when it lands inside, the span copy has already restored it and the
+// second write is a same-value no-op.
+func (ck *checker) release(wi *workerImage, base []byte, spans []span, flipOff int64, flipped bool) {
+	var n int64
+	for _, s := range spans {
+		copy(wi.volatile[s.lo:s.hi], base[s.lo:s.hi])
+		copy(wi.persistent[s.lo:s.hi], base[s.lo:s.hi])
+		n += 2 * (s.hi - s.lo)
+	}
+	if flipped {
+		wi.volatile[flipOff] = base[flipOff]
+		wi.persistent[flipOff] = base[flipOff]
+		n += 2
+	}
+	ck.obs.Add(obs.CtrBytesRolledBack, n)
+	ck.imgPool.Put(wi)
+}
+
+// attemptFullCopy is the legacy materialization path
+// (Config.DisableDeltaMaterialize): two full-device copies into pooled
+// buffers per crash state. Kept so the differential tests can assert the
+// delta path changes nothing.
+func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cctx crashCtx, timeout time.Duration) attemptResult {
 	rt := ck.obs.Start()
 	persistent := ck.pool.Get().([]byte)
 	volatile := ck.pool.Get().([]byte)
@@ -254,22 +495,38 @@ func (ck *checker) attempt(img []byte, log *trace.Log, subset []int, cctx crashC
 	}
 }
 
-// checkDirect is the pre-sandbox inline path (Config.DisableSandbox), kept
-// so the differential tests can assert the sandbox changes nothing for
-// well-behaved guests.
-func (ck *checker) checkDirect(img []byte, log *trace.Log, subset []int, cctx crashCtx) *Violation {
-	persistent := ck.pool.Get().([]byte)
-	volatile := ck.pool.Get().([]byte)
-	defer func() {
-		ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
-		ck.pool.Put(volatile)   //nolint:staticcheck
-	}()
+// checkDirect is the inline path (Config.DisableSandbox), kept so the
+// differential tests can assert the sandbox changes nothing for well-behaved
+// guests. It materializes the same way the sandboxed path does — delta by
+// default, full-copy under DisableDeltaMaterialize — minus fault injection
+// (faults force the sandbox on).
+func (ck *checker) checkDirect(img []byte, log *trace.Log, st crashState, cctx crashCtx) *Violation {
+	if ck.cfg.DisableDeltaMaterialize {
+		persistent := ck.pool.Get().([]byte)
+		volatile := ck.pool.Get().([]byte)
+		defer func() {
+			ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
+			ck.pool.Put(volatile)   //nolint:staticcheck
+		}()
+		rt := ck.obs.Start()
+		ck.materialize(persistent, img, log, st.subset, nil)
+		copy(volatile, persistent)
+		ck.obs.ObserveSince(obs.StageReplay, rt)
+		v, ct := ck.checkState(pmem.WrapImages(volatile, persistent), cctx, ck.obs.Start())
+		ck.obs.ObserveSince(obs.StageCheck, ct)
+		return v
+	}
+
+	wi := ck.imgPool.Get().(*workerImage)
 	rt := ck.obs.Start()
-	ck.materialize(persistent, img, log, subset, nil)
-	copy(volatile, persistent)
+	ck.prime(wi, img, log)
+	ck.applyDelta(wi, log, st.subset, nil)
 	ck.obs.ObserveSince(obs.StageReplay, rt)
-	v, ct := ck.checkState(pmem.WrapImages(volatile, persistent), cctx, ck.obs.Start())
+	wi.dev.Reset()
+	v, ct := ck.checkState(wi.dev, cctx, ck.obs.Start())
 	ck.obs.ObserveSince(obs.StageCheck, ct)
+	ck.obs.Add(obs.CtrBytesRolledBack, wi.undo.Rollback())
+	ck.release(wi, img, st.spans, 0, false)
 	return v
 }
 

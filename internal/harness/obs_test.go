@@ -43,9 +43,11 @@ func TestCensusObsMerged(t *testing.T) {
 			parallel = census
 		}
 	}
-	if !reflect.DeepEqual(serial.Obs.Counters, parallel.Obs.Counters) {
+	// Only the deterministic counters are covered by the serial == parallel
+	// contract; the materialization counters vary with pool scheduling.
+	if !reflect.DeepEqual(serial.Obs.DeterministicCounters(), parallel.Obs.DeterministicCounters()) {
 		t.Fatalf("census counters diverge by suite workers:\n j=1: %v\n j=4: %v",
-			serial.Obs.Counters, parallel.Obs.Counters)
+			serial.Obs.DeterministicCounters(), parallel.Obs.DeterministicCounters())
 	}
 }
 

@@ -34,6 +34,11 @@ type Options struct {
 	// Faults enables the pmem fault injector for crash-state checks
 	// (nil = off).
 	Faults *pmem.FaultConfig
+	// DisableDeltaMaterialize selects the legacy full-copy crash-image
+	// materialization instead of the default O(diff) delta path — the
+	// -full-copy escape hatch, mirroring DisableSandbox, kept for
+	// differential testing and perf comparison. Results are identical.
+	DisableDeltaMaterialize bool
 	// Obs receives per-stage metrics from every engine run (nil = off;
 	// the engine then skips all clock reads).
 	Obs *obs.Collector
@@ -53,14 +58,15 @@ func (o Options) Resolve() (System, core.Config, error) {
 // ConfigFor builds the engine Config for an already-resolved system.
 func (o Options) ConfigFor(sys System) core.Config {
 	return core.Config{
-		NewFS:           sys.Factory(o.Bugs),
-		Cap:             o.Cap,
-		Workers:         o.Workers,
-		CheckTimeout:    o.CheckTimeout,
-		ExhaustiveLimit: o.ExhaustiveLimit,
-		Faults:          o.Faults,
-		Obs:             o.Obs,
-		Journal:         o.Journal,
+		NewFS:                   sys.Factory(o.Bugs),
+		Cap:                     o.Cap,
+		Workers:                 o.Workers,
+		CheckTimeout:            o.CheckTimeout,
+		ExhaustiveLimit:         o.ExhaustiveLimit,
+		Faults:                  o.Faults,
+		DisableDeltaMaterialize: o.DisableDeltaMaterialize,
+		Obs:                     o.Obs,
+		Journal:                 o.Journal,
 	}
 }
 
@@ -96,6 +102,7 @@ type FlagSpec struct {
 	Workers         *int
 	CheckTimeout    *time.Duration
 	ExhaustiveLimit *int
+	FullCopy        *bool
 }
 
 // BindFlags registers the shared -fs, -bugs, -cap, -workers,
@@ -112,6 +119,8 @@ func BindFlags(fl *flag.FlagSet, defFS, defBugs string, defCap int) *FlagSpec {
 			"per-crash-state check deadline; hung checks are quarantined as check-timeout (negative = no deadline)"),
 		ExhaustiveLimit: fl.Int("exhaustive-limit", core.DefaultExhaustiveLimit,
 			"max in-flight writes for exhaustive subset enumeration before falling back to the safety cap"),
+		FullCopy: fl.Bool("full-copy", false,
+			"materialize each crash state by full device copy instead of delta replay (slow; results identical)"),
 	}
 }
 
@@ -122,11 +131,12 @@ func (fs *FlagSpec) Options() (Options, error) {
 		return Options{}, err
 	}
 	return Options{
-		FS:              *fs.FS,
-		Bugs:            set,
-		Cap:             *fs.Cap,
-		Workers:         *fs.Workers,
-		CheckTimeout:    *fs.CheckTimeout,
-		ExhaustiveLimit: *fs.ExhaustiveLimit,
+		FS:                      *fs.FS,
+		Bugs:                    set,
+		Cap:                     *fs.Cap,
+		Workers:                 *fs.Workers,
+		CheckTimeout:            *fs.CheckTimeout,
+		ExhaustiveLimit:         *fs.ExhaustiveLimit,
+		DisableDeltaMaterialize: *fs.FullCopy,
 	}, nil
 }

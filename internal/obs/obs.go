@@ -72,9 +72,12 @@ func (s Stage) String() string {
 	return fmt.Sprintf("Stage(%d)", uint8(s))
 }
 
-// Counter identifies one monotonic event counter. Counters are pure
+// Counter identifies one monotonic event counter. Most counters are pure
 // functions of the checked suite — never of scheduling — so a serial and a
-// parallel run of the same suite report identical values.
+// parallel run of the same suite report identical values; Deterministic
+// distinguishes those from the measurement-class counters (fault and
+// materialization accounting), which are recorded per attempt and may vary
+// with retries, worker counts, and pool scheduling.
 type Counter uint8
 
 const (
@@ -105,6 +108,29 @@ const (
 	// CtrViolations counts reported violations (including suppressed
 	// overflow).
 	CtrViolations
+	// CtrImagePrimes counts full-device primes of pooled crash-state images
+	// (delta materialization). Measurement-class like CtrFaultsInjected:
+	// recorded per attempt and dependent on pool scheduling — a parallel run
+	// primes roughly one image per worker where a serial run primes one.
+	CtrImagePrimes
+	// CtrImagesRetired counts pooled images retired instead of rolled back:
+	// their check was abandoned (timeout, cancellation) or poisoned the
+	// image (guest panic, media error), so the buffer can no longer be
+	// trusted to equal base-plus-delta. Measurement-class.
+	CtrImagesRetired
+	// CtrBytesMaterialized counts bytes copied applying crash-state deltas
+	// (replayed subset writes) onto primed images. Per-state this scales
+	// with the subset's span size, never with the device size — the O(diff)
+	// claim BenchmarkMaterializeState asserts. Measurement-class.
+	CtrBytesMaterialized
+	// CtrBytesPrimed counts bytes copied (re)priming pooled images with a
+	// fence's base image, full primes and incremental advances alike.
+	// Measurement-class.
+	CtrBytesPrimed
+	// CtrBytesRolledBack counts bytes restored returning a pooled image to
+	// its base: guest-mutation undo plus delta-span reverts.
+	// Measurement-class.
+	CtrBytesRolledBack
 	numCounters
 )
 
@@ -118,6 +144,12 @@ var counterNames = [numCounters]string{
 	CtrQuarantines:     "quarantine",
 	CtrFaultsInjected:  "fault-injected",
 	CtrViolations:      "violations",
+
+	CtrImagePrimes:       "image-primes",
+	CtrImagesRetired:     "images-retired",
+	CtrBytesMaterialized: "bytes-materialized",
+	CtrBytesPrimed:       "bytes-primed",
+	CtrBytesRolledBack:   "bytes-rolled-back",
 }
 
 func (c Counter) String() string {
@@ -125,6 +157,21 @@ func (c Counter) String() string {
 		return counterNames[c]
 	}
 	return fmt.Sprintf("Counter(%d)", uint8(c))
+}
+
+// Deterministic reports whether the counter is covered by the engine's
+// serial == parallel == retry determinism contract (its value is a pure
+// function of the checked suite). The measurement-class counters — fault
+// injection and crash-image materialization accounting — are recorded per
+// attempt on the hot path, so retries recount them and pool scheduling
+// shifts prime/rollback work between full primes and incremental advances.
+func (c Counter) Deterministic() bool {
+	switch c {
+	case CtrFaultsInjected, CtrImagePrimes, CtrImagesRetired,
+		CtrBytesMaterialized, CtrBytesPrimed, CtrBytesRolledBack:
+		return false
+	}
+	return true
 }
 
 // histBuckets is the number of log2 duration buckets: bucket i holds
@@ -417,6 +464,26 @@ func (s *Snapshot) Merge(other Snapshot) {
 	s.PM.LinesFlushed += other.PM.LinesFlushed
 	s.PM.Fences += other.PM.Fences
 	s.PM.SimNanos += other.PM.SimNanos
+}
+
+// DeterministicCounters returns the subset of the snapshot's counters that
+// the serial == parallel determinism contract covers — what differential
+// tests compare across worker counts. Measurement-class counters
+// (fault-injected, the materialization family) are excluded.
+func (s *Snapshot) DeterministicCounters() map[string]int64 {
+	out := make(map[string]int64)
+	if s == nil {
+		return out
+	}
+	for i := Counter(0); i < numCounters; i++ {
+		if !i.Deterministic() {
+			continue
+		}
+		if v, ok := s.Counters[i.String()]; ok {
+			out[i.String()] = v
+		}
+	}
+	return out
 }
 
 // Count returns a counter by enum (0 when absent or s is nil).

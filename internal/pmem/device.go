@@ -69,6 +69,11 @@ type Device struct {
 	// with *MediaError (see InjectFaults).
 	faults *Injector
 
+	// undo, when non-nil, captures the old contents of every image range a
+	// mutation is about to overwrite (see TrackUndo), so the engine can roll
+	// a pooled crash image back instead of re-copying the device.
+	undo *UndoLog
+
 	stats Stats
 }
 
@@ -114,6 +119,27 @@ func WrapImages(volatile, persistent []byte) *Device {
 	}
 }
 
+// TrackUndo attaches an undo log: from now on every mutation of either
+// image — stores and non-temporal stores (volatile), fence persists
+// (persistent), and patches (both) — saves the overwritten range first, so
+// u.Rollback() restores both images exactly. The attachment survives Reset;
+// pass nil to detach. Flush mutates no image and records nothing.
+func (d *Device) TrackUndo(u *UndoLog) { d.undo = u }
+
+// Reset returns the device to the just-rebooted state over its current
+// images without reallocating: in-flight writes, dirty-line tracking, and
+// cost-model counters are cleared, and any fault injector is detached. The
+// images and an attached undo log are untouched — this is how the engine
+// reuses one pooled device across crash states.
+func (d *Device) Reset() {
+	d.inflight = d.inflight[:0]
+	for k := range d.dirty {
+		delete(d.dirty, k)
+	}
+	d.faults = nil
+	d.stats = Stats{}
+}
+
 // Size returns the device capacity in bytes.
 func (d *Device) Size() int64 { return int64(len(d.volatile)) }
 
@@ -128,6 +154,9 @@ func (d *Device) checkRange(off int64, n int) {
 // covering cache lines are flushed and a fence executes.
 func (d *Device) Store(off int64, p []byte) {
 	d.checkRange(off, len(p))
+	if d.undo != nil {
+		d.undo.SaveImage(d.volatile, off, len(p))
+	}
 	copy(d.volatile[off:], p)
 	for line := off / CacheLineSize; line <= (off+int64(len(p))-1)/CacheLineSize; line++ {
 		d.dirty[line] = struct{}{}
@@ -141,6 +170,9 @@ func (d *Device) Store(off int64, p []byte) {
 // after the next Fence.
 func (d *Device) NTStore(off int64, p []byte) {
 	d.checkRange(off, len(p))
+	if d.undo != nil {
+		d.undo.SaveImage(d.volatile, off, len(p))
+	}
 	copy(d.volatile[off:], p)
 	d.inflight = append(d.inflight, InFlight{Kind: KindNT, Off: off, Data: append([]byte(nil), p...)})
 	d.stats.NTBytes += int64(len(p))
@@ -184,6 +216,9 @@ func (d *Device) Flush(off int64, n int) {
 func (d *Device) Fence() int {
 	n := len(d.inflight)
 	for _, w := range d.inflight {
+		if d.undo != nil {
+			d.undo.SaveImage(d.persistent, w.Off, len(w.Data))
+		}
 		copy(d.persistent[w.Off:], w.Data)
 	}
 	d.inflight = d.inflight[:0]
@@ -283,6 +318,10 @@ func (d *Device) CrashImageWithSubset(subset []int) []byte {
 // the resulting device must behave as freshly rebooted.
 func (d *Device) Patch(off int64, p []byte) {
 	d.checkRange(off, len(p))
+	if d.undo != nil {
+		d.undo.SaveImage(d.volatile, off, len(p))
+		d.undo.SaveImage(d.persistent, off, len(p))
+	}
 	copy(d.volatile[off:], p)
 	copy(d.persistent[off:], p)
 }

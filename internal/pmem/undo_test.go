@@ -45,6 +45,56 @@ func TestUndoLogSaveZeroLength(t *testing.T) {
 	}
 }
 
+func TestUndoLogSaveImageMultipleBuffers(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	u := NewUndoLog(nil)
+	u.SaveImage(a, 0, 2)
+	a[0], a[1] = 9, 9
+	u.SaveImage(b, 2, 2)
+	b[2], b[3] = 9, 9
+	if u.Bytes() != 4 {
+		t.Fatalf("undo bytes = %d, want 4", u.Bytes())
+	}
+	if n := u.Rollback(); n != 4 {
+		t.Fatalf("rollback restored %d bytes, want 4", n)
+	}
+	if !bytes.Equal(a, []byte{1, 2, 3, 4}) || !bytes.Equal(b, []byte{5, 6, 7, 8}) {
+		t.Fatalf("rollback failed: a=%v b=%v", a, b)
+	}
+}
+
+func TestDeviceResetPreservesImagesAndUndo(t *testing.T) {
+	vol := make([]byte, 128)
+	per := make([]byte, 128)
+	d := WrapImages(vol, per)
+	u := NewUndoLog(nil)
+	d.TrackUndo(u)
+	d.InjectFaults(NewInjector(&FaultConfig{ReadErrOneInN: 1}, 1))
+
+	d.Store(0, []byte{0xAA})
+	d.Flush(0, 1)
+	d.Fence()
+	d.Reset()
+	if d.InFlightCount() != 0 || len(d.DirtyUnflushedLines()) != 0 {
+		t.Fatal("Reset left transient device state")
+	}
+	if d.Stats() != (Stats{}) {
+		t.Fatal("Reset left cost-model counters")
+	}
+	if vol[0] != 0xAA || per[0] != 0xAA {
+		t.Fatal("Reset touched the images")
+	}
+	// The injector must be detached (loads no longer fault) and the undo
+	// attachment preserved (new mutations keep being captured).
+	d.Load(0, 64)
+	d.Store(1, []byte{0xBB})
+	u.Rollback()
+	if vol[1] != 0 {
+		t.Fatal("undo attachment lost across Reset")
+	}
+}
+
 func TestTrackingDeviceRollback(t *testing.T) {
 	img := make([]byte, 256)
 	img[0] = 0x11
@@ -56,8 +106,10 @@ func TestTrackingDeviceRollback(t *testing.T) {
 	if td.Load(0, 1)[0] != 0x22 {
 		t.Fatal("store not visible")
 	}
-	if td.UndoBytes() != 2 {
-		t.Fatalf("undo bytes = %d, want 2", td.UndoBytes())
+	// Two 1-byte volatile saves (Store, NTStore) plus the fence persists:
+	// the NT write (1 byte) and the flushed cache line (64 bytes).
+	if td.UndoBytes() != 67 {
+		t.Fatalf("undo bytes = %d, want 67", td.UndoBytes())
 	}
 	td.Rollback()
 	if got := td.Load(0, 1)[0]; got != 0x11 {
@@ -99,7 +151,8 @@ func TestPropertyTrackingDeviceAlwaysRestores(t *testing.T) {
 			}
 		}
 		td.Rollback()
-		return bytes.Equal(td.VolatileImage(), orig)
+		return bytes.Equal(td.VolatileImage(), orig) &&
+			bytes.Equal(td.CrashImage(), orig)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
