@@ -8,12 +8,24 @@
 //	chipmunk -fs nova -suite seq2 -j 8          # suite sharded across workers
 //	chipmunk -fs nova -suite seq1 -workers 4    # crash states checked in parallel
 //
+// Distributed campaigns shard the suite across machines (or processes):
+//
+//	chipmunk -fs nova -suite seq2 -serve :9090 -resume camp.ckpt
+//	chipmunk -worker host:9090 -j 4             # on each worker machine
+//
+// The coordinator leases numbered shards to workers over HTTP/JSON,
+// re-dispatches expired leases, credits each shard at most once, and
+// appends completed shards to the -resume checkpoint so a killed
+// coordinator restarts where it left off. The merged census is
+// byte-identical to a serial run of the same suite.
+//
 // The -bugs flag selects which of the paper's Table 1 bugs are injected:
 // "none" (the fixed systems, default), "all" (as published), or a
 // comma-separated ID list. -faults turns on pmem fault injection (torn
 // stores, bit corruption, media errors) against the sandboxed checker.
 // Ctrl-C cancels the run and prints the partial census; a second Ctrl-C
-// force-exits.
+// force-exits. Under -serve, the first Ctrl-C instead stops issuing leases
+// and drains in-flight shards to the checkpoint.
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"time"
 
 	"chipmunk/internal/ace"
+	"chipmunk/internal/campaign"
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
 	"chipmunk/internal/pmem"
@@ -34,19 +47,29 @@ import (
 
 func main() {
 	var (
-		spec    = harness.BindFlags(flag.CommandLine, "nova", "none", 0)
-		ospec   = harness.BindObsFlags(flag.CommandLine)
-		suite   = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
-		max     = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
-		verbose = flag.Bool("v", false, "print every violation")
-		stopOne = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
+		spec      = harness.BindFlags(flag.CommandLine, "nova", "none", 0)
+		ospec     = harness.BindObsFlags(flag.CommandLine)
+		suite     = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
+		max       = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
+		verbose   = flag.Bool("v", false, "print every violation")
+		stopOne   = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
 		repro     = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
 		jobs      = flag.Int("j", 1, "suite-level workers (like the paper's VM sharding; 0 = all cores)")
 		outDir    = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
 		faults    = flag.Bool("faults", false, "inject pmem faults (torn stores, bit flips, media errors) into crash states")
 		faultSeed = flag.Uint64("fault-seed", 1, "deterministic seed for -faults")
+		serve     = flag.String("serve", "", "coordinate a distributed campaign on this host:port instead of running locally")
+		workerFor = flag.String("worker", "", "join the distributed campaign coordinated at this host:port (spec comes from the coordinator)")
+		resume    = flag.String("resume", "", "(with -serve) append completed shards to this checkpoint file and skip the shards it already records")
+		shardSize = flag.Int("shard-size", campaign.DefaultShardSize, "(with -serve) workloads per lease")
+		leaseTTL  = flag.Duration("lease", campaign.DefaultLeaseTTL, "(with -serve) lease deadline before a shard is re-dispatched")
 	)
 	flag.Parse()
+
+	if *workerFor != "" {
+		runWorker(*workerFor, ospec, *jobs)
+		return
+	}
 
 	opts, err := spec.Options()
 	fatalIf(err)
@@ -59,6 +82,24 @@ func main() {
 	inst.Apply(&opts)
 	sys, cfg, err := opts.Resolve()
 	fatalIf(err)
+
+	if *serve != "" {
+		if *repro != "" {
+			fatalIf(errors.New("-serve shards a named suite; -repro runs locally"))
+		}
+		cspec := campaign.Spec{
+			FS: *spec.FS, Bugs: *spec.Bugs, Suite: *suite, Max: *max,
+			Cap: opts.Cap, Workers: opts.Workers,
+			CheckTimeoutNanos: int64(opts.CheckTimeout),
+			ExhaustiveLimit:   opts.ExhaustiveLimit,
+			FullCopy:          opts.DisableDeltaMaterialize,
+			Faults:            *faults, FaultSeed: *faultSeed,
+			Stats: *ospec.Stats,
+		}
+		runCoordinator(*serve, cspec, *shardSize, *leaseTTL, *resume, sys, inst, ospec, *verbose, *outDir)
+		return
+	}
+
 	var suiteWs []workload.Workload
 	if *repro != "" {
 		data, err := os.ReadFile(*repro)
@@ -71,7 +112,7 @@ func main() {
 		suiteWs = []workload.Workload{w}
 		*suite = "repro"
 	} else {
-		suiteWs, err = pickSuite(*suite)
+		suiteWs, err = ace.SuiteByName(*suite)
 		fatalIf(err)
 	}
 	if *max > 0 && *max < len(suiteWs) {
@@ -116,40 +157,156 @@ func main() {
 		fatalIf(err)
 	}
 	interrupted := errors.Is(err, context.Canceled)
+	modeNote := fmt.Sprintf("j=%d, workers=%d", *jobs, opts.Workers)
+	finish(sys, census, viol, interrupted, modeNote, *verbose, *outDir, inst, ospec, nil)
+}
 
+// runWorker is the -worker mode: the engine spec comes from the
+// coordinator, so only the local knobs (-j, observability flags) apply.
+func runWorker(addr string, ospec *harness.ObsFlagSpec, jobs int) {
+	inst, err := ospec.Instrument()
+	fatalIf(err)
+	ctx, stop := harness.SignalContext(context.Background())
+	defer stop()
+	err = campaign.RunWorker(ctx, campaign.WorkerConfig{
+		Addr:    addr,
+		Jobs:    jobs,
+		Journal: inst.Journal,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	stop()
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		inst.Close() //nolint:errcheck // already failing
+		fatalIf(err)
+	}
+	if inst.Journal != nil {
+		fmt.Printf("journal: %d events written\n", inst.Journal.Events())
+	}
+	fatalIf(inst.Close())
+	if interrupted {
+		os.Exit(130)
+	}
+}
+
+// runCoordinator is the -serve mode: shard the suite, lease shards to
+// workers, fold the credited results, and report exactly like a local run.
+func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL time.Duration,
+	checkpoint string, sys harness.System, inst *harness.Instrumentation,
+	ospec *harness.ObsFlagSpec, verbose bool, outDir string) {
+	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{
+		Spec:           cspec,
+		ShardSize:      shardSize,
+		LeaseTTL:       leaseTTL,
+		CheckpointPath: checkpoint,
+		Progress: func(done, total int, c harness.Census) {
+			inst.Progress(done, total, c)
+			fmt.Printf("  ... %d/%d workloads (%d crash states, %d violations)\n",
+				done, total, c.StatesChecked, c.Violations)
+		},
+		Logf: func(format string, args ...any) {
+			if verbose {
+				fmt.Printf(format+"\n", args...)
+			}
+		},
+	})
+	fatalIf(err)
+	srv, err := campaign.ListenAndServe(addr, coord)
+	fatalIf(err)
+	info := coord.Info()
+	fmt.Printf("chipmunk coordinator on %s: campaign %s, %s (bugs %s), suite %s: %d workloads in %d shards of %d, fingerprint %s, lease %v\n",
+		srv.Addr(), info.CampaignID, sys.Name, cspec.Bugs, cspec.Suite,
+		info.Workloads, info.Shards, info.ShardSize, info.SuiteHash, leaseTTL)
+	inst.EmitRun(sys.Name, info.Workloads)
+	if daddr := inst.Debug.Addr(); daddr != "" {
+		fmt.Printf("debug listener on http://%s (/progress aggregates across workers)\n", daddr)
+	}
+
+	// First SIGINT: stop issuing leases, drain in-flight shards to the
+	// checkpoint, report the partial census. Second: force-exit 130.
+	ctx, stop := harness.SignalContextNotify(context.Background(),
+		"interrupt: draining — no new leases; crediting in-flight shards to the checkpoint (interrupt again to force exit)")
+	defer stop()
+	census, viol, err := coord.Wait(ctx)
+	srv.Close() //nolint:errcheck // listener teardown on the way out
+	stop()
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		coord.Close() //nolint:errcheck // already failing
+		fatalIf(err)
+	}
+	fatalIf(coord.Close())
+	finish(sys, census, viol, interrupted, "distributed", verbose, outDir, inst, ospec, func() {
+		st := coord.Stats()
+		fmt.Printf("%s\n", st)
+		if outDir == "" {
+			return
+		}
+		wr, err := report.NewWriter(outDir)
+		fatalIf(err)
+		path, err := wr.WriteCampaignSummary(report.CampaignSummary{
+			CampaignID: info.CampaignID, FS: sys.Name, Suite: cspec.Suite,
+			SuiteHash: info.SuiteHash, Workloads: info.Workloads,
+			Shards: info.Shards, ShardSize: info.ShardSize,
+			Resumed: st.Resumed, Redispatched: st.Redispatched,
+			Duplicates: st.Duplicates, Rejected: st.Rejected,
+			PerWorker:   st.PerWorker,
+			Fingerprint: campaign.Fingerprint(census, viol),
+		})
+		fatalIf(err)
+		fmt.Printf("wrote campaign summary to %s\n", path)
+	})
+}
+
+// finish prints the census summary, triaged clusters, and optional
+// reports, closes the instrumentation, and exits with the shared status
+// convention (1 = violations found, 130 = interrupted). extra, when
+// non-nil, runs after the census block (campaign stats).
+func finish(sys harness.System, census *harness.Census, viol []core.Violation,
+	interrupted bool, modeNote string, verbose bool, outDir string,
+	inst *harness.Instrumentation, ospec *harness.ObsFlagSpec, extra func()) {
 	clusters := core.Triage(viol)
 	status := "done"
 	if interrupted {
 		status = "interrupted (partial census)"
 	}
-	fmt.Printf("\n%s: %d workloads, %d crash states (%d deduped, %d truncated fences), %v (j=%d, workers=%d)\n",
+	fmt.Printf("\n%s: %d workloads, %d crash states (%d deduped, %d truncated fences), %v (%s)\n",
 		status, census.Workloads, census.StatesChecked, census.StatesDeduped,
-		census.TruncatedFences, census.Elapsed.Round(time.Millisecond), *jobs, opts.Workers)
+		census.TruncatedFences, census.Elapsed.Round(time.Millisecond), modeNote)
 	if n := len(census.Quarantined) + census.SuppressedQuarantine; n > 0 || census.RetriedChecks > 0 {
 		fmt.Printf("sandbox: %d states quarantined (%d suppressed past ledger cap), %d transient retries\n",
 			n, census.SuppressedQuarantine, census.RetriedChecks)
-		if *verbose {
+		if verbose {
 			for _, q := range census.Quarantined {
 				fmt.Printf("  %s\n", q)
 			}
 		}
 	}
+	if extra != nil {
+		extra()
+	}
 	fmt.Printf("reports: %d; triaged clusters: %d\n", len(viol), len(clusters))
 	for i, c := range clusters {
-		if *verbose {
+		if verbose {
 			fmt.Printf("\ncluster %d (%d reports):\n%s\n", i+1, c.Count, c.Representative)
 		} else {
 			fmt.Printf("cluster %d (%d reports): %s (%s)\n",
 				i+1, c.Count, c.Representative.Kind, c.Representative.SysName)
 		}
 	}
-	if s := inst.RenderStats(census.Elapsed); s != "" {
-		fmt.Printf("\n%s", s)
+	statsOut := inst.RenderStatsSnapshot(census.Obs, census.Elapsed)
+	if statsOut == "" {
+		statsOut = inst.RenderStats(census.Elapsed)
+	}
+	if statsOut != "" {
+		fmt.Printf("\n%s", statsOut)
 	}
 	if inst.Journal != nil {
 		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), *ospec.Journal)
 	}
-	writeReports(*outDir, sys.Name, clusters, census)
+	writeReports(outDir, sys.Name, clusters, census)
 	// os.Exit skips defers: flush the journal and stop the listener first.
 	fatalIf(inst.Close())
 	if len(viol) > 0 {
@@ -177,23 +334,6 @@ func writeReports(dir, fsName string, clusters []*core.Cluster, census *harness.
 	fatalIf(err)
 	if qpath != "" {
 		fmt.Printf("wrote quarantine ledger to %s\n", qpath)
-	}
-}
-
-func pickSuite(name string) ([]workload.Workload, error) {
-	switch name {
-	case "seq1":
-		return ace.Seq1(), nil
-	case "seq2":
-		return ace.Seq2(), nil
-	case "seq3m":
-		return ace.Seq3Metadata(), nil
-	case "seq1dax":
-		return ace.Seq1Dax(), nil
-	case "seq2dax":
-		return ace.Seq2Dax(), nil
-	default:
-		return nil, fmt.Errorf("unknown suite %q", name)
 	}
 }
 

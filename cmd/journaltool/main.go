@@ -1,9 +1,10 @@
 // Command journaltool inspects run journals written by the -journal flag
 // of chipmunk, chipmunkfuzz, and experiments:
 //
-//	journaltool run.jsonl                  # human-readable summary
-//	journaltool -strict run.jsonl          # fail (exit 1) on corrupt lines
-//	journaltool -canonical run.jsonl       # sorted canonical event keys
+//	journaltool run.jsonl                       # human-readable summary
+//	journaltool -strict run.jsonl               # fail (exit 1) on corrupt lines
+//	journaltool -canonical run.jsonl            # sorted canonical event keys
+//	journaltool -merge -o merged.jsonl w1.jsonl w2.jsonl
 //
 // The reader is tolerant by design — a journal truncated by a crashed or
 // killed run still summarizes, with a warning counting the skipped lines.
@@ -13,11 +14,20 @@
 // line, sorted: diffing two runs' canonical dumps verifies the journal
 // determinism contract (serial and parallel runs of one suite produce the
 // same event multiset).
+//
+// -merge order-normalizes and concatenates several journals into one
+// canonical stream (Event.CanonicalKey order, wall-clock fields cleared) —
+// how the per-worker journals of a distributed campaign become one
+// analyzable run record. The output is clean JSONL: it round-trips through
+// journaltool itself, -strict included. A SIGKILLed worker's torn final
+// line is skipped and counted like any other corrupt line.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -29,30 +39,58 @@ func main() {
 	var (
 		strict    = flag.Bool("strict", false, "exit nonzero if any journal line is corrupt or truncated")
 		canonical = flag.Bool("canonical", false, "dump sorted canonical event keys instead of a summary")
+		merge     = flag.Bool("merge", false, "order-normalize and concatenate all input journals into one canonical JSONL stream")
+		out       = flag.String("o", "", "(with -merge) write the merged stream here instead of stdout")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 || (!*merge && flag.NArg() != 1) {
 		fmt.Fprintln(os.Stderr, "usage: journaltool [-strict] [-canonical] <journal.jsonl>")
+		fmt.Fprintln(os.Stderr, "       journaltool -merge [-strict] [-o merged.jsonl] <journal.jsonl>...")
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
 
-	events, skipped, err := obs.ReadJournalFile(path)
-	fatalIf(err)
-	if *canonical {
-		keys := make([]string, len(events))
-		for i, e := range events {
+	lists := make([][]obs.Event, 0, flag.NArg())
+	skipped := 0
+	for _, path := range flag.Args() {
+		events, skip, err := obs.ReadJournalFile(path)
+		fatalIf(err)
+		if skip > 0 {
+			fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines in %s\n", skip, path)
+		}
+		lists = append(lists, events)
+		skipped += skip
+	}
+
+	switch {
+	case *merge:
+		merged := obs.CanonicalEvents(lists...)
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			fatalIf(err)
+			bw := bufio.NewWriter(f)
+			fatalIf(obs.WriteEvents(bw, merged))
+			fatalIf(bw.Flush())
+			fatalIf(f.Close())
+			fmt.Fprintf(os.Stderr, "journaltool: merged %d events from %d journals into %s\n",
+				len(merged), flag.NArg(), *out)
+		} else {
+			fatalIf(obs.WriteEvents(w, merged))
+		}
+	case *canonical:
+		keys := make([]string, len(lists[0]))
+		for i, e := range lists[0] {
 			keys[i] = e.CanonicalKey()
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Println(k)
 		}
-	} else {
-		fatalIf(report.WriteJournalSummary(os.Stdout, events, skipped))
+	default:
+		fatalIf(report.WriteJournalSummary(os.Stdout, lists[0], skipped))
 	}
 	if *strict && skipped > 0 {
-		fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines in %s\n", skipped, path)
+		fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines total\n", skipped)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,29 @@
+package ace
+
+import (
+	"fmt"
+
+	"chipmunk/internal/workload"
+)
+
+// SuiteByName maps the CLI suite names to their generators — the single
+// registry shared by the chipmunk frontend and the distributed campaign
+// runner, so a coordinator and its workers resolve "seq2" to the same
+// generator (and workload.SuiteHash verifies they generated the same
+// workloads).
+func SuiteByName(name string) ([]workload.Workload, error) {
+	switch name {
+	case "seq1":
+		return Seq1(), nil
+	case "seq2":
+		return Seq2(), nil
+	case "seq3m":
+		return Seq3Metadata(), nil
+	case "seq1dax":
+		return Seq1Dax(), nil
+	case "seq2dax":
+		return Seq2Dax(), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q", name)
+	}
+}

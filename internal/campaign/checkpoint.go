@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The checkpoint is an append-only JSONL file: one header line identifying
+// the campaign (suite fingerprint, spec summary, shard geometry) followed
+// by one line per credited shard, each carrying the full ShardPayload. The
+// coordinator appends and fsyncs a line the moment a shard is credited, so
+// a SIGKILLed coordinator loses at most the line it was writing — and the
+// tolerant loader skips a torn tail the same way obs.ReadJournal does.
+// Restarting with -resume folds the recorded shards as if their workers
+// had just reported, and only the missing shards are leased out again.
+
+// ckptLine is the on-disk record: Type discriminates the header from shard
+// credits so the file stays self-describing and future-extensible.
+type ckptLine struct {
+	Type string `json:"type"` // "campaign" (header) or "shard"
+	// Header fields.
+	CampaignID string `json:"campaign_id,omitempty"`
+	SuiteHash  string `json:"suite_hash,omitempty"`
+	FS         string `json:"fs,omitempty"`
+	Suite      string `json:"suite,omitempty"`
+	Workloads  int    `json:"workloads,omitempty"`
+	Shards     int    `json:"shards,omitempty"`
+	ShardSize  int    `json:"shard_size,omitempty"`
+	// Shard credit.
+	Payload *ShardPayload `json:"payload,omitempty"`
+}
+
+// Checkpoint appends credited shards to the campaign's checkpoint file.
+type Checkpoint struct {
+	f *os.File
+}
+
+// CheckpointState is what a resumed coordinator recovers from disk.
+type CheckpointState struct {
+	Header *ckptLine
+	// Payloads holds the recorded shard credits in file order (duplicates
+	// impossible: the coordinator credits each shard at most once before
+	// appending).
+	Payloads []*ShardPayload
+	// Skipped counts corrupt or torn lines the tolerant loader dropped —
+	// reported, never silent.
+	Skipped int
+}
+
+// maxCkptLine bounds one checkpoint line during reads. Shard payloads
+// carry full violation ledgers, so the cap is generous.
+const maxCkptLine = 16 << 20
+
+// LoadCheckpoint reads the checkpoint at path tolerantly. A missing file
+// returns an empty state and no error (first run); corrupt lines —
+// including the torn final line of a SIGKILLed coordinator — are skipped
+// and counted.
+func LoadCheckpoint(path string) (*CheckpointState, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &CheckpointState{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return readCheckpoint(f)
+}
+
+func readCheckpoint(r io.Reader) (*CheckpointState, error) {
+	st := &CheckpointState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxCkptLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ckptLine
+		if json.Unmarshal(line, &rec) != nil {
+			st.Skipped++
+			continue
+		}
+		switch rec.Type {
+		case "campaign":
+			if st.Header == nil {
+				rec2 := rec
+				st.Header = &rec2
+			}
+		case "shard":
+			if rec.Payload != nil {
+				st.Payloads = append(st.Payloads, rec.Payload)
+			} else {
+				st.Skipped++
+			}
+		default:
+			st.Skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return st, nil
+}
+
+// Validate checks a recovered checkpoint against the campaign about to
+// resume it. A mismatched suite fingerprint or shard geometry means the
+// file belongs to a different campaign — refusing is the only safe answer.
+func (st *CheckpointState) Validate(info SpecInfo) error {
+	if st.Header == nil {
+		return nil // empty or headerless file: nothing to contradict
+	}
+	h := st.Header
+	if h.SuiteHash != info.SuiteHash {
+		return fmt.Errorf("campaign: checkpoint suite fingerprint mismatch: file has %s (fs=%s suite=%s), campaign is %s (fs=%s suite=%s) — wrong checkpoint or diverged generator",
+			h.SuiteHash, h.FS, h.Suite, info.SuiteHash, info.Spec.FS, info.Spec.Suite)
+	}
+	if h.Shards != info.Shards || h.ShardSize != info.ShardSize {
+		return fmt.Errorf("campaign: checkpoint shard geometry mismatch: file has %d shards of %d, campaign wants %d of %d — rerun with the original -shard-size",
+			h.Shards, h.ShardSize, info.Shards, info.ShardSize)
+	}
+	return nil
+}
+
+// OpenCheckpoint opens path for appending, writing the header when the
+// file is new or empty. Call after LoadCheckpoint+Validate.
+func OpenCheckpoint(path string, info SpecInfo, fresh bool) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	ck := &Checkpoint{f: f}
+	if fresh {
+		err := ck.append(ckptLine{
+			Type:       "campaign",
+			CampaignID: info.CampaignID,
+			SuiteHash:  info.SuiteHash,
+			FS:         info.Spec.FS,
+			Suite:      info.Spec.Suite,
+			Workloads:  info.Workloads,
+			Shards:     info.Shards,
+			ShardSize:  info.ShardSize,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// AppendShard records one credited shard durably (fsync per shard: shards
+// are coarse units, and surviving a coordinator SIGKILL is the point).
+func (ck *Checkpoint) AppendShard(p *ShardPayload) error {
+	if ck == nil {
+		return nil
+	}
+	return ck.append(ckptLine{Type: "shard", Payload: p})
+}
+
+func (ck *Checkpoint) append(rec ckptLine) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if _, err := ck.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := ck.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the checkpoint file.
+func (ck *Checkpoint) Close() error {
+	if ck == nil {
+		return nil
+	}
+	return ck.f.Close()
+}

@@ -1,0 +1,547 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chipmunk/internal/core"
+	"chipmunk/internal/harness"
+	"chipmunk/internal/workload"
+)
+
+// DefaultShardSize is how many workloads one lease covers. Coarse enough
+// that per-shard HTTP and checkpoint overhead is noise, fine enough that a
+// lost worker forfeits little work and stragglers rebalance.
+const DefaultShardSize = 32
+
+// DefaultLeaseTTL is how long a worker holds a shard before the
+// coordinator assumes it died and re-dispatches.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// CoordinatorConfig configures NewCoordinator.
+type CoordinatorConfig struct {
+	Spec      Spec
+	ShardSize int           // 0 = DefaultShardSize
+	LeaseTTL  time.Duration // 0 = DefaultLeaseTTL
+	// CheckpointPath, when set, appends credited shards to this file and
+	// — when the file already records shards of this same campaign —
+	// resumes by skipping them ("-resume").
+	CheckpointPath string
+	// Progress, when set, is called after every credited shard with the
+	// folded census so far (drives the -debug-addr /progress view).
+	Progress func(doneWorkloads, totalWorkloads int, c harness.Census)
+	// Logf, when set, receives one line per lease/credit/expiry event.
+	Logf func(format string, args ...any)
+}
+
+type shardState uint8
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+type shardSlot struct {
+	start, end int
+	state      shardState
+	worker     string
+	deadline   time.Time
+	payload    *ShardPayload
+}
+
+// Stats summarizes the campaign's control-plane history.
+type Stats struct {
+	Shards int
+	Done   int
+	// Resumed counts shards credited from the checkpoint at startup,
+	// Redispatched lease expiries, Duplicates at-most-once discards, and
+	// Rejected fingerprint-mismatch requests.
+	Resumed      int
+	Redispatched int
+	Duplicates   int
+	Rejected     int
+	// PerWorker counts shards credited per worker ID (checkpoint resumes
+	// appear under "checkpoint").
+	PerWorker map[string]int
+}
+
+// Coordinator owns a campaign: the sharded suite, the lease state machine,
+// the at-most-once credit ledger, and the checkpoint. It is an
+// http.Handler serving the campaign wire protocol.
+type Coordinator struct {
+	info     SpecInfo
+	leaseTTL time.Duration
+	progress func(done, total int, c harness.Census)
+	logf     func(format string, args ...any)
+	mux      *http.ServeMux
+
+	mu           sync.Mutex
+	shards       []shardSlot
+	remaining    int
+	draining     bool
+	failed       error
+	ckpt         *Checkpoint
+	resumed      int
+	redispatched int
+	duplicates   int
+	rejected     int
+	perWorker    map[string]int
+
+	doneOnce sync.Once
+	doneCh   chan struct{}
+}
+
+// NewCoordinator builds the campaign: generates the suite, fingerprints
+// it, shards it, and — when CheckpointPath names a file recording this
+// same campaign — folds the already-completed shards back in so only the
+// rest are leased out.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	suite, err := cfg.Spec.BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("campaign: empty suite %q", cfg.Spec.Suite)
+	}
+	shardSize := cfg.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	hash := workload.FormatSuiteHash(workload.SuiteHash(suite))
+	n := numShards(len(suite), shardSize)
+	info := SpecInfo{
+		CampaignID: campaignID(cfg.Spec, hash),
+		Spec:       cfg.Spec,
+		SuiteHash:  hash,
+		Shards:     n,
+		ShardSize:  shardSize,
+		Workloads:  len(suite),
+	}
+	c := &Coordinator{
+		info:      info,
+		leaseTTL:  ttl,
+		progress:  cfg.Progress,
+		logf:      cfg.Logf,
+		shards:    make([]shardSlot, n),
+		remaining: n,
+		perWorker: map[string]int{},
+		doneCh:    make(chan struct{}),
+	}
+	for i := range c.shards {
+		c.shards[i].start, c.shards[i].end = shardRange(i, shardSize, len(suite))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSpec, c.handleSpec)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathResult, c.handleResult)
+	c.mux = mux
+
+	if cfg.CheckpointPath != "" {
+		if err := c.attachCheckpoint(cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func campaignID(spec Spec, suiteHash string) string {
+	h := fnv.New64a()
+	b, _ := json.Marshal(spec)
+	h.Write(b)
+	h.Write([]byte(suiteHash))
+	return fmt.Sprintf("c%016x", h.Sum64())
+}
+
+func (c *Coordinator) attachCheckpoint(path string) error {
+	st, err := LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	if err := st.Validate(c.info); err != nil {
+		return err
+	}
+	if st.Skipped > 0 {
+		c.log("checkpoint: skipped %d corrupt/torn lines in %s", st.Skipped, path)
+	}
+	for _, p := range st.Payloads {
+		if p.SuiteHash != c.info.SuiteHash || p.Shard < 0 || p.Shard >= len(c.shards) {
+			c.log("checkpoint: ignoring foreign shard record (shard %d, hash %s)", p.Shard, p.SuiteHash)
+			continue
+		}
+		slot := &c.shards[p.Shard]
+		if slot.state == shardDone {
+			continue
+		}
+		slot.state = shardDone
+		slot.payload = p
+		c.remaining--
+		c.resumed++
+		c.perWorker["checkpoint"]++
+	}
+	fresh := st.Header == nil
+	ck, err := OpenCheckpoint(path, c.info, fresh)
+	if err != nil {
+		return err
+	}
+	c.ckpt = ck
+	if c.resumed > 0 {
+		c.log("checkpoint: resumed %d/%d shards from %s", c.resumed, len(c.shards), path)
+	}
+	if c.remaining == 0 {
+		c.complete()
+	}
+	return nil
+}
+
+// Info returns the campaign identity served on handshake.
+func (c *Coordinator) Info() SpecInfo { return c.info }
+
+func (c *Coordinator) log(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+func (c *Coordinator) complete() {
+	c.doneOnce.Do(func() { close(c.doneCh) })
+}
+
+// reclaimLocked reverts expired leases to pending so the next lease
+// request re-dispatches them. Caller holds c.mu.
+func (c *Coordinator) reclaimLocked(now time.Time) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.state == shardLeased && now.After(s.deadline) {
+			c.log("lease expired: shard %d (worker %s) re-dispatching", i, s.worker)
+			s.state = shardPending
+			s.worker = ""
+			c.redispatched++
+		}
+	}
+}
+
+func (c *Coordinator) leasedLocked() int {
+	n := 0
+	for i := range c.shards {
+		if c.shards[i].state == shardLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// Lease hands the lowest-numbered pending shard to a worker, or tells it
+// to wait (everything in flight) or exit (done, draining, or failed).
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.SuiteHash != c.info.SuiteHash {
+		c.rejected++
+		return LeaseResponse{}, fmt.Errorf(
+			"suite fingerprint mismatch: coordinator has %s, worker %q sent %s — generators differ, refusing to merge incomparable results",
+			c.info.SuiteHash, req.Worker, req.SuiteHash)
+	}
+	if c.draining || c.failed != nil || c.remaining == 0 {
+		return LeaseResponse{Status: LeaseDone}, nil
+	}
+	c.reclaimLocked(time.Now())
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.state != shardPending {
+			continue
+		}
+		s.state = shardLeased
+		s.worker = req.Worker
+		s.deadline = time.Now().Add(c.leaseTTL)
+		c.log("lease: shard %d [%d,%d) -> %s (ttl %v)", i, s.start, s.end, req.Worker, c.leaseTTL)
+		return LeaseResponse{
+			Status: LeaseGranted, Shard: i, Start: s.start, End: s.end,
+			TTLNanos: int64(c.leaseTTL),
+		}, nil
+	}
+	return LeaseResponse{Status: LeaseWait}, nil
+}
+
+// Credit records one shard result, at most once per (shard id, suite
+// fingerprint): a resurrected slow worker whose lease expired and whose
+// shard was re-run elsewhere gets Duplicate, and its payload is discarded
+// — the two payloads are byte-identical by the determinism contract, but
+// counting both would double-credit the shard.
+func (c *Coordinator) Credit(p *ShardPayload) (CreditResponse, error) {
+	c.mu.Lock()
+	if p.SuiteHash != c.info.SuiteHash {
+		c.rejected++
+		c.mu.Unlock()
+		return CreditResponse{}, fmt.Errorf(
+			"suite fingerprint mismatch: coordinator has %s, worker %q sent %s — discarding result",
+			c.info.SuiteHash, p.Worker, p.SuiteHash)
+	}
+	if p.Shard < 0 || p.Shard >= len(c.shards) {
+		c.rejected++
+		c.mu.Unlock()
+		return CreditResponse{}, fmt.Errorf("shard %d out of range [0,%d)", p.Shard, len(c.shards))
+	}
+	if p.Err != "" {
+		// Engine errors are deterministic (same binary, same suite):
+		// re-dispatching would loop forever, so the campaign fails fast,
+		// mirroring harness.Run.
+		if c.failed == nil {
+			c.failed = fmt.Errorf("shard %d (worker %s): %s", p.Shard, p.Worker, p.Err)
+		}
+		c.mu.Unlock()
+		c.complete()
+		return CreditResponse{Accepted: false, Done: true}, nil
+	}
+	slot := &c.shards[p.Shard]
+	if slot.state == shardDone {
+		c.duplicates++
+		c.mu.Unlock()
+		c.log("duplicate result for shard %d from %s: discarded", p.Shard, p.Worker)
+		return CreditResponse{Accepted: false, Duplicate: true}, nil
+	}
+	if slot.payload != nil {
+		// Unreachable (payload is only set with state=done), but never
+		// let an invariant break double-count silently.
+		c.mu.Unlock()
+		return CreditResponse{}, fmt.Errorf("shard %d: payload already recorded", p.Shard)
+	}
+	slot.state = shardDone
+	slot.worker = p.Worker
+	slot.payload = p
+	c.remaining--
+	c.perWorker[p.Worker]++
+	done := c.remaining == 0
+	doneCount := len(c.shards) - c.remaining
+	if err := c.ckpt.AppendShard(p); err != nil {
+		// A checkpoint that silently stops recording is worse than a
+		// failed campaign: resume would rerun shards it believes missing.
+		if c.failed == nil {
+			c.failed = err
+		}
+		c.mu.Unlock()
+		c.complete()
+		return CreditResponse{Accepted: false, Done: true}, nil
+	}
+	c.mu.Unlock()
+	c.log("credit: shard %d from %s (%d/%d done)", p.Shard, p.Worker, doneCount, len(c.shards))
+
+	if c.progress != nil {
+		cen, _ := c.Merged()
+		c.progress(cen.Workloads, c.info.Workloads, *cen)
+	}
+	if done {
+		c.complete()
+	}
+	return CreditResponse{Accepted: true, Done: done}, nil
+}
+
+// Merged folds the credited shards, in shard order, into the campaign
+// census so far.
+func (c *Coordinator) Merged() (*harness.Census, []core.Violation) {
+	c.mu.Lock()
+	payloads := make([]*ShardPayload, 0, len(c.shards))
+	for i := range c.shards {
+		if c.shards[i].state == shardDone {
+			payloads = append(payloads, c.shards[i].payload)
+		}
+	}
+	c.mu.Unlock()
+	return Fold(payloads)
+}
+
+// Stats snapshots the control-plane counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	per := make(map[string]int, len(c.perWorker))
+	for k, v := range c.perWorker {
+		per[k] = v
+	}
+	return Stats{
+		Shards:       len(c.shards),
+		Done:         len(c.shards) - c.remaining,
+		Resumed:      c.resumed,
+		Redispatched: c.redispatched,
+		Duplicates:   c.duplicates,
+		Rejected:     c.rejected,
+		PerWorker:    per,
+	}
+}
+
+// Drain stops issuing new leases; in-flight shards may still report and
+// be credited (and checkpointed) until their deadlines expire.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Wait blocks until the campaign completes, fails, or ctx is cancelled.
+// Cancellation is the graceful path (first SIGINT): the coordinator stops
+// issuing leases, keeps crediting in-flight shards to the checkpoint until
+// they report or their leases expire, and returns the partial census with
+// ctx's error.
+func (c *Coordinator) Wait(ctx context.Context) (*harness.Census, []core.Violation, error) {
+	select {
+	case <-c.doneCh:
+		return c.finish(nil)
+	case <-ctx.Done():
+	}
+	c.Drain()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.doneCh:
+			return c.finish(nil)
+		case <-tick.C:
+			c.mu.Lock()
+			c.reclaimLocked(time.Now())
+			leased := c.leasedLocked()
+			c.mu.Unlock()
+			if leased == 0 {
+				return c.finish(ctx.Err())
+			}
+		}
+	}
+}
+
+func (c *Coordinator) finish(err error) (*harness.Census, []core.Violation, error) {
+	c.mu.Lock()
+	failed := c.failed
+	c.mu.Unlock()
+	if failed != nil {
+		return nil, nil, failed
+	}
+	cen, viol := c.Merged()
+	return cen, viol, err
+}
+
+// Close releases the checkpoint file handle.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	ck := c.ckpt
+	c.ckpt = nil
+	c.mu.Unlock()
+	return ck.Close()
+}
+
+// --- HTTP surface -------------------------------------------------------
+
+// Wire paths. Workers GET the spec once (handshake), then loop
+// POST lease -> run shard -> POST result.
+const (
+	PathSpec   = "/campaign/spec"
+	PathLease  = "/campaign/lease"
+	PathResult = "/campaign/result"
+)
+
+// maxResultBody bounds one shard-result POST; aligned with maxCkptLine
+// (the payload is what gets checkpointed).
+const maxResultBody = maxCkptLine
+
+// ServeHTTP serves the campaign protocol.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.info)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad lease request: %v", err))
+		return
+	}
+	resp, err := c.Lease(req)
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var p ShardPayload
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBody)).Decode(&p); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad result payload: %v", err))
+		return
+	}
+	resp, err := c.Credit(&p)
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = client's problem
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, wireError{Error: msg})
+}
+
+// Server binds a Coordinator to a TCP listener (-serve ADDR).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the campaign protocol on addr (host:port;
+// port 0 picks a free one, see Addr).
+func ListenAndServe(addr string, c *Coordinator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: listen: %w", err)
+	}
+	srv := &http.Server{Handler: c, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// String formats the control-plane summary the -serve frontend prints:
+// shard accounting first, then per-worker credit counts sorted by worker
+// name (deterministic output for logs and tests).
+func (st Stats) String() string {
+	lines := []string{fmt.Sprintf(
+		"campaign: %d/%d shards done (%d resumed from checkpoint, %d re-dispatched, %d duplicates discarded, %d rejected)",
+		st.Done, st.Shards, st.Resumed, st.Redispatched, st.Duplicates, st.Rejected)}
+	workers := make([]string, 0, len(st.PerWorker))
+	for wkr := range st.PerWorker {
+		workers = append(workers, wkr)
+	}
+	sort.Strings(workers)
+	for _, wkr := range workers {
+		lines = append(lines, fmt.Sprintf("  %s: %d shards", wkr, st.PerWorker[wkr]))
+	}
+	return strings.Join(lines, "\n")
+}

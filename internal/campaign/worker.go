@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"chipmunk/internal/core"
+	"chipmunk/internal/harness"
+	"chipmunk/internal/obs"
+	"chipmunk/internal/workload"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// ID names this worker in leases and per-worker stats (default:
+	// hostname-pid).
+	ID string
+	// Jobs is the suite-level worker count within each shard (harness
+	// WithWorkers; determinism holds for any value). Default 1.
+	Jobs int
+	// Journal, when non-nil, receives this worker's run-journal events —
+	// per-worker journals are merged afterwards with journaltool -merge.
+	Journal *obs.Journal
+	// Poll is the wait-state poll interval (default 300ms).
+	Poll time.Duration
+	// OnLease, when set, is called after each granted lease before the
+	// shard runs — the hook kill-mid-shard tests use to die at a precise
+	// point.
+	OnLease func(LeaseResponse)
+	// Logf, when set, receives one line per lease/result event.
+	Logf func(format string, args ...any)
+}
+
+// Worker-side wire client tunables: how long to keep retrying an
+// unreachable coordinator before concluding it is gone.
+const (
+	workerDialRetries = 20
+	workerDialBackoff = 250 * time.Millisecond
+)
+
+// RunWorker joins the campaign at wc.Addr and processes leases until the
+// coordinator reports the campaign done (or draining), the context is
+// cancelled, or an error is fatal.
+//
+// Fault-model contract: a worker makes no campaign-visible progress except
+// by a credited result POST. Dying mid-shard — crash, SIGKILL, cancelled
+// context, lost network — just lets the lease expire for re-dispatch; the
+// shard is eventually credited exactly once, somewhere, with byte-identical
+// payload. A coordinator that becomes permanently unreachable after the
+// handshake is treated as "campaign over" (it completed and exited, or it
+// crashed and its checkpoint will resume): the worker exits cleanly rather
+// than failing a pipeline whose state is safe either way.
+func RunWorker(ctx context.Context, wc WorkerConfig) error {
+	if wc.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		wc.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if wc.Jobs == 0 {
+		wc.Jobs = 1
+	}
+	if wc.Poll <= 0 {
+		wc.Poll = 300 * time.Millisecond
+	}
+	logf := wc.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{}
+
+	// Handshake: fetch the spec, rebuild the suite locally, and verify the
+	// fingerprint — a worker whose generator diverged must stop here, not
+	// merge incomparable results.
+	var info SpecInfo
+	if err := getJSON(ctx, client, "http://"+wc.Addr+PathSpec, &info); err != nil {
+		return fmt.Errorf("campaign: handshake with %s: %w", wc.Addr, err)
+	}
+	suite, err := info.Spec.BuildSuite()
+	if err != nil {
+		return fmt.Errorf("campaign: handshake: %w", err)
+	}
+	localHash := workload.FormatSuiteHash(workload.SuiteHash(suite))
+	if localHash != info.SuiteHash {
+		return fmt.Errorf(
+			"campaign: suite fingerprint mismatch: coordinator %s has %s for %q (%d workloads), this worker generated %s (%d workloads) — binaries/generators differ, refusing to run",
+			wc.Addr, info.SuiteHash, info.Spec.Suite, info.Workloads, localHash, len(suite))
+	}
+	opts, err := info.Spec.Options()
+	if err != nil {
+		return err
+	}
+	if info.Spec.Stats {
+		opts.Obs = obs.New()
+	}
+	opts.Journal = wc.Journal
+	sys, cfg, err := opts.Resolve()
+	if err != nil {
+		return err
+	}
+	logf("worker %s joined campaign %s: %s suite %s (%d workloads, %d shards), fingerprint %s",
+		wc.ID, info.CampaignID, sys.Name, info.Spec.Suite, info.Workloads, info.Shards, info.SuiteHash)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		err := postJSON(ctx, client, "http://"+wc.Addr+PathLease,
+			LeaseRequest{Worker: wc.ID, SuiteHash: info.SuiteHash}, &lease)
+		if err != nil {
+			if gone(err) {
+				logf("worker %s: coordinator %s gone; assuming campaign over", wc.ID, wc.Addr)
+				return nil
+			}
+			return fmt.Errorf("campaign: lease: %w", err)
+		}
+		switch lease.Status {
+		case LeaseDone:
+			logf("worker %s: campaign done", wc.ID)
+			return nil
+		case LeaseWait:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wc.Poll):
+			}
+			continue
+		case LeaseGranted:
+		default:
+			return fmt.Errorf("campaign: unknown lease status %q", lease.Status)
+		}
+
+		if wc.OnLease != nil {
+			wc.OnLease(lease)
+		}
+		if lease.Start < 0 || lease.End > len(suite) || lease.Start >= lease.End {
+			return fmt.Errorf("campaign: lease shard %d range [%d,%d) out of suite bounds [0,%d)",
+				lease.Shard, lease.Start, lease.End, len(suite))
+		}
+		logf("worker %s: running shard %d [%d,%d)", wc.ID, lease.Shard, lease.Start, lease.End)
+		payload := runShard(ctx, cfg, suite, lease, wc.ID, info.SuiteHash, wc.Jobs)
+		if payload == nil {
+			// Cancelled mid-shard: report nothing — the lease expires and
+			// the shard is re-dispatched whole.
+			return ctx.Err()
+		}
+
+		var credit CreditResponse
+		err = postJSON(ctx, client, "http://"+wc.Addr+PathResult, payload, &credit)
+		if err != nil {
+			if gone(err) {
+				logf("worker %s: coordinator %s gone before result for shard %d; lease will expire elsewhere",
+					wc.ID, wc.Addr, lease.Shard)
+				return nil
+			}
+			return fmt.Errorf("campaign: result: %w", err)
+		}
+		switch {
+		case credit.Duplicate:
+			logf("worker %s: shard %d was already credited (re-dispatched past our lease)", wc.ID, lease.Shard)
+		case credit.Accepted:
+			logf("worker %s: shard %d credited", wc.ID, lease.Shard)
+		}
+		if payload.Err != "" || credit.Done {
+			if payload.Err != "" {
+				return fmt.Errorf("campaign: shard %d failed: %s", lease.Shard, payload.Err)
+			}
+			logf("worker %s: campaign done", wc.ID)
+			return nil
+		}
+	}
+}
+
+// runShard executes one leased suite slice and freezes the payload.
+// Returns nil when the context was cancelled mid-run (nothing to report:
+// the lease expires and the shard re-runs whole elsewhere). An engine
+// error becomes a payload with Err set — deterministic, so the
+// coordinator fails the campaign instead of re-dispatching forever.
+func runShard(ctx context.Context, cfg core.Config, suite []workload.Workload, lease LeaseResponse, id, suiteHash string, jobs int) *ShardPayload {
+	census, viol, err := harness.Run(ctx, cfg, suite[lease.Start:lease.End], harness.WithWorkers(jobs))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return &ShardPayload{Shard: lease.Shard, Worker: id, SuiteHash: suiteHash, Err: err.Error()}
+	}
+	return NewShardPayload(lease.Shard, id, suiteHash, census, viol)
+}
+
+// gone classifies transport errors that mean the coordinator process is no
+// longer there (connection refused/reset, EOF mid-response) after retries
+// were exhausted, as opposed to protocol errors it answered with.
+func gone(err error) bool {
+	return errors.Is(err, errCoordinatorGone)
+}
+
+var errCoordinatorGone = errors.New("coordinator unreachable")
+
+// getJSON fetches url into out, retrying transport errors with backoff
+// until the budget is spent (then wrapping errCoordinatorGone) or ctx is
+// cancelled.
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	return doJSON(ctx, client, http.MethodGet, url, nil, out)
+}
+
+// postJSON posts body (JSON) to url and decodes the response into out,
+// with the same retry contract as getJSON. A non-2xx response is returned
+// as an error carrying the coordinator's message (e.g. a fingerprint
+// rejection) and is never retried.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return doJSON(ctx, client, http.MethodPost, url, b, out)
+}
+
+func doJSON(ctx context.Context, client *http.Client, method, url string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < workerDialRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(workerDialBackoff):
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue // transport error: coordinator restarting or gone; retry
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBody))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			var we wireError
+			if json.Unmarshal(data, &we) == nil && we.Error != "" {
+				return fmt.Errorf("coordinator rejected request (%d): %s", resp.StatusCode, we.Error)
+			}
+			return fmt.Errorf("coordinator rejected request: %s", resp.Status)
+		}
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("bad coordinator response: %w", err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w after %d attempts: %v", errCoordinatorGone, workerDialRetries, lastErr)
+}

@@ -259,8 +259,16 @@ type Census struct {
 	TruncatedFences int
 	Fences          int
 	MaxInFlight     int
-	AvgInFlight     float64
-	Violations      int
+	// InFlightSum and InFlightN are the raw accumulators behind
+	// AvgInFlight (sum of nonzero in-flight counts, weighted by how often
+	// each size occurred, and the number of observations). They are
+	// exported so a distributed campaign can fold per-shard censuses and
+	// recompute the exact same average the serial run reports — merging
+	// the float directly would not be associative.
+	InFlightSum int
+	InFlightN   int
+	AvgInFlight float64
+	Violations  int
 	// Quarantined is the suite-wide quarantine ledger: crash states whose
 	// check panicked or hung deterministically inside the sandbox. Entries
 	// appear in suite order regardless of worker count, and every

@@ -113,6 +113,17 @@ func (in *Instrumentation) RenderStats(wall time.Duration) string {
 	return snap.Render(wall)
 }
 
+// RenderStatsSnapshot is RenderStats over an explicit snapshot — the
+// distributed coordinator's collector never records anything (the workers
+// did), so -serve renders the census's merged obs snapshot instead. Still
+// gated on -stats; "" when off or snap is nil.
+func (in *Instrumentation) RenderStatsSnapshot(snap *obs.Snapshot, wall time.Duration) string {
+	if in == nil || !in.stats || snap == nil {
+		return ""
+	}
+	return snap.Render(wall)
+}
+
 // Close flushes and closes the journal and shuts the debug listener down,
 // reporting the first error.
 func (in *Instrumentation) Close() error {

@@ -279,6 +279,7 @@ func (a *aggregator) add(res *core.Result) {
 }
 
 func (a *aggregator) finish(elapsed time.Duration) {
+	a.c.InFlightSum, a.c.InFlightN = a.inflightSum, a.inflightN
 	if a.inflightN > 0 {
 		a.c.AvgInFlight = float64(a.inflightSum) / float64(a.inflightN)
 	}

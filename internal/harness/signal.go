@@ -14,13 +14,25 @@ import (
 // hostile crash state has wedged a check goroutine past even the sandbox
 // deadline. The returned stop func releases the signal handler.
 func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return SignalContextNotify(parent,
+		"interrupt: finishing in-flight work (interrupt again to force exit)")
+}
+
+// SignalContextNotify is SignalContext with a caller-chosen first-interrupt
+// message — what a frontend prints decides what the operator believes the
+// first Ctrl-C does, and the distributed coordinator's answer ("stop
+// issuing leases, drain in-flight shards to the checkpoint") differs from
+// the single-process one ("abandon in-flight work"). The escalation
+// contract is shared: the first signal cancels the context and prints msg;
+// the second force-exits with status 130.
+func SignalContextNotify(parent context.Context, msg string) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(parent)
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		select {
 		case <-ch:
-			fmt.Fprintln(os.Stderr, "\ninterrupt: finishing in-flight work (interrupt again to force exit)")
+			fmt.Fprintln(os.Stderr, "\n"+msg)
 			cancel()
 		case <-ctx.Done():
 			return

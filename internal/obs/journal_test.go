@@ -51,9 +51,9 @@ func TestJournalTolerantReader(t *testing.T) {
 	raw := strings.Join([]string{
 		`{"t":"2026-08-05T10:00:00Z","type":"run","fs":"nova","sys":-1,"rank":0}`,
 		``,
-		`{"type":"fence","fs":"nova","sys":0,` /* truncated mid-object */,
+		`{"type":"fence","fs":"nova","sys":0,`, /* truncated mid-object */
 		`this is not json at all`,
-		`{"t":"2026-08-05T10:00:01Z","sys":0,"rank":0}` /* valid JSON, no type */,
+		`{"t":"2026-08-05T10:00:01Z","sys":0,"rank":0}`, /* valid JSON, no type */
 		`{"t":"2026-08-05T10:00:02Z","type":"workload","workload":"w","sys":-1,"rank":0}`,
 	}, "\n")
 	events, skipped, err := ReadJournal(strings.NewReader(raw))

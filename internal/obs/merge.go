@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// CanonicalEvents order-normalizes and concatenates journal streams into
+// one canonical stream: every event's wall-clock fields (Time, DurNanos)
+// are cleared and the union is sorted by CanonicalKey. Because the journal
+// determinism contract is stated over exactly that multiset, the output is
+// a pure function of what the runs did — merging the per-worker journals
+// of a distributed campaign in any order, from any scheduling, yields
+// byte-identical streams. Inputs are not mutated.
+func CanonicalEvents(lists ...[]Event) []Event {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Event, 0, total)
+	for _, l := range lists {
+		for _, e := range l {
+			e.Time = time.Time{}
+			e.DurNanos = 0
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].CanonicalKey() < out[j].CanonicalKey()
+	})
+	return out
+}
+
+// WriteEvents writes events as JSONL — the same format Journal.Emit
+// appends and ReadJournal parses, so a merged stream round-trips through
+// journaltool (-strict included).
+func WriteEvents(w io.Writer, events []Event) error {
+	for _, e := range events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

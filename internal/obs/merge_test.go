@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCanonicalEventsOrderNormalizes(t *testing.T) {
+	now := time.Now()
+	a := []Event{
+		{Time: now, Type: "workload", Workload: "w2", Sys: -1, DurNanos: 99},
+		{Time: now, Type: "violation", Workload: "w1", Sys: 0, Kind: "data-loss"},
+	}
+	b := []Event{
+		{Time: now.Add(time.Hour), Type: "workload", Workload: "w1", Sys: -1, DurNanos: 7},
+	}
+
+	// Merge order and wall-clock fields must not matter.
+	m1 := CanonicalEvents(a, b)
+	m2 := CanonicalEvents(b, a)
+	if len(m1) != 3 || len(m2) != 3 {
+		t.Fatalf("merged lengths = %d, %d, want 3", len(m1), len(m2))
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := WriteEvents(&buf1, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEvents(&buf2, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("merge not order-independent:\n%s\nvs\n%s", buf1.String(), buf2.String())
+	}
+	for _, e := range m1 {
+		if !e.Time.IsZero() || e.DurNanos != 0 {
+			t.Fatalf("wall-clock fields survived canonicalization: %+v", e)
+		}
+	}
+
+	// Inputs must not be mutated (the caller may still summarize them).
+	if a[0].DurNanos != 99 || a[0].Time.IsZero() {
+		t.Fatalf("CanonicalEvents mutated its input: %+v", a[0])
+	}
+
+	// The canonical stream must round-trip through the tolerant reader
+	// with nothing skipped — journaltool -strict runs on merged output.
+	events, skipped, err := ReadJournal(&buf1)
+	if err != nil || skipped != 0 {
+		t.Fatalf("merged stream not clean JSONL: skipped=%d err=%v", skipped, err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("round-trip lost events: %d", len(events))
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CampaignSummary is the distributed-run record persisted next to the bug
+// reports: which campaign produced them, how the suite was sharded, and
+// what the control plane saw. The struct is deliberately plain values (no
+// campaign package types) so report stays importable from anywhere.
+type CampaignSummary struct {
+	CampaignID string
+	FS         string
+	Suite      string
+	SuiteHash  string
+	Workloads  int
+	Shards     int
+	ShardSize  int
+
+	// Control-plane history: shards credited from the checkpoint at
+	// startup, lease expiries re-dispatched, at-most-once discards, and
+	// fingerprint-mismatch rejections.
+	Resumed      int
+	Redispatched int
+	Duplicates   int
+	Rejected     int
+	// PerWorker counts shards credited per worker ID.
+	PerWorker map[string]int
+
+	// Fingerprint is the deterministic census identity — equal to the
+	// serial run's fingerprint by the determinism contract, so two
+	// CAMPAIGN.txt files from different cluster topologies diff clean.
+	Fingerprint string
+}
+
+// WriteCampaignSummary persists the summary as CAMPAIGN.txt under the
+// report root and returns its path.
+func (w *Writer) WriteCampaignSummary(s CampaignSummary) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Chipmunk distributed campaign %s\n\n", s.CampaignID)
+	fmt.Fprintf(&b, "file system:      %s\n", s.FS)
+	fmt.Fprintf(&b, "suite:            %s (%d workloads, fingerprint %s)\n", s.Suite, s.Workloads, s.SuiteHash)
+	fmt.Fprintf(&b, "shards:           %d x %d workloads\n", s.Shards, s.ShardSize)
+	fmt.Fprintf(&b, "resumed:          %d shards from checkpoint\n", s.Resumed)
+	fmt.Fprintf(&b, "re-dispatched:    %d expired leases\n", s.Redispatched)
+	fmt.Fprintf(&b, "duplicates:       %d results discarded (at-most-once)\n", s.Duplicates)
+	fmt.Fprintf(&b, "rejected:         %d fingerprint mismatches\n", s.Rejected)
+	workers := make([]string, 0, len(s.PerWorker))
+	for wkr := range s.PerWorker {
+		workers = append(workers, wkr)
+	}
+	sort.Strings(workers)
+	b.WriteString("\nshards credited per worker:\n")
+	for _, wkr := range workers {
+		fmt.Fprintf(&b, "  %-24s %d\n", wkr, s.PerWorker[wkr])
+	}
+	if s.Fingerprint != "" {
+		fmt.Fprintf(&b, "\ncensus fingerprint (matches the serial run byte-for-byte):\n%s\n",
+			indent(strings.TrimRight(s.Fingerprint, "\n"), "  "))
+	}
+	path := filepath.Join(w.root, "CAMPAIGN.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

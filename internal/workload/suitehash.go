@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// SuiteHash fingerprints a workload suite deterministically: FNV-64a over
+// every workload's Format rendering, in suite order, with length-prefix
+// framing so concatenation can never alias two different suites. The hash
+// is a pure function of the suite content (names and ops) — two binaries
+// whose generators produce the same workloads agree on it, and any drift
+// (reordered variants, changed op parameters, renamed workloads) changes
+// it.
+//
+// The distributed campaign runner exchanges this hash on every handshake,
+// lease, and result: a coordinator and a worker built from diverged
+// generators would otherwise silently merge incomparable censuses.
+func SuiteHash(suite []Workload) uint64 {
+	h := fnv.New64a()
+	var frame [8]byte
+	for _, w := range suite {
+		s := Format(w)
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(s)))
+		h.Write(frame[:])
+		h.Write([]byte(s))
+	}
+	return h.Sum64()
+}
+
+// FormatSuiteHash renders a suite hash the way the wire protocol and the
+// checkpoint file carry it: fixed-width hex.
+func FormatSuiteHash(h uint64) string { return fmt.Sprintf("%016x", h) }

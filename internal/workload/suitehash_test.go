@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func sampleSuite() []Workload {
+	return []Workload{
+		{Name: "a", Ops: []Op{
+			{Kind: OpCreat, Path: "/f0", FDSlot: 0},
+			{Kind: OpWrite, Path: "/f0", FDSlot: 0, Size: 64, Seed: 1},
+			{Kind: OpFsync, FDSlot: 0},
+		}},
+		{Name: "b", Ops: []Op{
+			{Kind: OpMkdir, Path: "/d0", FDSlot: -1},
+			{Kind: OpRename, Path: "/d0", Path2: "/d1", FDSlot: -1},
+		}},
+	}
+}
+
+func TestSuiteHashDeterministic(t *testing.T) {
+	a, b := SuiteHash(sampleSuite()), SuiteHash(sampleSuite())
+	if a != b {
+		t.Fatalf("same suite hashed differently: %016x vs %016x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("suite hash is zero")
+	}
+	if got := FormatSuiteHash(a); len(got) != 16 {
+		t.Fatalf("FormatSuiteHash = %q, want 16 hex chars", got)
+	}
+}
+
+func TestSuiteHashSensitivity(t *testing.T) {
+	base := SuiteHash(sampleSuite())
+
+	// Order matters: a shard-split suite must not hash like a reordering.
+	swapped := sampleSuite()
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if SuiteHash(swapped) == base {
+		t.Error("reordered suite hashed identically")
+	}
+
+	// Op drift matters: one changed parameter is a different generator.
+	mutated := sampleSuite()
+	mutated[0].Ops[1].Size = 65
+	if SuiteHash(mutated) == base {
+		t.Error("mutated op hashed identically")
+	}
+
+	// Name drift matters: names appear in violations, so identity
+	// includes them.
+	renamed := sampleSuite()
+	renamed[1].Name = "b2"
+	if SuiteHash(renamed) == base {
+		t.Error("renamed workload hashed identically")
+	}
+
+	// Framing: moving an op across a workload boundary must change the
+	// hash even though the concatenated renderings could coincide.
+	rehomed := sampleSuite()
+	rehomed[1].Ops = append([]Op{rehomed[0].Ops[2]}, rehomed[1].Ops...)
+	rehomed[0].Ops = rehomed[0].Ops[:2]
+	if SuiteHash(rehomed) == base {
+		t.Error("op rehomed across workloads hashed identically")
+	}
+}
