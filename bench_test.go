@@ -8,6 +8,7 @@
 package chipmunk_test
 
 import (
+	"context"
 	"testing"
 
 	"chipmunk/internal/ace"
@@ -105,8 +106,8 @@ func benchSeq1(b *testing.B, sysName string) {
 	}
 	suite := ace.Seq1()
 	for i := 0; i < b.N; i++ {
-		cfg := harness.ConfigFor(sys, bugs.None(), 2)
-		c, viol, err := harness.RunSuite(cfg, suite)
+		cfg := harness.Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
+		c, viol, err := harness.Run(context.Background(), cfg, suite)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,8 +127,8 @@ func BenchmarkSeq1Suite_Ext4Dax(b *testing.B) {
 	sys, _ := harness.SystemByName("ext4-dax")
 	suite := ace.Seq1Dax()
 	for i := 0; i < b.N; i++ {
-		cfg := harness.ConfigFor(sys, bugs.None(), 2)
-		c, viol, err := harness.RunSuite(cfg, suite)
+		cfg := harness.Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
+		c, viol, err := harness.Run(context.Background(), cfg, suite)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -227,7 +228,7 @@ func BenchmarkObs7_CapSweep(b *testing.B) {
 				Cap: tc.cap,
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -259,7 +260,7 @@ func BenchmarkAblation_PerStoreTracing(b *testing.B) {
 				TraceStores: tc.store,
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -321,7 +322,7 @@ func BenchmarkAblation_CheckPhases(b *testing.B) {
 			cfg := tc.cfg
 			cfg.NewFS = func(pm *persist.PM) vfs.FS { return nova.New(pm, bugs.None()) }
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -351,7 +352,7 @@ func BenchmarkAblation_VinterReadFilter(b *testing.B) {
 				VinterFilter: tc.filter,
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -377,7 +378,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(cfg, w); err != nil {
+		if _, err := core.RunContext(context.Background(), cfg, w); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -410,7 +411,7 @@ func BenchmarkEngineParallel(b *testing.B) {
 				Obs:     col,
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -446,7 +447,7 @@ func BenchmarkMaterializeState(b *testing.B) {
 			DevSize: devSize,
 			Obs:     col,
 		}
-		if _, err := core.Run(cfg, w); err != nil {
+		if _, err := core.RunContext(context.Background(), cfg, w); err != nil {
 			b.Fatal(err)
 		}
 		snap := col.Snapshot()
@@ -467,7 +468,7 @@ func BenchmarkMaterializeState(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Run(cfg, w); err != nil {
+				if _, err := core.RunContext(context.Background(), cfg, w); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -517,7 +518,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Run(cfg, w); err != nil {
+				if _, err := core.RunContext(context.Background(), cfg, w); err != nil {
 					b.Fatal(err)
 				}
 			}

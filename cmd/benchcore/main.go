@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -98,7 +99,7 @@ func measure(sys harness.System, w workload.Workload, fullCopy bool, workers int
 		}.ConfigFor(sys)
 		cfg.DevSize = devSize
 		start := time.Now()
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		elapsed := time.Since(start)
 		fatalIf(err)
 		if res.Buggy() {

@@ -40,24 +40,17 @@ import (
 	"chipmunk/internal/campaign"
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
-	"chipmunk/internal/pmem"
 	"chipmunk/internal/report"
 	"chipmunk/internal/workload"
 )
 
 func main() {
 	var (
-		spec      = harness.BindFlags(flag.CommandLine, "nova", "none", 0)
-		ospec     = harness.BindObsFlags(flag.CommandLine)
-		suite     = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax")
+		cli       = harness.BindCLI(flag.CommandLine, harness.CLIDefaults{FS: "nova"})
+		suite     = flag.String("suite", "seq1", "workload suite: seq1, seq2, seq3m, seq1dax, seq2dax, kv, kv-smoke")
 		max       = flag.Int("max", 0, "stop after N workloads (0 = whole suite)")
-		verbose   = flag.Bool("v", false, "print every violation")
 		stopOne   = flag.Bool("stop-on-bug", false, "stop at the first violating workload")
 		repro     = flag.String("repro", "", "run a single reproducer file (workload.Format syntax) instead of a suite")
-		jobs      = flag.Int("j", 1, "suite-level workers (like the paper's VM sharding; 0 = all cores)")
-		outDir    = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
-		faults    = flag.Bool("faults", false, "inject pmem faults (torn stores, bit flips, media errors) into crash states")
-		faultSeed = flag.Uint64("fault-seed", 1, "deterministic seed for -faults")
 		serve     = flag.String("serve", "", "coordinate a distributed campaign on this host:port instead of running locally")
 		workerFor = flag.String("worker", "", "join the distributed campaign coordinated at this host:port (spec comes from the coordinator)")
 		resume    = flag.String("resume", "", "(with -serve) append completed shards to this checkpoint file and skip the shards it already records")
@@ -66,37 +59,50 @@ func main() {
 	)
 	flag.Parse()
 
+	// -app changes the defaults: the KV suite, and (without an explicit
+	// -fs) a sweep over every supported file system.
+	fsExplicit, suiteExplicit := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fs":
+			fsExplicit = true
+		case "suite":
+			suiteExplicit = true
+		}
+	})
+	if cli.App != "" && !suiteExplicit {
+		*suite = "kv"
+	}
+
 	if *workerFor != "" {
-		runWorker(*workerFor, ospec, *jobs)
+		runWorker(*workerFor, cli, cli.Jobs)
 		return
 	}
 
-	opts, err := spec.Options()
+	opts, err := cli.Options()
 	fatalIf(err)
-	if *faults {
-		opts.Faults = pmem.DefaultFaults(*faultSeed)
-	}
-	inst, err := ospec.Instrument()
+	inst, err := cli.Instrument()
 	fatalIf(err)
 	defer inst.Close() //nolint:errcheck // re-checked explicitly below
 	inst.Apply(&opts)
-	sys, cfg, err := opts.Resolve()
-	fatalIf(err)
 
 	if *serve != "" {
 		if *repro != "" {
 			fatalIf(errors.New("-serve shards a named suite; -repro runs locally"))
 		}
+		sys, _, err := opts.Resolve()
+		fatalIf(err)
 		cspec := campaign.Spec{
-			FS: *spec.FS, Bugs: *spec.Bugs, Suite: *suite, Max: *max,
+			FS: cli.FS, Bugs: cli.Bugs, Suite: *suite, Max: *max,
 			Cap: opts.Cap, Workers: opts.Workers,
 			CheckTimeoutNanos: int64(opts.CheckTimeout),
 			ExhaustiveLimit:   opts.ExhaustiveLimit,
 			FullCopy:          opts.DisableDeltaMaterialize,
-			Faults:            *faults, FaultSeed: *faultSeed,
-			Stats: *ospec.Stats,
+			Faults:            cli.Faults, FaultSeed: cli.FaultSeed,
+			Stats: cli.Stats,
+			App:   cli.App, AppBugs: cli.AppBugs,
 		}
-		runCoordinator(*serve, cspec, *shardSize, *leaseTTL, *resume, sys, inst, ospec, *verbose, *outDir)
+		runCoordinator(*serve, cspec, *shardSize, *leaseTTL, *resume, sys, inst, cli, cli.Verbose, cli.OutDir)
 		return
 	}
 
@@ -119,9 +125,17 @@ func main() {
 		suiteWs = suiteWs[:*max]
 	}
 
+	if cli.App != "" {
+		runApp(cli, opts, *suite, suiteWs, fsExplicit, inst)
+		return
+	}
+
+	sys, cfg, err := opts.Resolve()
+	fatalIf(err)
+
 	faultNote := ""
-	if *faults {
-		faultNote = fmt.Sprintf(", faults on (seed %d)", *faultSeed)
+	if cli.Faults {
+		faultNote = fmt.Sprintf(", faults on (seed %d)", cli.FaultSeed)
 	}
 	fmt.Printf("chipmunk: %s (bugs %s), suite %s: %d workloads, cap=%d%s\n",
 		sys.Name, opts.Bugs, *suite, len(suiteWs), opts.Cap, faultNote)
@@ -134,14 +148,14 @@ func main() {
 		fmt.Printf("debug listener on http://%s (/debug/vars, /debug/pprof/, /progress)\n", addr)
 	}
 
-	runOpts := []harness.Option{harness.WithWorkers(*jobs)}
+	runOpts := []harness.Option{harness.WithWorkers(cli.Jobs)}
 	if *stopOne {
 		runOpts = append(runOpts, harness.WithStopOnFirstBug())
 	}
 	lastBugs := 0
 	runOpts = append(runOpts, harness.WithProgress(func(done, total int, c harness.Census) {
 		inst.Progress(done, total, c)
-		if *verbose && c.Violations > lastBugs {
+		if cli.Verbose && c.Violations > lastBugs {
 			lastBugs = c.Violations
 			fmt.Printf("  BUG count now %d after %d/%d workloads\n", c.Violations, done, total)
 		}
@@ -157,14 +171,99 @@ func main() {
 		fatalIf(err)
 	}
 	interrupted := errors.Is(err, context.Canceled)
-	modeNote := fmt.Sprintf("j=%d, workers=%d", *jobs, opts.Workers)
-	finish(sys, census, viol, interrupted, modeNote, *verbose, *outDir, inst, ospec, nil)
+	modeNote := fmt.Sprintf("j=%d, workers=%d", cli.Jobs, opts.Workers)
+	finish(sys, census, viol, interrupted, modeNote, cli.Verbose, cli.OutDir, inst, cli.Journal, nil)
+}
+
+// runApp is the -app mode: check the application's crash contract on one
+// file system (explicit -fs) or sweep all of them, then render the
+// durability report. Exit status matches the suite convention: 1 when the
+// contract was violated anywhere, 130 on interrupt.
+func runApp(cli *harness.CLIOptions, opts harness.Options, suiteName string,
+	suiteWs []workload.Workload, fsExplicit bool, inst *harness.Instrumentation) {
+	var systems []harness.System
+	if fsExplicit {
+		sys, err := harness.SystemByName(cli.FS)
+		fatalIf(err)
+		systems = []harness.System{sys}
+	} else {
+		systems = harness.Systems()
+	}
+	fmt.Printf("chipmunk: app=%s (app-bugs %s), suite %s: %d workloads × %d file systems, cap=%d\n",
+		cli.App, cli.AppBugs, suiteName, len(suiteWs), len(systems), opts.Cap)
+
+	ctx, stop := harness.SignalContext(context.Background())
+	defer stop()
+	inst.EmitRun("app/"+cli.App, len(suiteWs)*len(systems))
+	if addr := inst.Debug.Addr(); addr != "" {
+		fmt.Printf("debug listener on http://%s (/debug/vars, /debug/pprof/, /progress)\n", addr)
+	}
+
+	var runs []report.DurabilityRun
+	var all []core.Violation
+	interrupted := false
+	for _, sys := range systems {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		cfg := opts.ConfigFor(sys)
+		census, viol, err := harness.Run(ctx, cfg, suiteWs,
+			harness.WithWorkers(cli.Jobs),
+			harness.WithProgress(func(done, total int, c harness.Census) {
+				inst.Progress(done, total, c)
+			}))
+		if errors.Is(err, context.Canceled) {
+			interrupted = true
+		} else {
+			fatalIf(err)
+		}
+		verdict := "ok"
+		if len(viol) > 0 {
+			verdict = fmt.Sprintf("%d CONTRACT VIOLATIONS", len(viol))
+		}
+		fmt.Printf("  %-12s %6d crash states in %8v  %s\n",
+			sys.Name, census.StatesChecked, census.Elapsed.Round(time.Millisecond), verdict)
+		if cli.Verbose {
+			for _, v := range viol {
+				fmt.Printf("%s\n", v.String())
+			}
+		}
+		runs = append(runs, report.DurabilityRun{
+			FS: sys.Name, Weak: sys.Weak,
+			Workloads: census.Workloads, StatesChecked: census.StatesChecked,
+			Elapsed: census.Elapsed, Violations: viol,
+		})
+		all = append(all, viol...)
+	}
+
+	if cli.DurabilityReport != "" && len(runs) > 0 {
+		fatalIf(report.WriteDurability(cli.DurabilityReport, report.DurabilityReport{
+			App: cli.App, AppBugs: cli.AppBugs, Suite: suiteName,
+			Cap: opts.Cap, Journal: cli.Journal, Runs: runs,
+		}))
+		fmt.Printf("\nwrote durability report to %s\n", cli.DurabilityReport)
+	}
+	clusters := core.Triage(all)
+	status := "done"
+	if interrupted {
+		status = "interrupted (partial sweep)"
+	}
+	fmt.Printf("%s: %d file systems, %d contract violations in %d clusters\n",
+		status, len(runs), len(all), len(clusters))
+	fatalIf(inst.Close())
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+	if interrupted {
+		os.Exit(130)
+	}
 }
 
 // runWorker is the -worker mode: the engine spec comes from the
 // coordinator, so only the local knobs (-j, observability flags) apply.
-func runWorker(addr string, ospec *harness.ObsFlagSpec, jobs int) {
-	inst, err := ospec.Instrument()
+func runWorker(addr string, cli *harness.CLIOptions, jobs int) {
+	inst, err := cli.Instrument()
 	fatalIf(err)
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
@@ -195,7 +294,7 @@ func runWorker(addr string, ospec *harness.ObsFlagSpec, jobs int) {
 // workers, fold the credited results, and report exactly like a local run.
 func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL time.Duration,
 	checkpoint string, sys harness.System, inst *harness.Instrumentation,
-	ospec *harness.ObsFlagSpec, verbose bool, outDir string) {
+	cli *harness.CLIOptions, verbose bool, outDir string) {
 	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{
 		Spec:           cspec,
 		ShardSize:      shardSize,
@@ -238,7 +337,7 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 		fatalIf(err)
 	}
 	fatalIf(coord.Close())
-	finish(sys, census, viol, interrupted, "distributed", verbose, outDir, inst, ospec, func() {
+	finish(sys, census, viol, interrupted, "distributed", verbose, outDir, inst, cli.Journal, func() {
 		st := coord.Stats()
 		fmt.Printf("%s\n", st)
 		if outDir == "" {
@@ -266,7 +365,7 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 // non-nil, runs after the census block (campaign stats).
 func finish(sys harness.System, census *harness.Census, viol []core.Violation,
 	interrupted bool, modeNote string, verbose bool, outDir string,
-	inst *harness.Instrumentation, ospec *harness.ObsFlagSpec, extra func()) {
+	inst *harness.Instrumentation, journalPath string, extra func()) {
 	clusters := core.Triage(viol)
 	status := "done"
 	if interrupted {
@@ -304,7 +403,7 @@ func finish(sys harness.System, census *harness.Census, viol []core.Violation,
 		fmt.Printf("\n%s", statsOut)
 	}
 	if inst.Journal != nil {
-		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), *ospec.Journal)
+		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), journalPath)
 	}
 	writeReports(outDir, sys.Name, clusters, census)
 	// os.Exit skips defers: flush the journal and stop the listener first.

@@ -27,19 +27,18 @@ import (
 
 func main() {
 	var (
-		spec     = harness.BindFlags(flag.CommandLine, "nova", "all", 2)
-		ospec    = harness.BindObsFlags(flag.CommandLine)
+		cli      = harness.BindCLI(flag.CommandLine, harness.CLIDefaults{FS: "nova", Bugs: "all", Cap: 2})
 		execs    = flag.Int("execs", 500, "number of fuzzer executions")
 		seed     = flag.Int64("seed", 1, "fuzzer RNG seed")
 		minimize = flag.Bool("minimize", true, "minimize each cluster's reproducer workload")
-		outDir   = flag.String("o", "", "write triaged bug reports and reproducers to this directory")
 		corpus   = flag.String("corpus", "", "load seeds from / save the corpus to this directory")
 	)
 	flag.Parse()
+	outDir := &cli.OutDir
 
-	opts, err := spec.Options()
+	opts, err := cli.Options()
 	fatalIf(err)
-	inst, err := ospec.Instrument()
+	inst, err := cli.Instrument()
 	fatalIf(err)
 	defer inst.Close() //nolint:errcheck // re-checked explicitly below
 	inst.Apply(&opts)
@@ -58,8 +57,13 @@ func main() {
 	}
 	fz := fuzz.New(cfg, *seed, seeds)
 	fz.CrashDir = *corpus
-	fmt.Printf("chipmunkfuzz: %s (bugs %s), %d execs, cap=%d, seed=%d\n",
-		sys.Name, opts.Bugs, *execs, opts.Cap, *seed)
+	fz.KV = cli.App == "kv"
+	appNote := ""
+	if fz.KV {
+		appNote = ", app=kv"
+	}
+	fmt.Printf("chipmunkfuzz: %s (bugs %s), %d execs, cap=%d, seed=%d%s\n",
+		sys.Name, opts.Bugs, *execs, opts.Cap, *seed, appNote)
 
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
@@ -121,7 +125,7 @@ func main() {
 		fmt.Printf("\n%s", s)
 	}
 	if inst.Journal != nil {
-		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), *ospec.Journal)
+		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), cli.Journal)
 	}
 	// os.Exit skips defers: flush the journal and stop the listener first.
 	fatalIf(inst.Close())

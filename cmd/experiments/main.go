@@ -35,9 +35,7 @@ import (
 )
 
 var (
-	capFlag = flag.Int("cap", 0, "crash-state write cap for detection runs (0 = exhaustive)")
-	workers = flag.Int("workers", 0, "in-workload crash-state workers (<= 1 = serial)")
-	ospec   = harness.BindObsFlags(flag.CommandLine)
+	cli = harness.BindCLI(flag.CommandLine, harness.CLIDefaults{})
 
 	// inst carries the -stats/-journal/-debug-addr plumbing shared by every
 	// experiment's engine runs; resolved once in main, nil-safe throughout.
@@ -51,7 +49,7 @@ func main() {
 		what = flag.Arg(0)
 	}
 	var err error
-	inst, err = ospec.Instrument()
+	inst, err = cli.Instrument()
 	fatalIfErr(err)
 	inst.EmitRun("experiments/"+what, 0)
 	start := time.Now()
@@ -102,7 +100,7 @@ func finish(start time.Time) {
 // detectOpts builds the DetectOptions every detection-based experiment
 // shares, with the instrumentation wired in.
 func detectOpts(cap int) harness.DetectOptions {
-	return harness.DetectOptions{Cap: cap, Workers: *workers, Obs: inst.Col, Journal: inst.Journal}
+	return harness.DetectOptions{Cap: cap, Workers: cli.Workers, Obs: inst.Col, Journal: inst.Journal}
 }
 
 func fatalIfErr(err error) {
@@ -117,7 +115,7 @@ func header(s string) {
 
 func table1() error {
 	header("Table 1 — bugs found by Chipmunk (targeted workloads, exhaustive replay)")
-	rows, err := harness.RunTable1(detectOpts(*capFlag))
+	rows, err := harness.RunTable1(detectOpts(cli.Cap))
 	if err != nil {
 		return err
 	}
@@ -225,7 +223,7 @@ func coalesce() error {
 	sys, _ := harness.SystemByName("nova")
 	cfg := harness.Options{Bugs: bugs.None(), Obs: inst.Col, Journal: inst.Journal}.ConfigFor(sys)
 	cfg.TraceStores = true
-	res, err := core.Run(cfg, w)
+	res, err := core.RunContext(context.Background(), cfg, w)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,7 +33,7 @@ func runSuite(label string, set bugs.Set) int {
 	var firstBug *core.Violation
 	buggyWorkloads := 0
 	for _, w := range suite {
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		if err != nil {
 			log.Fatal(err)
 		}

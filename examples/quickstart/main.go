@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 	buggy := core.Config{NewFS: func(pm *persist.PM) vfs.FS {
 		return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
 	}}
-	res, err := core.Run(buggy, w)
+	res, err := core.RunContext(context.Background(), buggy, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 	fixed := core.Config{NewFS: func(pm *persist.PM) vfs.FS {
 		return nova.New(pm, bugs.None())
 	}}
-	res2, err := core.Run(fixed, w)
+	res2, err := core.RunContext(context.Background(), fixed, w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,119 @@
+package ace
+
+import (
+	"fmt"
+
+	"chipmunk/internal/workload"
+)
+
+// KV workloads exercise the WAL key-value store (internal/app/kvstore)
+// through app-level ops, the input to Chipmunk's application-durability
+// checking. Like the syscall suites, enumeration is exhaustive over a tiny
+// vocabulary: every ordered pair of mutations under every kvsync placement,
+// plus compaction- and read-path-specific sequences.
+
+// kvPut builds a kvput op: key, value = Pattern(seed, size).
+func kvPut(key string, size int64, seed uint32) workload.Op {
+	return workload.Op{Kind: workload.OpKVPut, Path: key, FDSlot: -1, Size: size, Seed: seed}
+}
+
+func kvDel(key string) workload.Op {
+	return workload.Op{Kind: workload.OpKVDel, Path: key, FDSlot: -1}
+}
+
+func kvSync() workload.Op {
+	return workload.Op{Kind: workload.OpKVSync, FDSlot: -1}
+}
+
+func kvGet(key string, size int64, seed uint32) workload.Op {
+	return workload.Op{Kind: workload.OpKVGet, Path: key, FDSlot: -1, Size: size, Seed: seed}
+}
+
+// kvMutations is the mutation vocabulary: two keys, an overwrite, and a
+// delete — enough to distinguish prefix losses, reorderings, and stale
+// values in recovered states.
+func kvMutations() []workload.Op {
+	return []workload.Op{
+		kvPut("alpha", 64, 11),
+		kvPut("beta", 128, 12),
+		kvPut("alpha", 32, 13), // overwrite with different size and pattern
+		kvDel("alpha"),
+	}
+}
+
+// KV enumerates the application-durability suite: all ordered mutation
+// pairs × all kvsync placements (after each, after first only, after
+// second only), plus a WAL-compaction workload and a read-verification
+// workload. 4×4×3 + 2 = 50 workloads.
+func KV() []workload.Workload {
+	muts := kvMutations()
+	var ws []workload.Workload
+	id := 0
+	for _, m1 := range muts {
+		for _, m2 := range muts {
+			for _, layout := range []struct {
+				name   string
+				s1, s2 bool
+			}{
+				{"ss", true, true},  // sync after both
+				{"s_", true, false}, // unsynced tail
+				{"_s", false, true}, // both acked by the second sync
+			} {
+				ops := []workload.Op{m1}
+				if layout.s1 {
+					ops = append(ops, kvSync())
+				}
+				ops = append(ops, m2)
+				if layout.s2 {
+					ops = append(ops, kvSync())
+				}
+				ws = append(ws, workload.Workload{
+					Name: fmt.Sprintf("kv-%03d-%s-%s-%s", id, m1.Kind, m2.Kind, layout.name),
+					Ops:  ops,
+				})
+				id++
+			}
+		}
+	}
+	ws = append(ws, kvCompaction(), kvReadback())
+	return ws
+}
+
+// KVSmoke is the CI-sized subset: one workload per kvsync layout, plus the
+// compaction and read-back workloads.
+func KVSmoke() []workload.Workload {
+	all := KV()
+	smoke := []workload.Workload{all[0], all[1], all[2]}
+	return append(smoke, kvCompaction(), kvReadback())
+}
+
+// kvCompaction crosses the store's compaction threshold (4 KiB of durable
+// WAL) so crash states land inside snapshot writing, WAL truncation, and
+// old-snapshot cleanup.
+func kvCompaction() workload.Workload {
+	var ops []workload.Op
+	for i := 0; i < 5; i++ {
+		ops = append(ops,
+			kvPut(fmt.Sprintf("bulk%d", i), 512, uint32(20+i)),
+			kvPut("alpha", 256, uint32(40+i)),
+			kvSync(),
+		)
+	}
+	return workload.Workload{Name: "kv-compact", Ops: ops}
+}
+
+// kvReadback exercises the live read path: acked and unsynced values must
+// both be visible to Get before any crash.
+func kvReadback() workload.Workload {
+	return workload.Workload{Name: "kv-readback", Ops: []workload.Op{
+		kvPut("alpha", 64, 11),
+		kvSync(),
+		kvGet("alpha", 64, 11),
+		kvPut("beta", 128, 12), // unsynced, but live reads see it
+		kvGet("beta", 128, 12),
+		kvSync(),
+		kvDel("alpha"),
+		kvSync(),
+		kvGet("beta", 128, 12),
+	}}
+}

@@ -23,6 +23,10 @@ func SuiteByName(name string) ([]workload.Workload, error) {
 		return Seq1Dax(), nil
 	case "seq2dax":
 		return Seq2Dax(), nil
+	case "kv":
+		return KV(), nil
+	case "kv-smoke":
+		return KVSmoke(), nil
 	default:
 		return nil, fmt.Errorf("unknown suite %q", name)
 	}

@@ -1,0 +1,17 @@
+package kvstore
+
+// Bugs selects deliberately seeded store defects, used to prove the
+// application contract checker actually catches the bug classes it claims
+// to. The same Bugs value must be given to the workload's store and to the
+// checker's recovery (the checker tests the store-as-written, not a
+// corrected twin).
+type Bugs struct {
+	// DropSyncFlush makes Sync acknowledge durability without writing or
+	// flushing the buffered WAL tail — the classic ack-loss bug. Live
+	// reads still serve from memory, so only crash states expose it.
+	DropSyncFlush bool
+	// AcceptBadCRC makes recovery trust structurally complete records whose
+	// checksum does not match, silently returning corrupt values instead of
+	// truncating the torn tail.
+	AcceptBadCRC bool
+}

@@ -1,0 +1,200 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+
+	"chipmunk/internal/vfs"
+)
+
+// Snapshot file format (snap-<seq>), big-endian:
+//
+//	[seq u64][count u32] ([klen u16][vlen u32][key][val])* [crc u32]
+//
+// Entries are sorted by key so the encoding is deterministic. The CRC
+// covers everything before it; a snapshot that fails it (torn compaction)
+// is ignored at recovery and an older one — or the empty state — is used.
+
+const snapPrefix = "snap-"
+
+// Compact folds the durable state into a fresh snapshot and empties the
+// WAL. Called from Sync once the log passes compactThreshold, so buffered
+// mutations are already flushed; callable directly too (it syncs first).
+func (s *Store) Compact() error {
+	if s.closed {
+		return vfs.ErrBadFD
+	}
+	if len(s.buf) > 0 {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	if s.walSize == 0 && s.snapSeq == s.synced {
+		return nil // nothing to fold (or Sync already compacted)
+	}
+
+	// 1. Write and fsync the new snapshot; until it is durable the old
+	// snapshot + full WAL remain the recovery source.
+	data := encodeSnapshot(s.synced, s.mem)
+	path := fmt.Sprintf("%s/%s%d", Dir, snapPrefix, s.synced)
+	fd, err := s.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("kvstore: creating snapshot: %w", err)
+	}
+	if _, err := s.fs.Pwrite(fd, data, 0); err != nil {
+		s.fs.Close(fd)
+		return fmt.Errorf("kvstore: writing snapshot: %w", err)
+	}
+	if err := s.fs.Fsync(fd); err != nil {
+		s.fs.Close(fd)
+		return fmt.Errorf("kvstore: syncing snapshot: %w", err)
+	}
+	if err := s.fs.Close(fd); err != nil {
+		return fmt.Errorf("kvstore: closing snapshot: %w", err)
+	}
+
+	// 2. Empty the WAL: its content is now covered by the snapshot.
+	if err := s.fs.Truncate(walPath, 0); err != nil {
+		return fmt.Errorf("kvstore: emptying wal: %w", err)
+	}
+	if err := s.fs.Fsync(s.walFD); err != nil {
+		return fmt.Errorf("kvstore: syncing emptied wal: %w", err)
+	}
+	s.walSize = 0
+	s.snapSeq = s.synced
+
+	// 3. Remove superseded snapshots; recovery picks the highest valid one,
+	// so a crash mid-cleanup is harmless.
+	ents, err := s.fs.ReadDir(Dir)
+	if err != nil {
+		return fmt.Errorf("kvstore: listing snapshots: %w", err)
+	}
+	for _, e := range ents {
+		if n, ok := snapSeqOf(e.Name); ok && n != s.snapSeq {
+			if err := s.fs.Unlink(Dir + "/" + e.Name); err != nil {
+				return fmt.Errorf("kvstore: removing old snapshot: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// loadSnapshot finds the newest valid snapshot and loads it into mem.
+func (s *Store) loadSnapshot() error {
+	ents, err := s.fs.ReadDir(Dir)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("kvstore: listing %s: %w", Dir, err)
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if n, ok := snapSeqOf(e.Name); ok {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+
+	for _, n := range seqs {
+		path := fmt.Sprintf("%s/%s%d", Dir, snapPrefix, n)
+		st, err := s.fs.Stat(path)
+		if err != nil {
+			continue
+		}
+		data := make([]byte, st.Size)
+		fd, err := s.fs.Open(path)
+		if err != nil {
+			continue
+		}
+		_, rerr := s.fs.Pread(fd, data, 0)
+		s.fs.Close(fd)
+		if rerr != nil {
+			continue
+		}
+		seq, mem, ok := decodeSnapshot(data)
+		if !ok || seq != n {
+			continue // torn compaction: fall back to an older snapshot
+		}
+		s.mem = mem
+		s.snapSeq = seq
+		return nil
+	}
+	return nil
+}
+
+func snapSeqOf(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, snapPrefix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func encodeSnapshot(seq uint64, mem map[string][]byte) []byte {
+	keys := make([]string, 0, len(mem))
+	for k := range mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b []byte
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], seq)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(keys)))
+	b = append(b, hdr[:]...)
+	for _, k := range keys {
+		v := mem[k]
+		var eh [6]byte
+		binary.BigEndian.PutUint16(eh[0:], uint16(len(k)))
+		binary.BigEndian.PutUint32(eh[2:], uint32(len(v)))
+		b = append(b, eh[:]...)
+		b = append(b, k...)
+		b = append(b, v...)
+	}
+	var tr [4]byte
+	binary.BigEndian.PutUint32(tr[:], crc32.ChecksumIEEE(b))
+	return append(b, tr[:]...)
+}
+
+func decodeSnapshot(b []byte) (seq uint64, mem map[string][]byte, ok bool) {
+	if len(b) < 16 {
+		return 0, nil, false
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(tail) {
+		return 0, nil, false
+	}
+	seq = binary.BigEndian.Uint64(body[0:])
+	count := int(binary.BigEndian.Uint32(body[8:]))
+	mem = make(map[string][]byte, count)
+	off := 12
+	for i := 0; i < count; i++ {
+		if off+6 > len(body) {
+			return 0, nil, false
+		}
+		klen := int(binary.BigEndian.Uint16(body[off:]))
+		vlen := int(binary.BigEndian.Uint32(body[off+2:]))
+		off += 6
+		if off+klen+vlen > len(body) {
+			return 0, nil, false
+		}
+		key := string(body[off : off+klen])
+		val := append([]byte(nil), body[off+klen:off+klen+vlen]...)
+		mem[key] = val
+		off += klen + vlen
+	}
+	if off != len(body) {
+		return 0, nil, false
+	}
+	return seq, mem, true
+}

@@ -1,0 +1,233 @@
+// Package kvstore is a write-ahead-logged key-value store built purely
+// against vfs.FS — the application workload for Chipmunk's app-level
+// durability checking. Mutations buffer in memory until Sync, which appends
+// CRC-framed records to the WAL and fsyncs it; Sync's return is the store's
+// durability acknowledgement. Recovery loads the newest valid snapshot (if
+// compaction ran), replays the WAL, and truncates at the first torn or
+// corrupt record rather than ever returning unverified data.
+//
+// On-device layout: /kv/wal (the log), /kv/snap-<seq> (compaction
+// snapshots).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"chipmunk/internal/vfs"
+)
+
+// Dir is the store's directory on the file system under test.
+const Dir = "/kv"
+
+// walPath is the write-ahead log file.
+const walPath = Dir + "/wal"
+
+// compactThreshold is the durable WAL size (bytes) beyond which Sync
+// triggers snapshot compaction.
+const compactThreshold = 4096
+
+// ErrNotFound reports a Get on an absent key.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Store is a single-threaded KV store instance on one mounted file system.
+type Store struct {
+	fs   vfs.FS
+	bugs Bugs
+
+	walFD   vfs.FD
+	walSize int64  // durable bytes in the WAL
+	buf     []byte // encoded records not yet synced
+
+	mem     map[string][]byte
+	seq     uint64 // last issued mutation seqno
+	synced  uint64 // last acknowledged (synced) seqno
+	snapSeq uint64 // seqno covered by the loaded snapshot
+	closed  bool
+}
+
+// Open mounts the store on fs, creating the layout on first use and running
+// recovery otherwise: newest valid snapshot, then the WAL's valid prefix.
+// A torn or corrupt WAL tail is truncated — never silently returned.
+func Open(fs vfs.FS, bugs Bugs) (*Store, error) {
+	s := &Store{fs: fs, bugs: bugs, mem: map[string][]byte{}}
+
+	if err := fs.Mkdir(Dir); err != nil && !errors.Is(err, vfs.ErrExist) {
+		return nil, fmt.Errorf("kvstore: creating %s: %w", Dir, err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+
+	fd, err := fs.Open(walPath)
+	if errors.Is(err, vfs.ErrNotExist) {
+		fd, err = fs.Create(walPath)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening wal: %w", err)
+	}
+	s.walFD = fd
+
+	if err := s.replayWAL(); err != nil {
+		fs.Close(fd)
+		return nil, err
+	}
+	return s, nil
+}
+
+// replayWAL applies the WAL's valid prefix on top of the snapshot and
+// truncates everything after it. Records must chain seq+1 within the log;
+// a log that does not connect to the snapshot is discarded whole.
+func (s *Store) replayWAL() error {
+	st, err := s.fs.Stat(walPath)
+	if err != nil {
+		return fmt.Errorf("kvstore: stat wal: %w", err)
+	}
+	data := make([]byte, st.Size)
+	if st.Size > 0 {
+		if _, err := s.fs.Pread(s.walFD, data, 0); err != nil {
+			return fmt.Errorf("kvstore: reading wal: %w", err)
+		}
+	}
+
+	valid := 0 // bytes of validated prefix
+	last := s.snapSeq
+	expected := uint64(0) // next record's required seq; 0 = first record
+	for valid < len(data) {
+		rec, n, err := decodeRecord(data[valid:], !s.bugs.AcceptBadCRC)
+		if err != nil {
+			break // torn tail: truncate here
+		}
+		if expected != 0 && rec.seq != expected {
+			break // hole in the log: nothing after it is trustworthy
+		}
+		if expected == 0 && rec.seq > s.snapSeq+1 {
+			// The log's first record does not connect to the snapshot:
+			// mutations are missing, so the whole log is untrustworthy.
+			break
+		}
+		expected = rec.seq + 1
+		if rec.seq > s.snapSeq {
+			s.apply(rec)
+			last = rec.seq
+		}
+		valid += n
+	}
+	if int64(valid) < st.Size {
+		if err := s.fs.Truncate(walPath, int64(valid)); err != nil {
+			return fmt.Errorf("kvstore: truncating torn wal tail: %w", err)
+		}
+		if err := s.fs.Fsync(s.walFD); err != nil {
+			return fmt.Errorf("kvstore: syncing truncated wal: %w", err)
+		}
+	}
+	s.walSize = int64(valid)
+	s.seq = last
+	s.synced = last
+	return nil
+}
+
+func (s *Store) apply(rec record) {
+	if rec.op == opPut {
+		s.mem[rec.key] = rec.val
+	} else {
+		delete(s.mem, rec.key)
+	}
+}
+
+// Put stores val under key. The mutation is buffered: it is not durable
+// until Sync returns.
+func (s *Store) Put(key string, val []byte) error {
+	if s.closed {
+		return vfs.ErrBadFD
+	}
+	if len(key) == 0 || len(key) > maxKeyLen || len(val) > maxValLen {
+		return vfs.ErrInvalid
+	}
+	s.seq++
+	s.buf = appendRecord(s.buf, s.seq, opPut, key, val)
+	s.mem[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Delete removes key. Deleting an absent key is still a mutation (it is
+// logged), keeping the seqno/op mapping independent of store content.
+func (s *Store) Delete(key string) error {
+	if s.closed {
+		return vfs.ErrBadFD
+	}
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return vfs.ErrInvalid
+	}
+	s.seq++
+	s.buf = appendRecord(s.buf, s.seq, opDel, key, nil)
+	delete(s.mem, key)
+	return nil
+}
+
+// Get returns a copy of key's current (possibly unsynced) value.
+func (s *Store) Get(key string) ([]byte, error) {
+	v, ok := s.mem[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Sync makes every buffered mutation durable: append to the WAL, fsync,
+// acknowledge. Once the log grows past compactThreshold it is folded into
+// a snapshot.
+func (s *Store) Sync() error {
+	if s.closed {
+		return vfs.ErrBadFD
+	}
+	if s.bugs.DropSyncFlush {
+		// Seeded ack-loss bug: acknowledge without persisting anything.
+		s.synced = s.seq
+		return nil
+	}
+	if len(s.buf) > 0 {
+		if _, err := s.fs.Pwrite(s.walFD, s.buf, s.walSize); err != nil {
+			return fmt.Errorf("kvstore: appending wal: %w", err)
+		}
+		if err := s.fs.Fsync(s.walFD); err != nil {
+			return fmt.Errorf("kvstore: syncing wal: %w", err)
+		}
+		s.walSize += int64(len(s.buf))
+		s.buf = s.buf[:0]
+	}
+	s.synced = s.seq
+	if s.walSize >= compactThreshold {
+		return s.Compact()
+	}
+	return nil
+}
+
+// Close releases the WAL descriptor. It deliberately does NOT flush
+// buffered mutations: an app that only persists on Close would mask exactly
+// the missing-sync bugs the durability contract exists to catch.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.fs.Close(s.walFD)
+}
+
+// Seq returns the last issued mutation seqno (recovery: last recovered).
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Synced returns the last acknowledged seqno.
+func (s *Store) Synced() uint64 { return s.synced }
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.mem) }
+
+// Snapshot returns a copy of the store's current contents.
+func (s *Store) Snapshot() map[string][]byte {
+	out := make(map[string][]byte, len(s.mem))
+	for k, v := range s.mem {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"chipmunk/internal/fs/memfs"
+	"chipmunk/internal/vfs"
+)
+
+func newFS(t *testing.T) vfs.FS {
+	t.Helper()
+	fs := memfs.New()
+	if err := fs.Mkfs(); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func mustOpen(t *testing.T, fs vfs.FS, b Bugs) *Store {
+	t.Helper()
+	st, err := Open(fs, b)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	b := appendRecord(nil, 7, opPut, "alpha", []byte("value"))
+	b = appendRecord(b, 8, opDel, "beta", nil)
+
+	r1, n1, err := decodeRecord(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.seq != 7 || r1.op != opPut || r1.key != "alpha" || string(r1.val) != "value" {
+		t.Fatalf("record 1 = %+v", r1)
+	}
+	r2, n2, err := decodeRecord(b[n1:], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.seq != 8 || r2.op != opDel || r2.key != "beta" || len(r2.val) != 0 {
+		t.Fatalf("record 2 = %+v", r2)
+	}
+	if n1+n2 != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n1+n2, len(b))
+	}
+
+	// Every strict prefix is torn.
+	for i := 0; i < n1; i++ {
+		if _, _, err := decodeRecord(b[:i], true); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+	// A flipped value byte fails the CRC — unless the AcceptBadCRC decode
+	// is asked to trust it.
+	bad := append([]byte(nil), b...)
+	bad[recHeaderLen+1] ^= 0xFF
+	if _, _, err := decodeRecord(bad, true); err == nil {
+		t.Fatal("corrupt record decoded with CRC checking on")
+	}
+	if _, _, err := decodeRecord(bad, false); err != nil {
+		t.Fatalf("AcceptBadCRC decode rejected: %v", err)
+	}
+}
+
+func TestPutGetDeleteAndRecovery(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+
+	if err := st.Put("alpha", []byte("A1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("beta", []byte("B1")); err != nil {
+		t.Fatal(err) // unsynced: visible live, lost on reopen
+	}
+	if v, err := st.Get("beta"); err != nil || string(v) != "B1" {
+		t.Fatalf("live read of unsynced key: %q, %v", v, err)
+	}
+	if st.Seq() != 2 || st.Synced() != 1 {
+		t.Fatalf("seq=%d synced=%d", st.Seq(), st.Synced())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, fs, Bugs{})
+	defer re.Close()
+	if re.Seq() != 1 || re.Len() != 1 {
+		t.Fatalf("recovered seq=%d len=%d, want 1,1", re.Seq(), re.Len())
+	}
+	if v, err := re.Get("alpha"); err != nil || string(v) != "A1" {
+		t.Fatalf("alpha after recovery: %q, %v", v, err)
+	}
+	if _, err := re.Get("beta"); err != ErrNotFound {
+		t.Fatalf("unsynced beta survived recovery: %v", err)
+	}
+}
+
+func TestDeleteIsLogged(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+	st.Put("alpha", []byte("A1"))
+	st.Delete("alpha")
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	re := mustOpen(t, fs, Bugs{})
+	defer re.Close()
+	if re.Seq() != 2 || re.Len() != 0 {
+		t.Fatalf("recovered seq=%d len=%d, want 2,0", re.Seq(), re.Len())
+	}
+}
+
+// walBytes reads the current WAL content directly.
+func walBytes(t *testing.T, fs vfs.FS) []byte {
+	t.Helper()
+	stat, err := fs.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, stat.Size)
+	fd, err := fs.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close(fd)
+	if stat.Size > 0 {
+		if _, err := fs.Pread(fd, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+	st.Put("alpha", []byte("A1"))
+	st.Sync()
+	st.Put("beta", []byte("B1"))
+	st.Sync()
+	st.Close()
+
+	// Tear the second record: drop its trailing 2 bytes.
+	size := int64(len(walBytes(t, fs)))
+	if err := fs.Truncate(walPath, size-2); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, fs, Bugs{})
+	if re.Seq() != 1 || re.Len() != 1 {
+		t.Fatalf("recovered seq=%d len=%d, want 1,1", re.Seq(), re.Len())
+	}
+	re.Close()
+
+	// The torn tail was physically truncated, not just skipped: a second
+	// recovery sees a clean log ending at the valid prefix.
+	stat, err := fs.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Size >= size-2 {
+		t.Fatalf("torn tail not truncated: wal size %d", stat.Size)
+	}
+}
+
+func TestBadCRCTruncatedUnlessBugAcceptsIt(t *testing.T) {
+	build := func() vfs.FS {
+		fs := newFS(t)
+		st := mustOpen(t, fs, Bugs{})
+		st.Put("alpha", []byte("AAAA"))
+		st.Sync()
+		st.Put("beta", []byte("BBBB"))
+		st.Sync()
+		st.Close()
+		// Flip a value byte inside the second record (lengths intact).
+		wal := walBytes(t, fs)
+		off := int64(len(wal) - recTrailerLen - 1)
+		fd, err := fs.Open(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Pwrite(fd, []byte{wal[off] ^ 0xFF}, off); err != nil {
+			t.Fatal(err)
+		}
+		fs.Close(fd)
+		return fs
+	}
+
+	// Honest recovery: the corrupt record and everything after it is cut.
+	re := mustOpen(t, build(), Bugs{})
+	if re.Seq() != 1 {
+		t.Fatalf("honest recovery kept %d mutations, want 1", re.Seq())
+	}
+	if _, err := re.Get("beta"); err != ErrNotFound {
+		t.Fatal("corrupt beta record survived honest recovery")
+	}
+	re.Close()
+
+	// AcceptBadCRC: the corrupt value is silently returned — the defect the
+	// no-silent-corruption contract exists to catch.
+	buggy := mustOpen(t, build(), Bugs{AcceptBadCRC: true})
+	defer buggy.Close()
+	if buggy.Seq() != 2 {
+		t.Fatalf("buggy recovery kept %d mutations, want 2", buggy.Seq())
+	}
+	v, err := buggy.Get("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v, []byte("BBBB")) {
+		t.Fatal("corruption did not reach the recovered value")
+	}
+}
+
+func TestDropSyncFlushLosesAckedWrites(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{DropSyncFlush: true})
+	st.Put("alpha", []byte("A1"))
+	if err := st.Sync(); err != nil {
+		t.Fatal(err) // the bug acknowledges...
+	}
+	if st.Synced() != 1 {
+		t.Fatalf("synced=%d, want 1", st.Synced())
+	}
+	if v, err := st.Get("alpha"); err != nil || string(v) != "A1" {
+		t.Fatalf("live read: %q, %v", v, err) // ...and live reads still work
+	}
+	st.Close()
+
+	re := mustOpen(t, fs, Bugs{DropSyncFlush: true})
+	defer re.Close()
+	if re.Seq() != 0 || re.Len() != 0 {
+		t.Fatalf("acked write survived: seq=%d len=%d", re.Seq(), re.Len())
+	}
+}
+
+func TestCompactionAndSnapshotRecovery(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+	// Push the durable WAL past compactThreshold.
+	for i := 0; i < 12; i++ {
+		if err := st.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte('a' + i)}, 512)); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.snapSeq == 0 {
+		t.Fatal("compaction never triggered")
+	}
+	st.Close()
+
+	// Exactly one snapshot remains, and the WAL only holds post-snapshot
+	// records.
+	ents, err := fs.ReadDir(Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name, snapPrefix) {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("snapshots on device = %d, want 1", snaps)
+	}
+
+	re := mustOpen(t, fs, Bugs{})
+	defer re.Close()
+	if re.Seq() != 12 || re.Len() != 12 {
+		t.Fatalf("recovered seq=%d len=%d, want 12,12", re.Seq(), re.Len())
+	}
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		v, err := re.Get(key)
+		if err != nil || len(v) != 512 || v[0] != byte('a'+i) {
+			t.Fatalf("%s after snapshot recovery: %d bytes, %v", key, len(v), err)
+		}
+	}
+}
+
+func TestTornSnapshotIgnored(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+	st.Put("alpha", []byte("A1"))
+	st.Sync()
+	st.Close()
+
+	// A torn compaction left a garbage snapshot but had not truncated the
+	// WAL yet: recovery must ignore the snapshot and replay the log.
+	fd, err := fs.Create(Dir + "/" + snapPrefix + "99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Pwrite(fd, []byte("not a snapshot"), 0)
+	fs.Close(fd)
+
+	re := mustOpen(t, fs, Bugs{})
+	defer re.Close()
+	if re.Seq() != 1 || re.Len() != 1 {
+		t.Fatalf("recovered seq=%d len=%d, want 1,1", re.Seq(), re.Len())
+	}
+	if v, err := re.Get("alpha"); err != nil || string(v) != "A1" {
+		t.Fatalf("alpha: %q, %v", v, err)
+	}
+}
+
+func TestCloseDoesNotFlush(t *testing.T) {
+	fs := newFS(t)
+	st := mustOpen(t, fs, Bugs{})
+	st.Put("alpha", []byte("A1"))
+	st.Close() // never synced
+
+	re := mustOpen(t, fs, Bugs{})
+	defer re.Close()
+	if re.Seq() != 0 {
+		t.Fatalf("Close flushed %d unsynced mutations", re.Seq())
+	}
+}
+
+func TestNoFDLeaks(t *testing.T) {
+	fs := newFS(t)
+	counter := fs.(vfs.FDCounter)
+
+	st := mustOpen(t, fs, Bugs{})
+	if got := counter.OpenFDs(); got != 1 {
+		t.Fatalf("open store holds %d FDs, want 1 (the WAL)", got)
+	}
+	for i := 0; i < 12; i++ {
+		st.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{'x'}, 512))
+		st.Sync() // crosses compaction: snapshot create/close cycles
+	}
+	st.Close()
+	if got := counter.OpenFDs(); got != 0 {
+		t.Fatalf("%d FDs leaked after Close", got)
+	}
+
+	// Recovery (snapshot load + WAL replay) must also be leak-free.
+	re := mustOpen(t, fs, Bugs{})
+	if got := counter.OpenFDs(); got != 1 {
+		t.Fatalf("recovered store holds %d FDs, want 1", got)
+	}
+	re.Close()
+	if got := counter.OpenFDs(); got != 0 {
+		t.Fatalf("%d FDs leaked after recovery+Close", got)
+	}
+}

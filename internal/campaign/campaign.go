@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"chipmunk/internal/ace"
+	"chipmunk/internal/app/kvwork"
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
 	"chipmunk/internal/obs"
@@ -40,7 +41,7 @@ import (
 // Workers fetch it on handshake and resolve it locally — the suite itself
 // never crosses the wire, only its name plus the fingerprint that proves
 // both sides generated the same workloads. Fields mirror the shared CLI
-// flags (harness.BindFlags), in wire-friendly types.
+// flags (harness.BindCLI), in wire-friendly types.
 type Spec struct {
 	// FS and Bugs select the system under test (Bugs in -bugs syntax:
 	// "none", "all", or a comma-separated ID list).
@@ -64,6 +65,11 @@ type Spec struct {
 	// Stats asks workers to run with a metrics collector so shard
 	// censuses carry obs snapshots (merged like the serial path would).
 	Stats bool `json:"stats,omitempty"`
+	// App selects an application-level workload and contract checker
+	// ("" = FS-oracle checking); AppBugs is its -app-bugs spec. Every
+	// worker must resolve the same app for shard results to be mergeable.
+	App     string `json:"app,omitempty"`
+	AppBugs string `json:"app_bugs,omitempty"`
 }
 
 // BuildSuite generates the spec's workload suite locally.
@@ -95,6 +101,17 @@ func (s Spec) Options() (harness.Options, error) {
 	}
 	if s.Faults {
 		opts.Faults = pmem.DefaultFaults(s.FaultSeed)
+	}
+	if s.App != "" {
+		if err := harness.AppByName(s.App); err != nil {
+			return harness.Options{}, fmt.Errorf("campaign spec: %w", err)
+		}
+		appBugs, err := kvwork.ParseBugs(s.AppBugs)
+		if err != nil {
+			return harness.Options{}, fmt.Errorf("campaign spec: %w", err)
+		}
+		opts.App = s.App
+		opts.AppBugs = appBugs
 	}
 	return opts, nil
 }

@@ -2,26 +2,24 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 	"time"
 
 	"chipmunk/internal/obs"
 	"chipmunk/internal/persist"
 	"chipmunk/internal/pmem"
-	"chipmunk/internal/vfs"
-	"chipmunk/internal/workload"
 )
 
 // checkState mounts the target file system on one crash state and applies
-// the consistency checks of §3.3: mountability, oracle comparison (synchrony
-// for post-syscall states, atomicity for mid-syscall states), and the
-// usability probe. The first failed check produces the state's violation
-// (nil when the state is legal). The device is this call's private,
-// just-rebooted view of the crash image (optionally carrying an attached
-// fault injector), so checkState is goroutine-safe; it normally runs inside
-// the sandbox (sandbox.go), which converts guest panics, media faults, and
-// hangs into classified outcomes.
+// the run's correctness contract (§3.3): mountability is classified here —
+// recovery itself failing is a bug no contract needs to see — and every
+// mountable state is handed to the pluggable Checker (the FS-oracle
+// comparison by default, an application contract like the KV store's when
+// Config.Checker says so). The first failed check produces the state's
+// violation (nil when the state is legal). The device is this call's
+// private, just-rebooted view of the crash image (optionally carrying an
+// attached fault injector), so checkState is goroutine-safe; it normally
+// runs inside the sandbox (sandbox.go), which converts guest panics, media
+// faults, and hangs into classified outcomes.
 //
 // The stage windows tile across the sandbox handoff so the -stats sum
 // tracks wall-clock: mountStart is an already-open mount window (opened by
@@ -39,246 +37,12 @@ func (ck *checker) checkState(dev *pmem.Device, ctx crashCtx, mountStart time.Ti
 		return ck.violation(ctx, VUnmountable, fmt.Sprintf("mount failed: %v", err)), ct
 	}
 
-	st, err := vfs.Capture(fs)
-	if err != nil {
-		return ck.violation(ctx, VUnreadable, fmt.Sprintf("reading recovered state failed: %v", err)), ct
-	}
-
-	switch ctx.phase {
-	case PhasePost:
-		if ctx.oracleIdx >= 0 && ctx.oracleIdx < len(ck.states) {
-			if d := vfs.Diff(st, ck.states[ctx.oracleIdx]); d != "" {
-				return ck.violation(ctx, VSynchrony, d), ct
-			}
-		}
-	case PhaseMid:
-		if detail := ck.checkAtomic(st, ctx); detail != "" {
-			return ck.violation(ctx, VAtomicity, detail), ct
-		}
-	}
-
-	if !ck.cfg.SkipUsability {
-		if detail := ck.usability(fs, st); detail != "" {
-			return ck.violation(ctx, VUsability, detail), ct
-		}
+	if f := ck.contract.Check(fs, ctx.check()); f != nil {
+		v := ck.violation(ctx, f.Kind, f.Detail)
+		v.Contract = f.Contract
+		return v, ct
 	}
 	return nil, ct
-}
-
-// checkAtomic validates a mid-syscall crash state: every file the call
-// modifies must match either the pre-call or post-call oracle version, all
-// of them the same version; untouched files must be untouched (§3.3
-// "Testing crash states").
-func (ck *checker) checkAtomic(crash vfs.State, ctx crashCtx) string {
-	if ctx.sys < 0 || ctx.sys+1 >= len(ck.states) {
-		return ""
-	}
-	pre := ck.states[ctx.sys]
-	post := ck.states[ctx.sys+1]
-
-	paths := map[string]bool{}
-	for p := range pre {
-		paths[p] = true
-	}
-	for p := range post {
-		paths[p] = true
-	}
-	for p := range crash {
-		paths[p] = true
-	}
-	sorted := make([]string, 0, len(paths))
-	for p := range paths {
-		sorted = append(sorted, p)
-	}
-	sort.Strings(sorted)
-
-	var sawPre, sawPost []string
-	for _, p := range sorted {
-		preF, inPre := pre[p]
-		postF, inPost := post[p]
-		crashF, inCrash := crash[p]
-
-		modified := inPre != inPost || (inPre && inPost && !preF.Equal(postF))
-		if !modified {
-			// Untouched by this call: must match exactly (or be equally
-			// absent).
-			if inPre != inCrash {
-				return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", p, inCrash)
-			}
-			if inPre && !preF.Equal(crashF) {
-				return fmt.Sprintf("%s: untouched file changed\n  crash:  %s\n  oracle: %s",
-					p, crashF.Describe(), preF.Describe())
-			}
-			continue
-		}
-
-		matchPre := inPre == inCrash && (!inPre || preF.Equal(crashF))
-		matchPost := inPost == inCrash && (!inPost || postF.Equal(crashF))
-		switch {
-		case matchPre:
-			sawPre = append(sawPre, p)
-		case matchPost:
-			sawPost = append(sawPost, p)
-		case ck.mixAllowed(ctx, p) && inCrash && byteMixOK(preF, postF, crashF, inPre, inPost):
-			// A torn data write on a system without atomic writes: legal,
-			// and consistent with either version.
-		default:
-			detail := fmt.Sprintf("%s: matches neither pre- nor post-op state", p)
-			if inCrash {
-				detail += "\n  crash:  " + crashF.Describe()
-			} else {
-				detail += "\n  crash:  (missing)"
-			}
-			if inPre {
-				detail += "\n  pre:    " + preF.Describe()
-			} else {
-				detail += "\n  pre:    (absent)"
-			}
-			if inPost {
-				detail += "\n  post:   " + postF.Describe()
-			} else {
-				detail += "\n  post:   (absent)"
-			}
-			return detail
-		}
-	}
-	if len(sawPre) > 0 && len(sawPost) > 0 {
-		return fmt.Sprintf("operation not atomic: %s at pre-op state while %s at post-op state",
-			strings.Join(sawPre, ","), strings.Join(sawPost, ","))
-	}
-	return ""
-}
-
-// mixAllowed reports whether path may legally hold a mix of old and new
-// bytes in this crash state: the system does not guarantee atomic data
-// writes and path names the file the in-flight write/fallocate targets —
-// either directly or as a hard-link alias (a torn write is visible under
-// every name of the inode).
-func (ck *checker) mixAllowed(ctx crashCtx, path string) bool {
-	if ck.caps.AtomicWrite {
-		return false
-	}
-	if ctx.sys < 0 || ctx.sys >= len(ck.w.Ops) {
-		return false
-	}
-	op := ck.w.Ops[ctx.sys]
-	switch op.Kind {
-	case workload.OpWrite, workload.OpPwrite, workload.OpFalloc:
-	default:
-		return false
-	}
-	if op.FDSlot >= 0 {
-		// Descriptor-based write: the target path is not recorded in the
-		// op, so any regular file may legally be torn (conservative).
-		return true
-	}
-	target := vfs.Clean(op.Path)
-	if target == path {
-		return true
-	}
-	if ctx.sys+1 < len(ck.states) {
-		if ck.states[ctx.sys].SameInode(target, path) ||
-			ck.states[ctx.sys+1].SameInode(target, path) {
-			return true
-		}
-	}
-	return false
-}
-
-// byteMixOK accepts a torn data write: the size is the old or the new one,
-// the link count unchanged, and every byte matches the old or the new
-// content (bytes beyond a version's size count as zero).
-func byteMixOK(pre, post, crash vfs.FileState, inPre, inPost bool) bool {
-	if !inPost || crash.Type != vfs.TypeRegular || post.Type != vfs.TypeRegular {
-		return false
-	}
-	if !inPre {
-		// File created by this op: old content is "absent"; a torn state
-		// still has the file with partial data.
-		pre = vfs.FileState{Type: vfs.TypeRegular, Nlink: post.Nlink}
-	}
-	if pre.Type != vfs.TypeRegular {
-		return false
-	}
-	if crash.Size != pre.Size && crash.Size != post.Size {
-		return false
-	}
-	if crash.Nlink != post.Nlink {
-		return false
-	}
-	byteAt := func(f vfs.FileState, i int64) byte {
-		if i < int64(len(f.Data)) {
-			return f.Data[i]
-		}
-		return 0
-	}
-	for i := int64(0); i < crash.Size; i++ {
-		b := crash.Data[i]
-		if b != byteAt(pre, i) && b != byteAt(post, i) {
-			return false
-		}
-	}
-	return true
-}
-
-// usability validates that the recovered file system is actually usable
-// (§3.3): create a file in every directory, write and read it back, then
-// delete every file and directory. The mutations land on this state's
-// private device copy.
-func (ck *checker) usability(fs vfs.FS, st vfs.State) string {
-	var dirs, files []string
-	for p, f := range st {
-		if f.Type == vfs.TypeDir {
-			dirs = append(dirs, p)
-		} else {
-			files = append(files, p)
-		}
-	}
-	sort.Strings(dirs)
-
-	probe := "chipmunk_probe"
-	for _, d := range dirs {
-		path := vfs.Join(d, probe)
-		fd, err := fs.Create(path)
-		if err != nil {
-			return fmt.Sprintf("creating %s failed: %v", path, err)
-		}
-		if _, err := fs.Pwrite(fd, []byte("probe"), 0); err != nil {
-			fs.Close(fd)
-			return fmt.Sprintf("writing %s failed: %v", path, err)
-		}
-		buf := make([]byte, 5)
-		if _, err := fs.Pread(fd, buf, 0); err != nil {
-			fs.Close(fd)
-			return fmt.Sprintf("reading %s back failed: %v", path, err)
-		}
-		if string(buf) != "probe" {
-			fs.Close(fd)
-			return fmt.Sprintf("read-back of %s returned %q", path, buf)
-		}
-		if err := fs.Close(fd); err != nil {
-			return fmt.Sprintf("closing %s failed: %v", path, err)
-		}
-		files = append(files, path)
-	}
-
-	sort.Strings(files)
-	for _, p := range files {
-		if err := fs.Unlink(p); err != nil {
-			return fmt.Sprintf("deleting %s failed: %v", p, err)
-		}
-	}
-	// Directories deepest-first; the root stays.
-	sort.Slice(dirs, func(i, j int) bool { return len(dirs[i]) > len(dirs[j]) })
-	for _, d := range dirs {
-		if d == "/" {
-			continue
-		}
-		if err := fs.Rmdir(d); err != nil {
-			return fmt.Sprintf("removing directory %s failed: %v", d, err)
-		}
-	}
-	return ""
 }
 
 // recoveryReadSet mounts the base image once with PM reads recorded,

@@ -19,14 +19,14 @@ func dirState(path string, entries ...string) vfs.FileState {
 	return vfs.FileState{Path: path, Type: vfs.TypeDir, Nlink: 2, Entries: entries}
 }
 
-func newAtomChecker(op workload.Op, pre, post vfs.State, atomicWrite bool) *checker {
+func newAtomChecker(op workload.Op, pre, post vfs.State, atomicWrite bool) *oracleChecker {
 	w := workload.Workload{Ops: []workload.Op{op}}
-	return &checker{
-		caps:   vfs.Caps{Name: "test", Strong: true, AtomicWrite: atomicWrite},
-		w:      w,
-		states: []vfs.State{pre, post},
-		res:    &Result{OpResults: []workload.Result{{Op: op}}},
-	}
+	return &oracleChecker{env: RunEnv{
+		Caps:         vfs.Caps{Name: "test", Strong: true, AtomicWrite: atomicWrite},
+		Workload:     w,
+		OracleStates: []vfs.State{pre, post},
+		OpResults:    []workload.Result{{Op: op}},
+	}}
 }
 
 func TestCheckAtomicAcceptsPreAndPost(t *testing.T) {
@@ -34,7 +34,7 @@ func TestCheckAtomicAcceptsPreAndPost(t *testing.T) {
 	post := vfs.State{"/": dirState("/", "a"), "/a": fileState("/a", "new", 1)}
 	op := workload.Op{Kind: workload.OpPwrite, Path: "/a", FDSlot: -1, Size: 3}
 	ck := newAtomChecker(op, pre, post, true)
-	ctx := crashCtx{phase: PhaseMid, sys: 0}
+	ctx := crashCtx{phase: PhaseMid, sys: 0}.check()
 	if d := ck.checkAtomic(pre.Clone(), ctx); d != "" {
 		t.Fatalf("pre state rejected: %s", d)
 	}
@@ -49,7 +49,7 @@ func TestCheckAtomicRejectsMixedVersions(t *testing.T) {
 	post := vfs.State{"/": dirState("/", "new"), "/new": fileState("/new", "x", 1)}
 	op := workload.Op{Kind: workload.OpRename, Path: "/old", Path2: "/new"}
 	ck := newAtomChecker(op, pre, post, true)
-	ctx := crashCtx{phase: PhaseMid, sys: 0}
+	ctx := crashCtx{phase: PhaseMid, sys: 0}.check()
 
 	both := vfs.State{
 		"/":    dirState("/", "new", "old"),
@@ -75,7 +75,7 @@ func TestCheckAtomicUntouchedFileMustNotChange(t *testing.T) {
 	post["/a"] = fileState("/a", "new", 1)
 	op := workload.Op{Kind: workload.OpPwrite, Path: "/a", FDSlot: -1, Size: 3}
 	ck := newAtomChecker(op, pre, post, true)
-	ctx := crashCtx{phase: PhaseMid, sys: 0}
+	ctx := crashCtx{phase: PhaseMid, sys: 0}.check()
 
 	crash := post.Clone()
 	crash["/b"] = fileState("/b", "CORRUPTED", 1)
@@ -126,24 +126,29 @@ func TestMixAllowedOnlyForWritesOnNonAtomicFS(t *testing.T) {
 	rOp := workload.Op{Kind: workload.OpRename, Path: "/a", Path2: "/b"}
 
 	ckAtomic := newAtomChecker(wOp, pre, post, true)
-	if ckAtomic.mixAllowed(crashCtx{sys: 0}, "/a") {
+	if ckAtomic.mixAllowed(crashCtx{sys: 0}.check(), "/a") {
 		t.Error("mix allowed on atomic-write FS")
 	}
 	ckTorn := newAtomChecker(wOp, pre, post, false)
-	if !ckTorn.mixAllowed(crashCtx{sys: 0}, "/a") {
+	if !ckTorn.mixAllowed(crashCtx{sys: 0}.check(), "/a") {
 		t.Error("mix not allowed for write on non-atomic FS")
 	}
 	ckRename := newAtomChecker(rOp, pre, post, false)
-	if ckRename.mixAllowed(crashCtx{sys: 0}, "/a") {
+	if ckRename.mixAllowed(crashCtx{sys: 0}.check(), "/a") {
 		t.Error("mix allowed for rename")
 	}
-	if ckTorn.mixAllowed(crashCtx{sys: -1}, "/a") {
+	if ckTorn.mixAllowed(crashCtx{sys: -1}.check(), "/a") {
 		t.Error("mix allowed outside any syscall")
 	}
 }
 
 func TestReportBounded(t *testing.T) {
-	ck := newAtomChecker(workload.Op{Kind: workload.OpSync}, vfs.State{}, vfs.State{}, true)
+	op := workload.Op{Kind: workload.OpSync}
+	ck := &checker{
+		caps: vfs.Caps{Name: "test"},
+		w:    workload.Workload{Ops: []workload.Op{op}},
+		res:  &Result{OpResults: []workload.Result{{Op: op}}},
+	}
 	for i := 0; i < maxViolationsPerRun+50; i++ {
 		ck.report(crashCtx{sys: 0}, VAtomicity, "x")
 	}

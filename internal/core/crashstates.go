@@ -35,12 +35,16 @@ const maxViolationsPerRun = 200
 const parallelThreshold = 4
 
 type checker struct {
-	ctx    context.Context // nil behaves as Background (bare test checkers)
-	cfg    Config
-	caps   vfs.Caps
-	w      workload.Workload
-	res    *Result
-	states []vfs.State
+	ctx  context.Context // nil behaves as Background (bare test checkers)
+	cfg  Config
+	caps vfs.Caps
+	w    workload.Workload
+	res  *Result
+	// contract is the run's correctness contract (Config.Checker resolved,
+	// NewOracleChecker by default), applied to every mounted crash state.
+	// Checkers are read-only over their RunEnv, so calling Check from worker
+	// goroutines is safe.
+	contract Checker
 
 	// obs is the run's private metrics collector and journal the shared
 	// event stream; both are nil-safe no-ops when observability is off.
@@ -179,7 +183,9 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 }
 
 // shouldCheckPost selects post-syscall crash points: every call for strong
-// systems, fsync-family calls for weak ones (§3.3, §4.1).
+// systems, fsync-family calls for weak ones (§3.3, §4.1). An app-level
+// OpKVSync is fsync-family — the store's commit point is an fsync on its
+// WAL, which is exactly when a weak system makes durability promises.
 func (ck *checker) shouldCheckPost(sys int) bool {
 	if sys < 0 || sys >= len(ck.w.Ops) {
 		return false
@@ -188,7 +194,7 @@ func (ck *checker) shouldCheckPost(sys int) bool {
 		return true
 	}
 	switch ck.w.Ops[sys].Kind {
-	case workload.OpFsync, workload.OpFdatasync, workload.OpSync:
+	case workload.OpFsync, workload.OpFdatasync, workload.OpSync, workload.OpKVSync:
 		return ck.res.OpResults[sys].Err == nil
 	default:
 		return false

@@ -123,6 +123,18 @@ type Config struct {
 	// the journal's order-normalized event set is identical between serial
 	// and parallel runs of the same suite.
 	Journal *obs.Journal
+	// Checker selects the correctness contract applied to every mounted
+	// crash state (nil = NewOracleChecker, the classic FS-oracle comparison,
+	// byte-identical to the pre-seam engine). The factory runs once per
+	// workload, after the oracle and record passes, so the Checker sees the
+	// frozen RunEnv.
+	Checker CheckerFactory
+	// AppFactory builds the application under test (e.g. the WAL KV store
+	// of internal/app/kvstore) for workloads containing app-level ops
+	// (workload.OpKVPut etc.). The executor instantiates it lazily on both
+	// the oracle and the record pass; a workload with app-level ops and a
+	// nil AppFactory fails the run loudly rather than skipping ops.
+	AppFactory workload.AppFactory
 }
 
 // Phase says when the simulated crash happened.
@@ -167,6 +179,10 @@ const (
 	// VTimeout: checking the crash state exceeded the per-check deadline
 	// deterministically (a recovery hang). The state is also quarantined.
 	VTimeout
+	// VAppContract: an application-level correctness contract failed on the
+	// recovered state (a pluggable Checker's Finding — e.g. the KV store's
+	// acked-durability contract). Violation.Contract names which one.
+	VAppContract
 )
 
 var kindNames = [...]string{
@@ -178,6 +194,7 @@ var kindNames = [...]string{
 	VOpBehavior:  "op-behavior-divergence",
 	VPanic:       "check-panic",
 	VTimeout:     "check-timeout",
+	VAppContract: "app-contract-violation",
 }
 
 func (k ViolationKind) String() string {
@@ -196,13 +213,21 @@ type Violation struct {
 	Phase    Phase
 	Subset   []int // in-flight write indices replayed into the crash state
 	Kind     ViolationKind
+	// Contract names the application contract that failed (Finding.Contract
+	// of the run's pluggable Checker); empty for the built-in FS-oracle
+	// checks, whose Kind already names the contract.
+	Contract string
 	Detail   string
 }
 
 // String renders the report the way Chipmunk's bug reports look.
 func (v Violation) String() string {
+	kind := v.Kind.String()
+	if v.Contract != "" {
+		kind = fmt.Sprintf("%s (contract %s)", kind, v.Contract)
+	}
 	return fmt.Sprintf("[%s] %s during %q (%s, subset %v)\n  workload: %s\n  detail: %s",
-		v.FS, v.Kind, v.SysName, v.Phase, v.Subset, v.Workload, v.Detail)
+		v.FS, kind, v.SysName, v.Phase, v.Subset, v.Workload, v.Detail)
 }
 
 // Quarantine is one ledger entry for a crash state whose check failed
@@ -298,19 +323,15 @@ type Result struct {
 // Buggy reports whether any violation was found.
 func (r *Result) Buggy() bool { return len(r.Violations) > 0 }
 
-// Run executes the full Chipmunk pipeline for one workload.
-//
-// Deprecated: use RunContext, which supports cancellation and deadlines.
-func Run(cfg Config, w workload.Workload) (*Result, error) {
-	return RunContext(context.Background(), cfg, w)
-}
-
 // RunContext executes the full Chipmunk pipeline for one workload. The
 // context cancels the run between crash-state checks; a cancelled run
 // returns ctx's error and no result.
 func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.AppFactory == nil && w.HasAppOps() {
+		return nil, fmt.Errorf("workload %s contains app-level ops but Config.AppFactory is nil", w.Name)
 	}
 	devSize := cfg.DevSize
 	if devSize == 0 {
@@ -346,6 +367,7 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 			}
 			states = append(states, st)
 		},
+		App: cfg.AppFactory,
 	})
 	if oracleErr != nil {
 		return nil, fmt.Errorf("oracle capture: %w", oracleErr)
@@ -373,6 +395,7 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	targetResults := workload.Run(target, w, workload.Hooks{
 		Before: func(i int, op workload.Op) { log.BeginSyscall(i, op.String()) },
 		After:  func(i int, op workload.Op, err error) { log.EndSyscall(i, op.String()) },
+		App:    cfg.AppFactory,
 	})
 	pm.Detach(rec)
 	caps := target.Caps()
@@ -397,8 +420,21 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		}
 	}
 
-	// --- Crash-state construction and checking.
-	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, states: states, res: res,
+	// --- Crash-state construction and checking. The run's contract is
+	// built here, once, over the frozen RunEnv; checkState applies it to
+	// every mounted crash state.
+	factory := cfg.Checker
+	if factory == nil {
+		factory = NewOracleChecker
+	}
+	contract := factory(RunEnv{
+		Caps:          caps,
+		Workload:      w,
+		OracleStates:  states,
+		OpResults:     targetResults,
+		SkipUsability: cfg.SkipUsability,
+	})
+	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, contract: contract, res: res,
 		obs: col, journal: cfg.Journal}
 	if err := ck.walk(baseline, log); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,7 +65,7 @@ func renameWorkload() workload.Workload {
 
 func mustRun(t *testing.T, cfg Config, w workload.Workload) *Result {
 	t.Helper()
-	res, err := Run(cfg, w)
+	res, err := RunContext(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

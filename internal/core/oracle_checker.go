@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chipmunk/internal/vfs"
+	"chipmunk/internal/workload"
+)
+
+// oracleChecker is the default contract: the §3.3 FS-oracle comparison that
+// was hardwired into the engine before the Checker seam existed. Its
+// verdicts are byte-identical to the pre-seam engine (pinned by
+// TestDefaultCheckerMatchesLegacy in internal/harness): readability,
+// synchrony for post-syscall states, atomicity for mid-syscall states, and
+// the usability probe, in that order.
+type oracleChecker struct {
+	env RunEnv
+}
+
+// NewOracleChecker builds the default FS-oracle contract — what
+// Config.Checker == nil resolves to.
+func NewOracleChecker(env RunEnv) Checker {
+	return &oracleChecker{env: env}
+}
+
+func (oc *oracleChecker) Name() string { return "fs-oracle" }
+
+// Check applies the oracle contract to one mounted crash state. Safe for
+// concurrent calls: it only reads the run's frozen RunEnv.
+func (oc *oracleChecker) Check(fs vfs.FS, cctx *CheckContext) *Finding {
+	st, err := vfs.Capture(fs)
+	if err != nil {
+		return &Finding{Kind: VUnreadable, Detail: fmt.Sprintf("reading recovered state failed: %v", err)}
+	}
+
+	switch cctx.Phase {
+	case PhasePost:
+		if cctx.AckedOps >= 0 && cctx.AckedOps < len(oc.env.OracleStates) {
+			if d := vfs.Diff(st, oc.env.OracleStates[cctx.AckedOps]); d != "" {
+				return &Finding{Kind: VSynchrony, Detail: d}
+			}
+		}
+	case PhaseMid:
+		if detail := oc.checkAtomic(st, cctx); detail != "" {
+			return &Finding{Kind: VAtomicity, Detail: detail}
+		}
+	}
+
+	if !oc.env.SkipUsability {
+		if detail := usability(fs, st); detail != "" {
+			return &Finding{Kind: VUsability, Detail: detail}
+		}
+	}
+	return nil
+}
+
+// checkAtomic validates a mid-syscall crash state: every file the call
+// modifies must match either the pre-call or post-call oracle version, all
+// of them the same version; untouched files must be untouched (§3.3
+// "Testing crash states").
+func (oc *oracleChecker) checkAtomic(crash vfs.State, cctx *CheckContext) string {
+	if cctx.Sys < 0 || cctx.Sys+1 >= len(oc.env.OracleStates) {
+		return ""
+	}
+	pre := oc.env.OracleStates[cctx.Sys]
+	post := oc.env.OracleStates[cctx.Sys+1]
+
+	paths := map[string]bool{}
+	for p := range pre {
+		paths[p] = true
+	}
+	for p := range post {
+		paths[p] = true
+	}
+	for p := range crash {
+		paths[p] = true
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+
+	var sawPre, sawPost []string
+	for _, p := range sorted {
+		preF, inPre := pre[p]
+		postF, inPost := post[p]
+		crashF, inCrash := crash[p]
+
+		modified := inPre != inPost || (inPre && inPost && !preF.Equal(postF))
+		if !modified {
+			// Untouched by this call: must match exactly (or be equally
+			// absent).
+			if inPre != inCrash {
+				return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", p, inCrash)
+			}
+			if inPre && !preF.Equal(crashF) {
+				return fmt.Sprintf("%s: untouched file changed\n  crash:  %s\n  oracle: %s",
+					p, crashF.Describe(), preF.Describe())
+			}
+			continue
+		}
+
+		matchPre := inPre == inCrash && (!inPre || preF.Equal(crashF))
+		matchPost := inPost == inCrash && (!inPost || postF.Equal(crashF))
+		switch {
+		case matchPre:
+			sawPre = append(sawPre, p)
+		case matchPost:
+			sawPost = append(sawPost, p)
+		case oc.mixAllowed(cctx, p) && inCrash && byteMixOK(preF, postF, crashF, inPre, inPost):
+			// A torn data write on a system without atomic writes: legal,
+			// and consistent with either version.
+		default:
+			detail := fmt.Sprintf("%s: matches neither pre- nor post-op state", p)
+			if inCrash {
+				detail += "\n  crash:  " + crashF.Describe()
+			} else {
+				detail += "\n  crash:  (missing)"
+			}
+			if inPre {
+				detail += "\n  pre:    " + preF.Describe()
+			} else {
+				detail += "\n  pre:    (absent)"
+			}
+			if inPost {
+				detail += "\n  post:   " + postF.Describe()
+			} else {
+				detail += "\n  post:   (absent)"
+			}
+			return detail
+		}
+	}
+	if len(sawPre) > 0 && len(sawPost) > 0 {
+		return fmt.Sprintf("operation not atomic: %s at pre-op state while %s at post-op state",
+			strings.Join(sawPre, ","), strings.Join(sawPost, ","))
+	}
+	return ""
+}
+
+// mixAllowed reports whether path may legally hold a mix of old and new
+// bytes in this crash state: the system does not guarantee atomic data
+// writes and path names the file the in-flight write/fallocate targets —
+// either directly or as a hard-link alias (a torn write is visible under
+// every name of the inode).
+func (oc *oracleChecker) mixAllowed(cctx *CheckContext, path string) bool {
+	if oc.env.Caps.AtomicWrite {
+		return false
+	}
+	if cctx.Sys < 0 || cctx.Sys >= len(oc.env.Workload.Ops) {
+		return false
+	}
+	op := oc.env.Workload.Ops[cctx.Sys]
+	switch op.Kind {
+	case workload.OpWrite, workload.OpPwrite, workload.OpFalloc:
+	case workload.OpKVPut, workload.OpKVDel, workload.OpKVSync:
+		// App-level mutation: the store writes through descriptors the op
+		// does not record, so any regular file may legally be torn
+		// (conservative).
+		return true
+	default:
+		return false
+	}
+	if op.FDSlot >= 0 {
+		// Descriptor-based write: the target path is not recorded in the
+		// op, so any regular file may legally be torn (conservative).
+		return true
+	}
+	target := vfs.Clean(op.Path)
+	if target == path {
+		return true
+	}
+	if cctx.Sys+1 < len(oc.env.OracleStates) {
+		if oc.env.OracleStates[cctx.Sys].SameInode(target, path) ||
+			oc.env.OracleStates[cctx.Sys+1].SameInode(target, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// byteMixOK accepts a torn data write: the size is the old or the new one,
+// the link count unchanged, and every byte matches the old or the new
+// content (bytes beyond a version's size count as zero).
+func byteMixOK(pre, post, crash vfs.FileState, inPre, inPost bool) bool {
+	if !inPost || crash.Type != vfs.TypeRegular || post.Type != vfs.TypeRegular {
+		return false
+	}
+	if !inPre {
+		// File created by this op: old content is "absent"; a torn state
+		// still has the file with partial data.
+		pre = vfs.FileState{Type: vfs.TypeRegular, Nlink: post.Nlink}
+	}
+	if pre.Type != vfs.TypeRegular {
+		return false
+	}
+	if crash.Size != pre.Size && crash.Size != post.Size {
+		return false
+	}
+	if crash.Nlink != post.Nlink {
+		return false
+	}
+	byteAt := func(f vfs.FileState, i int64) byte {
+		if i < int64(len(f.Data)) {
+			return f.Data[i]
+		}
+		return 0
+	}
+	for i := int64(0); i < crash.Size; i++ {
+		b := crash.Data[i]
+		if b != byteAt(pre, i) && b != byteAt(post, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// usability validates that the recovered file system is actually usable
+// (§3.3): create a file in every directory, write and read it back, then
+// delete every file and directory. The mutations land on this state's
+// private device copy.
+func usability(fs vfs.FS, st vfs.State) string {
+	var dirs, files []string
+	for p, f := range st {
+		if f.Type == vfs.TypeDir {
+			dirs = append(dirs, p)
+		} else {
+			files = append(files, p)
+		}
+	}
+	sort.Strings(dirs)
+
+	probe := "chipmunk_probe"
+	for _, d := range dirs {
+		path := vfs.Join(d, probe)
+		fd, err := fs.Create(path)
+		if err != nil {
+			return fmt.Sprintf("creating %s failed: %v", path, err)
+		}
+		if _, err := fs.Pwrite(fd, []byte("probe"), 0); err != nil {
+			fs.Close(fd)
+			return fmt.Sprintf("writing %s failed: %v", path, err)
+		}
+		buf := make([]byte, 5)
+		if _, err := fs.Pread(fd, buf, 0); err != nil {
+			fs.Close(fd)
+			return fmt.Sprintf("reading %s back failed: %v", path, err)
+		}
+		if string(buf) != "probe" {
+			fs.Close(fd)
+			return fmt.Sprintf("read-back of %s returned %q", path, buf)
+		}
+		if err := fs.Close(fd); err != nil {
+			return fmt.Sprintf("closing %s failed: %v", path, err)
+		}
+		files = append(files, path)
+	}
+
+	sort.Strings(files)
+	for _, p := range files {
+		if err := fs.Unlink(p); err != nil {
+			return fmt.Sprintf("deleting %s failed: %v", p, err)
+		}
+	}
+	// Directories deepest-first; the root stays.
+	sort.Slice(dirs, func(i, j int) bool { return len(dirs[i]) > len(dirs[j]) })
+	for _, d := range dirs {
+		if d == "/" {
+			continue
+		}
+		if err := fs.Rmdir(d); err != nil {
+			return fmt.Sprintf("removing directory %s failed: %v", d, err)
+		}
+	}
+	return ""
+}

@@ -48,8 +48,8 @@ type checkOutcome struct {
 	done      bool // the check reached a classified outcome (counted)
 	v         *Violation
 	q         *Quarantine
-	retried   bool // succeeded only after a retry (transient failure)
-	cancelled bool // run context cancelled mid-check; nothing counted
+	retried   bool     // succeeded only after a retry (transient failure)
+	cancelled bool     // run context cancelled mid-check; nothing counted
 	ctx       crashCtx // crash point identity, for journal attribution
 }
 

@@ -497,3 +497,6 @@ func min64(a, b int64) int64 {
 }
 
 var _ vfs.FS = (*FS)(nil)
+
+// OpenFDs implements vfs.FDCounter.
+func (f *FS) OpenFDs() int { return len(f.fds) }

@@ -440,3 +440,6 @@ var (
 	_ vfs.FS      = (*FS)(nil)
 	_ vfs.XattrFS = (*FS)(nil)
 )
+
+// OpenFDs implements vfs.FDCounter.
+func (f *FS) OpenFDs() int { return len(f.fds) }

@@ -333,3 +333,6 @@ func (f *FS) Fsync(fd vfs.FD) error {
 func (f *FS) Sync() error { return nil }
 
 var _ vfs.FS = (*FS)(nil)
+
+// OpenFDs implements vfs.FDCounter.
+func (f *FS) OpenFDs() int { return len(f.fds) }

@@ -238,3 +238,13 @@ func pu64(v uint64) []byte {
 }
 
 var _ vfs.FS = (*FS)(nil)
+
+// OpenFDs implements vfs.FDCounter. Every SplitFS descriptor wraps one
+// kernel descriptor, so the two tables must agree; reporting the larger
+// count surfaces leaks on either side of the delegation.
+func (f *FS) OpenFDs() int {
+	if k := f.kernel.OpenFDs(); k > len(f.fds) {
+		return k
+	}
+	return len(f.fds)
+}

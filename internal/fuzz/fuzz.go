@@ -18,6 +18,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,6 +34,13 @@ type Fuzzer struct {
 
 	corpus   []workload.Workload
 	coverage map[uint64]bool
+
+	// KV adds the application-level KV ops (kvput/kvdel/kvsync/kvget) to
+	// the mutation vocabulary. Set it when Config carries the KV app
+	// factory and contract checker (chipmunkfuzz -app=kv); the flag is read
+	// only inside randOp, so KV=false campaigns replay byte-identically to
+	// builds that predate it.
+	KV bool
 
 	// CrashDir, when set, receives the triggering workload whenever a
 	// candidate escapes the engine's sandbox with a panic (saved before the
@@ -75,9 +83,33 @@ var pathPool = []string{"/f0", "/f1", "/f2", "/d0", "/d1", "/d0/f3", "/d0/d2", "
 
 func (f *Fuzzer) randPath() string { return pathPool[f.rng.Intn(len(pathPool))] }
 
+var kvKeyPool = []string{"alpha", "beta", "gamma", "delta"}
+
+// randKVOp generates one application-level KV op. Puts carry a nonzero
+// seed so the contract checker can verify recovered bytes; gets use seed 0
+// (presence check only — a fuzzed get has no expected value).
+func (f *Fuzzer) randKVOp() workload.Op {
+	key := kvKeyPool[f.rng.Intn(len(kvKeyPool))]
+	sizes := []int64{1, 16, 64, 200, 512, 1024}
+	switch f.rng.Intn(5) {
+	case 0, 1:
+		return workload.Op{Kind: workload.OpKVPut, Path: key, FDSlot: -1,
+			Size: sizes[f.rng.Intn(len(sizes))], Seed: f.rng.Uint32()%1000 + 1}
+	case 2:
+		return workload.Op{Kind: workload.OpKVDel, Path: key, FDSlot: -1}
+	case 3:
+		return workload.Op{Kind: workload.OpKVGet, Path: key, FDSlot: -1}
+	default:
+		return workload.Op{Kind: workload.OpKVSync, FDSlot: -1}
+	}
+}
+
 // randOp generates one random operation. Offsets and sizes are drawn from
 // a mix of aligned and deliberately unaligned values.
 func (f *Fuzzer) randOp() workload.Op {
+	if f.KV && f.rng.Intn(2) == 0 {
+		return f.randKVOp()
+	}
 	offs := []int64{0, 1, 3, 8, 64, 100, 1024, 2048, 4095, 4096, 4097}
 	sizes := []int64{1, 5, 8, 13, 100, 512, 1000, 1024, 4096, 5000}
 	slot := -1
@@ -204,7 +236,7 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 			panic(r)
 		}
 	}()
-	res, err := core.Run(f.cfg, w)
+	res, err := core.RunContext(context.Background(), f.cfg, w)
 	if err != nil {
 		return nil, w, err
 	}

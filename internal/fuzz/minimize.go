@@ -3,6 +3,7 @@ package fuzz
 import (
 	"chipmunk/internal/core"
 	"chipmunk/internal/workload"
+	"context"
 )
 
 // Minimize shrinks a violating workload to a minimal reproducer, the way
@@ -20,7 +21,7 @@ func Minimize(cfg core.Config, w workload.Workload, budget int) (workload.Worklo
 			return false, nil
 		}
 		execs++
-		res, err := core.Run(cfg, cand)
+		res, err := core.RunContext(context.Background(), cfg, cand)
 		if err != nil {
 			return false, err
 		}

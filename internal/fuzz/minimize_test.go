@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestMinimizeShrinksReproducer(t *testing.T) {
 		t.Fatalf("no reduction: %d ops", len(min.Ops))
 	}
 	// The minimized workload must still reproduce.
-	res, err := core.Run(cfg, min)
+	res, err := core.RunContext(context.Background(), cfg, min)
 	if err != nil {
 		t.Fatal(err)
 	}

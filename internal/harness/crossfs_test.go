@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"chipmunk/internal/bugs"
@@ -24,10 +25,10 @@ func TestNovaBugsAlsoPresentInFortis(t *testing.T) {
 		if info.FileSystems[0] != "nova" {
 			continue
 		}
-		cfg := ConfigFor(fortis, bugs.Of(info.ID), 0)
+		cfg := Options{Bugs: bugs.Of(info.ID), Cap: 0}.ConfigFor(fortis)
 		found := false
 		for _, w := range TargetedWorkloads(info.ID) {
-			res, err := core.Run(cfg, w)
+			res, err := core.RunContext(context.Background(), cfg, w)
 			if err != nil {
 				t.Fatalf("bug %d on fortis: %v", info.ID, err)
 			}
@@ -58,11 +59,11 @@ func TestSharedPmfsWinefsBugs(t *testing.T) {
 				}}
 			} else {
 				sys, _ := SystemByName(sysName)
-				cfg = ConfigFor(sys, bugs.Of(id), 0)
+				cfg = Options{Bugs: bugs.Of(id), Cap: 0}.ConfigFor(sys)
 			}
 			found := false
 			for _, w := range TargetedWorkloads(id) {
-				res, err := core.Run(cfg, w)
+				res, err := core.RunContext(context.Background(), cfg, w)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -83,13 +84,13 @@ func TestSharedPmfsWinefsBugs(t *testing.T) {
 // NOVA reproduction workloads.
 func TestFixedFortisCleanOnNovaWorkloads(t *testing.T) {
 	fortis, _ := SystemByName("nova-fortis")
-	cfg := ConfigFor(fortis, bugs.None(), 0)
+	cfg := Options{Bugs: bugs.None(), Cap: 0}.ConfigFor(fortis)
 	for _, info := range bugs.All() {
 		if info.FileSystems[0] != "nova" && info.FileSystems[0] != "nova-fortis" {
 			continue
 		}
 		for _, w := range TargetedWorkloads(info.ID) {
-			res, err := core.Run(cfg, w)
+			res, err := core.RunContext(context.Background(), cfg, w)
 			if err != nil {
 				t.Fatal(err)
 			}

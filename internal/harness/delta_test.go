@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"flag"
 	"testing"
 
@@ -32,11 +33,11 @@ func TestDeltaMaterializeMatchesFullCopyAllSystems(t *testing.T) {
 				full := Options{Bugs: set, Cap: 2, Workers: workers, DisableDeltaMaterialize: true}.ConfigFor(sys)
 				delta := Options{Bugs: set, Cap: 2, Workers: workers}.ConfigFor(sys)
 				for _, w := range suite {
-					rf, err := core.Run(full, w)
+					rf, err := core.RunContext(context.Background(), full, w)
 					if err != nil {
 						t.Fatalf("%s full-copy: %v", w.Name, err)
 					}
-					rd, err := core.Run(delta, w)
+					rd, err := core.RunContext(context.Background(), delta, w)
 					if err != nil {
 						t.Fatalf("%s delta: %v", w.Name, err)
 					}
@@ -75,11 +76,11 @@ func TestDeltaMaterializeHostileGuestAgreement(t *testing.T) {
 			DisableDeltaMaterialize: true}
 		delta := core.Config{NewFS: newFS, Cap: 2, CheckRetries: -1, Workers: workers}
 		for _, w := range suite {
-			rf, err := core.Run(full, w)
+			rf, err := core.RunContext(context.Background(), full, w)
 			if err != nil {
 				t.Fatalf("%s full-copy: %v", w.Name, err)
 			}
-			rd, err := core.Run(delta, w)
+			rd, err := core.RunContext(context.Background(), delta, w)
 			if err != nil {
 				t.Fatalf("%s delta: %v", w.Name, err)
 			}
@@ -96,7 +97,7 @@ func TestDeltaMaterializeHostileGuestAgreement(t *testing.T) {
 // delta path.
 func TestDeltaMaterializeFlagPlumbing(t *testing.T) {
 	fl := flag.NewFlagSet("test", flag.ContinueOnError)
-	spec := BindFlags(fl, "nova", "none", 0)
+	spec := BindCLI(fl, CLIDefaults{FS: "nova"})
 	if err := fl.Parse([]string{"-full-copy"}); err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestDeltaMaterializeFlagPlumbing(t *testing.T) {
 	}
 
 	fl2 := flag.NewFlagSet("test2", flag.ContinueOnError)
-	spec2 := BindFlags(fl2, "nova", "none", 0)
+	spec2 := BindCLI(fl2, CLIDefaults{FS: "nova"})
 	if err := fl2.Parse(nil); err != nil {
 		t.Fatal(err)
 	}

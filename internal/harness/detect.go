@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -62,7 +63,7 @@ func DetectWithTargeted(id bugs.ID, opts DetectOptions) (Detection, error) {
 	det := Detection{Bug: info, System: sys.Name}
 	start := time.Now()
 	for _, w := range TargetedWorkloads(id) {
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		if err != nil {
 			return det, fmt.Errorf("bug %d workload %s: %w", id, w.Name, err)
 		}
@@ -94,7 +95,7 @@ func VerifyFixedClean(id bugs.ID, opts DetectOptions) ([]core.Violation, error) 
 	cfg := opts.config(sys, bugs.None())
 	var out []core.Violation
 	for _, w := range TargetedWorkloads(id) {
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +125,7 @@ func DetectWithACE(id bugs.ID, maxWorkloads int, opts DetectOptions) (Detection,
 			if maxWorkloads > 0 && det.Workloads >= maxWorkloads {
 				return false, nil
 			}
-			res, err := core.Run(cfg, w)
+			res, err := core.RunContext(context.Background(), cfg, w)
 			if err != nil {
 				return false, fmt.Errorf("bug %d on %s: %w", id, w.Name, err)
 			}

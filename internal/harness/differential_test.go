@@ -100,7 +100,7 @@ func TestDedupActuallyFires(t *testing.T) {
 	cfg := Options{Bugs: bugs.None(), Cap: 0}.ConfigFor(sys)
 	total := 0
 	for _, w := range ace.Seq1()[:20] {
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -300,7 +301,7 @@ func InFlightCensus() (map[string]*Census, error) {
 			continue
 		}
 		cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
-		c, _, err := RunSuite(cfg, suite)
+		c, _, err := Run(context.Background(), cfg, suite)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -165,8 +166,8 @@ func TestInFlightCensusMatchesPaperShape(t *testing.T) {
 func TestRunSuiteCleanOnFixedSeq1Sample(t *testing.T) {
 	// Fixed NOVA over the first 20 seq-1 workloads: no violations.
 	sys, _ := SystemByName("nova")
-	cfg := ConfigFor(sys, bugs.None(), 0)
-	c, viol, err := RunSuite(cfg, ace.Seq1()[:20])
+	cfg := Options{Bugs: bugs.None(), Cap: 0}.ConfigFor(sys)
+	c, viol, err := Run(context.Background(), cfg, ace.Seq1()[:20])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestWeakSystemsCleanOnDaxSample(t *testing.T) {
 	for _, name := range []string{"ext4-dax", "xfs-dax"} {
 		sys, _ := SystemByName(name)
 		cfg := core.Config{NewFS: sys.Factory(bugs.None())}
-		_, viol, err := RunSuite(cfg, ace.Seq1Dax()[:30])
+		_, viol, err := Run(context.Background(), cfg, ace.Seq1Dax()[:30])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,67 +1,16 @@
 package harness
 
 import (
-	"flag"
 	"fmt"
 	"time"
 
 	"chipmunk/internal/obs"
 )
 
-// This file is the CLIs' shared observability frontend: the -stats,
-// -journal, and -debug-addr flags and the Instrumentation bundle they
-// resolve to. The three commands bind the same flags, build one
-// Instrumentation, apply it to their Options, and close it on exit — the
-// same pattern FlagSpec established for the engine tuning flags.
-
-// ObsFlagSpec holds the raw values of the shared observability flags
-// between flag registration and parsing.
-type ObsFlagSpec struct {
-	Stats     *bool
-	Journal   *string
-	DebugAddr *string
-}
-
-// BindObsFlags registers the shared -stats, -journal, and -debug-addr
-// flags on fl. Call fl.Parse, then Instrument to resolve the parsed
-// values.
-func BindObsFlags(fl *flag.FlagSet) *ObsFlagSpec {
-	return &ObsFlagSpec{
-		Stats: fl.Bool("stats", false,
-			"print the per-stage time/counter breakdown after the run"),
-		Journal: fl.String("journal", "",
-			"append one JSONL event per workload/fence/violation/quarantine/retry to this file"),
-		DebugAddr: fl.String("debug-addr", "",
-			"serve live introspection (/debug/vars, /debug/pprof/, /progress) on this host:port"),
-	}
-}
-
-// Instrument resolves the parsed flags into an Instrumentation. All three
-// facilities are off by default; the returned value (possibly holding only
-// nils) is always safe to Apply and Close. Errors (unwritable journal
-// path, unbindable debug address) are reported, not ignored.
-func (s *ObsFlagSpec) Instrument() (*Instrumentation, error) {
-	in := &Instrumentation{stats: *s.Stats}
-	if *s.Stats || *s.DebugAddr != "" {
-		in.Col = obs.New()
-	}
-	if *s.Journal != "" {
-		j, err := obs.Create(*s.Journal)
-		if err != nil {
-			return nil, err
-		}
-		in.Journal = j
-	}
-	if *s.DebugAddr != "" {
-		ds, err := obs.ServeDebug(*s.DebugAddr, in.Col)
-		if err != nil {
-			in.Journal.Close() //nolint:errcheck // already failing
-			return nil, err
-		}
-		in.Debug = ds
-	}
-	return in, nil
-}
+// This file is the CLIs' shared observability bundle: the Instrumentation
+// that the -stats, -journal, and -debug-addr flags (bound via BindCLI in
+// cli.go) resolve to. The three commands build one Instrumentation, apply
+// it to their Options, and close it on exit.
 
 // Instrumentation bundles one run's observability plumbing: the live
 // metrics collector, the run journal, and the debug listener. Any field

@@ -1,12 +1,13 @@
 package harness
 
 import (
-	"flag"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"chipmunk/internal/app/kvstore"
+	"chipmunk/internal/app/kvwork"
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/core"
 	"chipmunk/internal/obs"
@@ -44,6 +45,13 @@ type Options struct {
 	Obs *obs.Collector
 	// Journal receives run-journal events from every engine run (nil = off).
 	Journal *obs.Journal
+	// App selects an application-level workload and its crash-contract
+	// checker instead of the FS-oracle comparison: "" (none, the default)
+	// or "kv" (the WAL KV store, internal/app/kvstore).
+	App string
+	// AppBugs seeds store defects into the -app application (both the
+	// workload's instance and the checker's recovery). Zero value = none.
+	AppBugs kvstore.Bugs
 }
 
 // Resolve looks up the system and builds its engine Config.
@@ -55,9 +63,11 @@ func (o Options) Resolve() (System, core.Config, error) {
 	return sys, o.ConfigFor(sys), nil
 }
 
-// ConfigFor builds the engine Config for an already-resolved system.
+// ConfigFor builds the engine Config for an already-resolved system. With
+// App set, the application factory and its contract checker replace the
+// default FS-oracle comparison.
 func (o Options) ConfigFor(sys System) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		NewFS:                   sys.Factory(o.Bugs),
 		Cap:                     o.Cap,
 		Workers:                 o.Workers,
@@ -68,6 +78,20 @@ func (o Options) ConfigFor(sys System) core.Config {
 		Obs:                     o.Obs,
 		Journal:                 o.Journal,
 	}
+	if o.App == "kv" {
+		cfg.AppFactory = kvwork.Factory(o.AppBugs)
+		cfg.Checker = kvwork.NewChecker(o.AppBugs)
+	}
+	return cfg
+}
+
+// AppByName validates an -app selector.
+func AppByName(name string) error {
+	switch name {
+	case "", "kv":
+		return nil
+	}
+	return fmt.Errorf("harness: unknown app %q (want kv)", name)
 }
 
 // ParseBugSpec parses the CLIs' -bugs syntax: "none" (or empty), "all", or
@@ -91,52 +115,4 @@ func ParseBugSpec(spec string) (bugs.Set, error) {
 		set = set.With(bugs.ID(id))
 	}
 	return set, nil
-}
-
-// FlagSpec holds the raw values of the shared CLI flags between flag
-// registration and parsing.
-type FlagSpec struct {
-	FS              *string
-	Bugs            *string
-	Cap             *int
-	Workers         *int
-	CheckTimeout    *time.Duration
-	ExhaustiveLimit *int
-	FullCopy        *bool
-}
-
-// BindFlags registers the shared -fs, -bugs, -cap, -workers,
-// -check-timeout, and -exhaustive-limit flags on fl with the given
-// defaults. Call fl.Parse (or flag.Parse for the default set), then Options
-// to resolve the parsed values.
-func BindFlags(fl *flag.FlagSet, defFS, defBugs string, defCap int) *FlagSpec {
-	return &FlagSpec{
-		FS:      fl.String("fs", defFS, "file system: nova, nova-fortis, pmfs, winefs, splitfs, ext4-dax, xfs-dax"),
-		Bugs:    fl.String("bugs", defBugs, `injected bugs: "none", "all", or comma-separated IDs (e.g. "4,5")`),
-		Cap:     fl.Int("cap", defCap, "max in-flight writes replayed per crash state (0 = exhaustive)"),
-		Workers: fl.Int("workers", 1, "crash-state check workers inside each engine run (<=1 = serial)"),
-		CheckTimeout: fl.Duration("check-timeout", core.DefaultCheckTimeout,
-			"per-crash-state check deadline; hung checks are quarantined as check-timeout (negative = no deadline)"),
-		ExhaustiveLimit: fl.Int("exhaustive-limit", core.DefaultExhaustiveLimit,
-			"max in-flight writes for exhaustive subset enumeration before falling back to the safety cap"),
-		FullCopy: fl.Bool("full-copy", false,
-			"materialize each crash state by full device copy instead of delta replay (slow; results identical)"),
-	}
-}
-
-// Options validates the parsed flag values into an Options.
-func (fs *FlagSpec) Options() (Options, error) {
-	set, err := ParseBugSpec(*fs.Bugs)
-	if err != nil {
-		return Options{}, err
-	}
-	return Options{
-		FS:                      *fs.FS,
-		Bugs:                    set,
-		Cap:                     *fs.Cap,
-		Workers:                 *fs.Workers,
-		CheckTimeout:            *fs.CheckTimeout,
-		ExhaustiveLimit:         *fs.ExhaustiveLimit,
-		DisableDeltaMaterialize: *fs.FullCopy,
-	}, nil
 }

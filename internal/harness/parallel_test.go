@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,14 +12,14 @@ import (
 
 func TestRunSuiteParallelMatchesSerial(t *testing.T) {
 	sys, _ := SystemByName("nova")
-	cfg := ConfigFor(sys, bugs.None(), 2)
+	cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
 	suite := ace.Seq1()[:24]
 
-	serial, sViol, err := RunSuite(cfg, suite)
+	serial, sViol, err := Run(context.Background(), cfg, suite)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, pViol, err := RunSuiteParallel(cfg, suite, 4)
+	parallel, pViol, err := Run(context.Background(), cfg, suite, WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +35,8 @@ func TestRunSuiteParallelMatchesSerial(t *testing.T) {
 
 func TestRunSuiteParallelFindsBugs(t *testing.T) {
 	sys, _ := SystemByName("nova")
-	cfg := ConfigFor(sys, bugs.Of(bugs.NovaRenameInPlaceDelete), 2)
-	_, viol, err := RunSuiteParallel(cfg, ace.Seq1(), 4)
+	cfg := Options{Bugs: bugs.Of(bugs.NovaRenameInPlaceDelete), Cap: 2}.ConfigFor(sys)
+	_, viol, err := Run(context.Background(), cfg, ace.Seq1(), WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +47,8 @@ func TestRunSuiteParallelFindsBugs(t *testing.T) {
 
 func TestRunSuiteParallelSingleWorkerFallback(t *testing.T) {
 	sys, _ := SystemByName("nova")
-	cfg := ConfigFor(sys, bugs.None(), 2)
-	c, _, err := RunSuiteParallel(cfg, ace.Seq1()[:3], 1)
+	cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
+	c, _, err := Run(context.Background(), cfg, ace.Seq1()[:3], WithWorkers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +62,10 @@ func TestRunSuiteParallelSingleWorkerFallback(t *testing.T) {
 // nondeterminism, which reproducer files and triage rely on.
 func TestEngineDeterminism(t *testing.T) {
 	sys, _ := SystemByName("winefs")
-	cfg := ConfigFor(sys, bugs.Of(bugs.WinefsJournalIndex), 0)
+	cfg := Options{Bugs: bugs.Of(bugs.WinefsJournalIndex), Cap: 0}.ConfigFor(sys)
 	w := TargetedWorkloads(bugs.WinefsJournalIndex)[0]
 	summarize := func() string {
-		res, err := core.Run(cfg, w)
+		res, err := core.RunContext(context.Background(), cfg, w)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -32,11 +32,11 @@ func TestSandboxedCheckerMatchesDirect(t *testing.T) {
 			direct.DisableSandbox = true
 			sandboxed := Options{Bugs: set, Cap: 2}.ConfigFor(sys)
 			for _, w := range suite {
-				rd, err := core.Run(direct, w)
+				rd, err := core.RunContext(context.Background(), direct, w)
 				if err != nil {
 					t.Fatalf("%s direct: %v", w.Name, err)
 				}
-				rs, err := core.Run(sandboxed, w)
+				rs, err := core.RunContext(context.Background(), sandboxed, w)
 				if err != nil {
 					t.Fatalf("%s sandboxed: %v", w.Name, err)
 				}
@@ -93,11 +93,11 @@ func TestCensusCarriesQuarantine(t *testing.T) {
 	}
 }
 
-// TestBindFlagsSandboxOptions: -check-timeout and -exhaustive-limit plumb
+// TestBindCLISandboxOptions: -check-timeout and -exhaustive-limit plumb
 // from the shared flag surface through Options into the engine Config.
-func TestBindFlagsSandboxOptions(t *testing.T) {
+func TestBindCLISandboxOptions(t *testing.T) {
 	fl := flag.NewFlagSet("test", flag.ContinueOnError)
-	spec := BindFlags(fl, "nova", "none", 0)
+	spec := BindCLI(fl, CLIDefaults{FS: "nova"})
 	if err := fl.Parse([]string{"-check-timeout", "250ms", "-exhaustive-limit", "10"}); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestBindFlagsSandboxOptions(t *testing.T) {
 
 	// Defaults: unparsed flags resolve to the engine defaults.
 	fl2 := flag.NewFlagSet("test2", flag.ContinueOnError)
-	spec2 := BindFlags(fl2, "nova", "none", 0)
+	spec2 := BindCLI(fl2, CLIDefaults{FS: "nova"})
 	if err := fl2.Parse(nil); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"chipmunk/internal/ace"
@@ -28,8 +29,8 @@ func TestSeq2SweepFixedSystemsClean(t *testing.T) {
 		sys := sys
 		t.Run(sys.Name, func(t *testing.T) {
 			t.Parallel()
-			cfg := ConfigFor(sys, bugs.None(), 2)
-			c, viol, err := RunSuiteParallel(cfg, suite, 0) // all cores
+			cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
+			c, viol, err := Run(context.Background(), cfg, suite, WithWorkers(0)) // all cores
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,8 +52,8 @@ func TestSeq1SweepWeakSystemsClean(t *testing.T) {
 	suite := ace.Seq1Dax()
 	for _, name := range []string{"ext4-dax", "xfs-dax"} {
 		sys, _ := SystemByName(name)
-		cfg := ConfigFor(sys, bugs.None(), 2)
-		_, viol, err := RunSuite(cfg, suite)
+		cfg := Options{Bugs: bugs.None(), Cap: 2}.ConfigFor(sys)
+		_, viol, err := Run(context.Background(), cfg, suite)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 
 	"chipmunk/internal/bugs"
-	"chipmunk/internal/core"
 	"chipmunk/internal/fs/extdax"
 	"chipmunk/internal/fs/nova"
 	"chipmunk/internal/fs/pmfs"
@@ -69,12 +68,4 @@ func SystemByName(name string) (System, error) {
 // PMFS/WineFS bugs on PMFS, etc.).
 func BugSystem(info bugs.Info) (System, error) {
 	return SystemByName(info.FileSystems[0])
-}
-
-// ConfigFor builds an engine Config for a system with the given bug set.
-//
-// Deprecated: use Options{Bugs: set, Cap: cap}.ConfigFor(sys), which also
-// carries the engine worker count and reads at the call site.
-func ConfigFor(sys System, set bugs.Set, cap int) core.Config {
-	return Options{Bugs: set, Cap: cap}.ConfigFor(sys)
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,7 @@ func TestWriteClustersEndToEnd(t *testing.T) {
 		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Size: 64, Seed: 1},
 		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
 	}}
-	res, err := core.Run(cfg, w)
+	res, err := core.RunContext(context.Background(), cfg, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestWriteClustersEndToEnd(t *testing.T) {
 		t.Fatalf("repro does not parse: %v\n%s", err, reproSrc)
 	}
 	// Running the parsed repro reproduces the violation.
-	res2, err := core.Run(cfg, parsed)
+	res2, err := core.RunContext(context.Background(), cfg, parsed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -109,3 +109,10 @@ type XattrFS interface {
 	Removexattr(path, name string) error
 	Listxattr(path string) ([]string, error)
 }
+
+// FDCounter is an optional interface: file systems that track open
+// descriptors report how many are live, so tests can assert that recovery
+// and application paths close everything they open (FD-leak detection).
+type FDCounter interface {
+	OpenFDs() int
+}

@@ -8,11 +8,26 @@ import (
 
 // Hooks lets the Chipmunk engine observe syscall boundaries: Before fires
 // just before op i executes (the engine snapshots the oracle and stamps a
-// syscall-begin marker), After fires once it returns.
+// syscall-begin marker), After fires once it returns. App supplies the
+// application instance for workloads with app-level ops (OpKV*).
 type Hooks struct {
 	Before func(i int, op Op)
 	After  func(i int, op Op, err error)
+	App    AppFactory
 }
+
+// AppInstance is an application running on top of a vfs.FS — the target of
+// app-level ops. Exec performs one OpKV* op. Close releases descriptors the
+// instance holds; it must NOT flush or sync unsynced state (a Close that
+// quietly persisted buffers would mask missing-sync bugs the contract
+// checker exists to catch).
+type AppInstance interface {
+	Exec(op Op) error
+	Close() error
+}
+
+// AppFactory opens (or recovers) an application instance on fs.
+type AppFactory func(fs vfs.FS) (AppInstance, error)
 
 // Result records the outcome of one op.
 type Result struct {
@@ -30,15 +45,39 @@ func Run(fs vfs.FS, w Workload, hooks Hooks) []Result {
 	slotPath := map[int]string{}
 	results := make([]Result, 0, len(w.Ops))
 
+	var app AppInstance
+	var appErr error
 	for i, op := range w.Ops {
 		if hooks.Before != nil {
 			hooks.Before(i, op)
 		}
-		err := runOp(fs, op, slots, slotPath)
+		var err error
+		if op.Kind.AppLevel() {
+			// Lazily open the app at the first app-level op so pure-syscall
+			// workloads pay nothing. A missing factory or failed open is an
+			// op error (sticky), not fatal: the oracle fails identically.
+			if app == nil && appErr == nil {
+				if hooks.App == nil {
+					appErr = fmt.Errorf("workload: app-level op with no AppFactory")
+				} else if app, appErr = hooks.App(fs); appErr != nil {
+					appErr = fmt.Errorf("workload: opening app: %w", appErr)
+				}
+			}
+			if appErr != nil {
+				err = appErr
+			} else {
+				err = app.Exec(op)
+			}
+		} else {
+			err = runOp(fs, op, slots, slotPath)
+		}
 		results = append(results, Result{Op: op, Err: err})
 		if hooks.After != nil {
 			hooks.After(i, op, err)
 		}
+	}
+	if app != nil {
+		app.Close()
 	}
 	// Close any slots left open so Unmount sees no busy files.
 	for s, fd := range slots {

@@ -37,14 +37,17 @@ func formatOp(op Op) string {
 		parts = append(parts, op.Path, "attr="+op.Path2)
 	case OpClose:
 		// fd-only
-	case OpSync:
+	case OpSync, OpKVSync:
 		// no args
+	case OpKVPut, OpKVDel, OpKVGet:
+		// Keys are not "/"-prefixed paths, so they need an explicit tag.
+		parts = append(parts, "key="+op.Path)
 	default:
 		if op.Path != "" {
 			parts = append(parts, op.Path)
 		}
 	}
-	if op.FDSlot >= 0 {
+	if op.FDSlot >= 0 && !op.Kind.AppLevel() {
 		parts = append(parts, fmt.Sprintf("fd=%d", op.FDSlot))
 	}
 	switch op.Kind {
@@ -52,11 +55,11 @@ func formatOp(op Op) string {
 		parts = append(parts, fmt.Sprintf("off=%d", op.Off))
 	}
 	switch op.Kind {
-	case OpWrite, OpPwrite, OpTruncate, OpFalloc:
+	case OpWrite, OpPwrite, OpTruncate, OpFalloc, OpKVPut, OpKVGet:
 		parts = append(parts, fmt.Sprintf("size=%d", op.Size))
 	}
 	switch op.Kind {
-	case OpWrite, OpPwrite, OpSetxattr:
+	case OpWrite, OpPwrite, OpSetxattr, OpKVPut, OpKVGet:
 		parts = append(parts, fmt.Sprintf("seed=%d", op.Seed))
 	}
 	return strings.Join(parts, " ")
@@ -64,7 +67,7 @@ func formatOp(op Op) string {
 
 var kindByName = func() map[string]OpKind {
 	m := map[string]OpKind{}
-	for k := OpCreat; k <= OpRemovexattr; k++ {
+	for k := OpCreat; k <= OpKVGet; k++ {
 		m[k.String()] = k
 	}
 	return m
@@ -129,6 +132,8 @@ func parseOp(text string) (Op, error) {
 			op.Size = v
 		case strings.HasPrefix(f, "attr="):
 			op.Path2 = f[5:]
+		case strings.HasPrefix(f, "key="):
+			op.Path = f[4:]
 		case strings.HasPrefix(f, "seed="):
 			v, err := strconv.ParseUint(f[5:], 10, 32)
 			if err != nil {

@@ -50,6 +50,21 @@ const (
 	OpSetxattr
 	// OpRemovexattr removes extended attribute Path2 from Path.
 	OpRemovexattr
+
+	// App-level operations: executed by the run's AppInstance (an
+	// application living on top of the file system, e.g. the WAL KV store)
+	// rather than translated to a single system call. Path carries the key.
+
+	// OpKVPut stores a Size-byte Pattern(Seed) value under key Path.
+	OpKVPut
+	// OpKVDel deletes key Path from the store.
+	OpKVDel
+	// OpKVSync commits the store's buffered mutations (WAL append + fsync);
+	// everything issued before it counts as acknowledged.
+	OpKVSync
+	// OpKVGet reads key Path back; with a non-zero Seed the executor
+	// verifies the value matches Pattern(Seed, Size).
+	OpKVGet
 )
 
 var opNames = [...]string{
@@ -59,7 +74,12 @@ var opNames = [...]string{
 	OpTruncate: "truncate", OpRmdir: "rmdir", OpOpen: "open",
 	OpClose: "close", OpFsync: "fsync", OpFdatasync: "fdatasync",
 	OpSync: "sync", OpSetxattr: "setxattr", OpRemovexattr: "removexattr",
+	OpKVPut: "kvput", OpKVDel: "kvdel", OpKVSync: "kvsync", OpKVGet: "kvget",
 }
+
+// AppLevel reports whether the op kind is executed by the run's application
+// instance instead of a direct system call.
+func (k OpKind) AppLevel() bool { return k >= OpKVPut && k <= OpKVGet }
 
 func (k OpKind) String() string {
 	if int(k) < len(opNames) {
@@ -105,6 +125,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s(%s)", o.Kind, o.Path)
 	case OpSync:
 		return "sync()"
+	case OpKVPut:
+		return fmt.Sprintf("kvput(%s, size=%d)", o.Path, o.Size)
+	case OpKVSync:
+		return "kvsync()"
 	default:
 		return fmt.Sprintf("%s(%s)", o.Kind, o.Path)
 	}
@@ -121,6 +145,17 @@ func (o Op) slotSuffix() string {
 type Workload struct {
 	Name string
 	Ops  []Op
+}
+
+// HasAppOps reports whether the workload contains app-level operations
+// (which need an AppFactory to execute).
+func (w Workload) HasAppOps() bool {
+	for _, op := range w.Ops {
+		if op.Kind.AppLevel() {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the whole workload on one line.
