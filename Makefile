@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet
+.PHONY: build test race bench bench-smoke bench-check vet
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,17 @@ vet:
 
 # bench regenerates BENCH_core.json: the materialization cost matrix
 # ({delta, full-copy} x {workers 1,4} x {device 1x,2x}) the perf acceptance
-# gates read. Best-of-3 per cell; see cmd/benchcore.
+# gates read. Best-of-10 per cell so the committed minima are stable; see
+# cmd/benchcore.
 bench:
-	$(GO) run ./cmd/benchcore -o BENCH_core.json
+	$(GO) run ./cmd/benchcore -rounds 10 -o BENCH_core.json
 
 # bench-smoke is the CI variant: one round, printed to stdout.
 bench-smoke:
 	$(GO) run ./cmd/benchcore -rounds 1
+
+# bench-check is the perf regression gate: re-measure and fail if the
+# delta-path ns/state geomean regresses >15% against the committed
+# baseline, after calibrating out machine speed via the full-copy rows.
+bench-check:
+	$(GO) run ./cmd/benchcore -check BENCH_core.json -rounds 10

@@ -3,6 +3,18 @@
 //
 //	benchcore -o BENCH_core.json            # full matrix, best-of-3
 //	benchcore -rounds 1                     # CI smoke, print to stdout
+//	benchcore -check BENCH_core.json        # perf gate against a baseline
+//
+// The -check mode re-runs the matrix and compares the delta-path rows
+// against the committed baseline. Raw ns/state is machine-dependent, so the
+// gate first computes a calibration factor — the median ratio of current to
+// baseline ns/state over the full-copy rows, whose cost is dominated by
+// memcpy and tracks machine speed — and fails if the geometric mean of the
+// delta rows' ns/state exceeds the calibrated baseline geomean by more than
+// -tolerance. Individual cells run for only a few milliseconds and jitter
+// past any sane tolerance, so the gate judges the aggregate; per-cell
+// ratios are printed for diagnosis. The per-state byte counters are
+// deterministic, so those ARE compared per cell, without calibration.
 //
 // The matrix crosses {delta, full-copy} x {workers 1, 4} x {device 1x, 2x}
 // on the exhaustive data-heavy workload BenchmarkEngineParallel uses. Each
@@ -16,8 +28,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"chipmunk/internal/bugs"
@@ -52,9 +67,11 @@ type Report struct {
 
 func main() {
 	var (
-		out    = flag.String("o", "", "write the JSON report here (default stdout)")
-		rounds = flag.Int("rounds", 3, "runs per cell; the fastest is reported")
-		fsName = flag.String("fs", "nova", "target file system")
+		out       = flag.String("o", "", "write the JSON report here (default stdout)")
+		rounds    = flag.Int("rounds", 3, "runs per cell; the fastest is reported")
+		fsName    = flag.String("fs", "nova", "target file system")
+		check     = flag.String("check", "", "baseline BENCH_core.json to gate against; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression in -check mode")
 	)
 	flag.Parse()
 
@@ -75,6 +92,12 @@ func main() {
 		}
 	}
 
+	if *check != "" {
+		fatalIf(gate(*check, rep, *tolerance))
+		fmt.Printf("perf gate passed against %s (tolerance %.0f%%)\n", *check, *tolerance*100)
+		return
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	fatalIf(err)
 	enc = append(enc, '\n')
@@ -84,6 +107,87 @@ func main() {
 	}
 	fatalIf(os.WriteFile(*out, enc, 0o644))
 	fmt.Printf("wrote %s (%d rows)\n", *out, len(rep.Rows))
+}
+
+// rowKey identifies a matrix cell across reports.
+func rowKey(r Row) string { return fmt.Sprintf("%s/w%d/dev%d", r.Mode, r.Workers, r.DevSize) }
+
+// gate compares the freshly measured report against a committed baseline
+// and returns an error naming every regressed cell. Machine-speed skew is
+// absorbed by calibrating with the median current/baseline ns ratio over
+// the full-copy rows before judging the delta rows.
+func gate(path string, cur Report, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("baseline schema %q, want %q", base.Schema, cur.Schema)
+	}
+	byKey := make(map[string]Row, len(base.Rows))
+	for _, r := range base.Rows {
+		byKey[rowKey(r)] = r
+	}
+
+	var ratios []float64
+	for _, r := range cur.Rows {
+		b, ok := byKey[rowKey(r)]
+		if r.Mode != "full-copy" || !ok || b.NsPerState <= 0 {
+			continue
+		}
+		ratios = append(ratios, r.NsPerState/b.NsPerState)
+	}
+	if len(ratios) == 0 {
+		return fmt.Errorf("baseline %s has no full-copy rows to calibrate against", path)
+	}
+	sort.Float64s(ratios)
+	factor := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		factor = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	fmt.Printf("machine calibration factor %.3f (median of %d full-copy ratios)\n", factor, len(ratios))
+
+	var failures []string
+	var logSum float64
+	var deltaRows int
+	for _, r := range cur.Rows {
+		b, ok := byKey[rowKey(r)]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", rowKey(r)))
+			continue
+		}
+		if r.Mode == "delta" && b.NsPerState > 0 {
+			ratio := r.NsPerState / (b.NsPerState * factor)
+			logSum += math.Log(ratio)
+			deltaRows++
+			fmt.Printf("  %-24s %8.0f ns/state, calibrated baseline %8.0f (x%.2f)\n",
+				rowKey(r), r.NsPerState, b.NsPerState*factor, ratio)
+		}
+		// The materialization byte counters are deterministic functions of
+		// the workload, so compare them raw: growth here means the delta
+		// path started copying more than the diff.
+		if b.MatBytesPerState > 0 && r.MatBytesPerState > b.MatBytesPerState*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f materialized bytes/state > baseline %.0f (deterministic counter)",
+				rowKey(r), r.MatBytesPerState, b.MatBytesPerState))
+		}
+	}
+	if deltaRows == 0 {
+		return fmt.Errorf("baseline %s has no delta rows to gate on", path)
+	}
+	geomean := math.Exp(logSum / float64(deltaRows))
+	fmt.Printf("delta-path geomean x%.3f of calibrated baseline (tolerance x%.2f)\n", geomean, 1+tol)
+	if geomean > 1+tol {
+		failures = append(failures, fmt.Sprintf(
+			"delta-path ns/state geomean is x%.3f of the calibrated baseline, over the x%.2f tolerance", geomean, 1+tol))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func measure(sys harness.System, w workload.Workload, fullCopy bool, workers int, devSize int64, rounds int) Row {

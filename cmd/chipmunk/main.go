@@ -33,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -56,6 +57,17 @@ func main() {
 		resume    = flag.String("resume", "", "(with -serve) append completed shards to this checkpoint file and skip the shards it already records")
 		shardSize = flag.Int("shard-size", campaign.DefaultShardSize, "(with -serve) workloads per lease")
 		leaseTTL  = flag.Duration("lease", campaign.DefaultLeaseTTL, "(with -serve) lease deadline before a shard is re-dispatched")
+
+		shardRetries = flag.Int("shard-retries", campaign.DefaultShardRetries,
+			"(with -serve) failed dispatch attempts before a shard is quarantined instead of re-dispatched")
+		retryQuar = flag.Bool("retry-quarantined", false,
+			"(with -serve -resume) re-run the shards the checkpoint records as quarantined")
+		wireFaults = flag.Uint64("wire-faults", 0,
+			"(with -serve) seed the deterministic wire-fault injector — chaos testing only (0 = off)")
+		shardTimeout = flag.Duration("shard-timeout", campaign.DefaultShardTimeout,
+			"(with -worker) watchdog deadline per shard engine call (negative = no watchdog)")
+		poisonShard = flag.Int("poison-shard", -1,
+			"(with -worker) chaos hook: panic on this shard id to model a crash-looping workload (-1 = off)")
 	)
 	flag.Parse()
 
@@ -75,7 +87,7 @@ func main() {
 	}
 
 	if *workerFor != "" {
-		runWorker(*workerFor, cli, cli.Jobs)
+		runWorker(*workerFor, cli, cli.Jobs, *shardTimeout, *poisonShard)
 		return
 	}
 
@@ -102,7 +114,10 @@ func main() {
 			Stats: cli.Stats,
 			App:   cli.App, AppBugs: cli.AppBugs,
 		}
-		runCoordinator(*serve, cspec, *shardSize, *leaseTTL, *resume, sys, inst, cli, cli.Verbose, cli.OutDir)
+		runCoordinator(*serve, cspec, coordinatorKnobs{
+			shardSize: *shardSize, leaseTTL: *leaseTTL, checkpoint: *resume,
+			shardRetries: *shardRetries, retryQuarantined: *retryQuar, wireFaultSeed: *wireFaults,
+		}, sys, inst, cli, cli.Verbose, cli.OutDir)
 		return
 	}
 
@@ -172,7 +187,7 @@ func main() {
 	}
 	interrupted := errors.Is(err, context.Canceled)
 	modeNote := fmt.Sprintf("j=%d, workers=%d", cli.Jobs, opts.Workers)
-	finish(sys, census, viol, interrupted, modeNote, cli.Verbose, cli.OutDir, inst, cli.Journal, nil)
+	finish(sys, census, viol, interrupted, false, modeNote, cli.Verbose, cli.OutDir, inst, cli.Journal, nil)
 }
 
 // runApp is the -app mode: check the application's crash contract on one
@@ -253,53 +268,79 @@ func runApp(cli *harness.CLIOptions, opts harness.Options, suiteName string,
 		status, len(runs), len(all), len(clusters))
 	fatalIf(inst.Close())
 	if len(all) > 0 {
-		os.Exit(1)
+		os.Exit(harness.ExitViolations)
 	}
 	if interrupted {
-		os.Exit(130)
+		os.Exit(harness.ExitInterrupted)
 	}
 }
 
 // runWorker is the -worker mode: the engine spec comes from the
-// coordinator, so only the local knobs (-j, observability flags) apply.
-func runWorker(addr string, cli *harness.CLIOptions, jobs int) {
+// coordinator, so only the local knobs (-j, watchdog, observability flags)
+// apply. A coordinator that was never reachable exits with the distinct
+// ExitCoordinatorUnreachable code so fleet tooling can retry joining.
+func runWorker(addr string, cli *harness.CLIOptions, jobs int, shardTimeout time.Duration, poisonShard int) {
 	inst, err := cli.Instrument()
 	fatalIf(err)
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
-	err = campaign.RunWorker(ctx, campaign.WorkerConfig{
-		Addr:    addr,
-		Jobs:    jobs,
-		Journal: inst.Journal,
+	wc := campaign.WorkerConfig{
+		Addr:         addr,
+		Jobs:         jobs,
+		ShardTimeout: shardTimeout,
+		Journal:      inst.Journal,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	if poisonShard >= 0 {
+		wc.PoisonShards = []int{poisonShard}
+		fmt.Printf("CHAOS: this worker panics on shard %d (-poison-shard)\n", poisonShard)
+	}
+	err = campaign.RunWorker(ctx, wc)
 	stop()
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "chipmunk:", err)
 		inst.Close() //nolint:errcheck // already failing
-		fatalIf(err)
+		if errors.Is(err, campaign.ErrCoordinatorGone) {
+			os.Exit(harness.ExitCoordinatorUnreachable)
+		}
+		os.Exit(harness.ExitFatal)
 	}
 	if inst.Journal != nil {
 		fmt.Printf("journal: %d events written\n", inst.Journal.Events())
 	}
 	fatalIf(inst.Close())
 	if interrupted {
-		os.Exit(130)
+		os.Exit(harness.ExitInterrupted)
 	}
+}
+
+// coordinatorKnobs bundles the -serve flag surface.
+type coordinatorKnobs struct {
+	shardSize        int
+	leaseTTL         time.Duration
+	checkpoint       string
+	shardRetries     int
+	retryQuarantined bool
+	wireFaultSeed    uint64
 }
 
 // runCoordinator is the -serve mode: shard the suite, lease shards to
 // workers, fold the credited results, and report exactly like a local run.
-func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL time.Duration,
-	checkpoint string, sys harness.System, inst *harness.Instrumentation,
+// A campaign that completes with quarantined shards exits ExitDegraded.
+func runCoordinator(addr string, cspec campaign.Spec, knobs coordinatorKnobs,
+	sys harness.System, inst *harness.Instrumentation,
 	cli *harness.CLIOptions, verbose bool, outDir string) {
 	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{
-		Spec:           cspec,
-		ShardSize:      shardSize,
-		LeaseTTL:       leaseTTL,
-		CheckpointPath: checkpoint,
+		Spec:             cspec,
+		ShardSize:        knobs.shardSize,
+		LeaseTTL:         knobs.leaseTTL,
+		ShardRetries:     knobs.shardRetries,
+		CheckpointPath:   knobs.checkpoint,
+		RetryQuarantined: knobs.retryQuarantined,
+		Journal:          inst.Journal,
 		Progress: func(done, total int, c harness.Census) {
 			inst.Progress(done, total, c)
 			fmt.Printf("  ... %d/%d workloads (%d crash states, %d violations)\n",
@@ -312,12 +353,18 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 		},
 	})
 	fatalIf(err)
-	srv, err := campaign.ListenAndServe(addr, coord)
+	var handler http.Handler = coord
+	var faultStats func() campaign.WireFaultStats
+	if knobs.wireFaultSeed != 0 {
+		handler, faultStats = campaign.WrapWireFaults(coord, campaign.DefaultWireFaults(knobs.wireFaultSeed))
+		fmt.Printf("CHAOS: wire-fault injector armed (seed %d)\n", knobs.wireFaultSeed)
+	}
+	srv, err := campaign.ListenAndServe(addr, handler)
 	fatalIf(err)
 	info := coord.Info()
 	fmt.Printf("chipmunk coordinator on %s: campaign %s, %s (bugs %s), suite %s: %d workloads in %d shards of %d, fingerprint %s, lease %v\n",
 		srv.Addr(), info.CampaignID, sys.Name, cspec.Bugs, cspec.Suite,
-		info.Workloads, info.Shards, info.ShardSize, info.SuiteHash, leaseTTL)
+		info.Workloads, info.Shards, info.ShardSize, info.SuiteHash, knobs.leaseTTL)
 	inst.EmitRun(sys.Name, info.Workloads)
 	if daddr := inst.Debug.Addr(); daddr != "" {
 		fmt.Printf("debug listener on http://%s (/progress aggregates across workers)\n", daddr)
@@ -337,11 +384,21 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 		fatalIf(err)
 	}
 	fatalIf(coord.Close())
-	finish(sys, census, viol, interrupted, "distributed", verbose, outDir, inst, cli.Journal, func() {
+	finish(sys, census, viol, interrupted, coord.Degraded(), "distributed", verbose, outDir, inst, cli.Journal, func() {
 		st := coord.Stats()
 		fmt.Printf("%s\n", st)
+		if faultStats != nil {
+			fmt.Printf("%s\n", faultStats())
+		}
 		if outDir == "" {
 			return
+		}
+		quarantined := make([]report.QuarantinedShard, 0)
+		for _, q := range coord.Quarantined() {
+			quarantined = append(quarantined, report.QuarantinedShard{
+				Shard: q.Shard, Start: q.Start, End: q.End,
+				Worker: q.Worker, Err: q.Err, Attempts: q.Attempts,
+			})
 		}
 		wr, err := report.NewWriter(outDir)
 		fatalIf(err)
@@ -351,7 +408,9 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 			Shards: info.Shards, ShardSize: info.ShardSize,
 			Resumed: st.Resumed, Redispatched: st.Redispatched,
 			Duplicates: st.Duplicates, Rejected: st.Rejected,
+			BadPayloads: st.BadPayloads, Heartbeats: st.Heartbeats,
 			PerWorker:   st.PerWorker,
+			Quarantined: quarantined,
 			Fingerprint: campaign.Fingerprint(census, viol),
 		})
 		fatalIf(err)
@@ -361,10 +420,12 @@ func runCoordinator(addr string, cspec campaign.Spec, shardSize int, leaseTTL ti
 
 // finish prints the census summary, triaged clusters, and optional
 // reports, closes the instrumentation, and exits with the shared status
-// convention (1 = violations found, 130 = interrupted). extra, when
-// non-nil, runs after the census block (campaign stats).
+// convention (harness.Exit*): degraded campaigns exit 3 — ahead of
+// violations, because an incomplete census is the more urgent fact — then
+// violations 1, interrupted 130. extra, when non-nil, runs after the census
+// block (campaign stats).
 func finish(sys harness.System, census *harness.Census, viol []core.Violation,
-	interrupted bool, modeNote string, verbose bool, outDir string,
+	interrupted, degraded bool, modeNote string, verbose bool, outDir string,
 	inst *harness.Instrumentation, journalPath string, extra func()) {
 	clusters := core.Triage(viol)
 	status := "done"
@@ -408,11 +469,14 @@ func finish(sys harness.System, census *harness.Census, viol []core.Violation,
 	writeReports(outDir, sys.Name, clusters, census)
 	// os.Exit skips defers: flush the journal and stop the listener first.
 	fatalIf(inst.Close())
+	if degraded {
+		os.Exit(harness.ExitDegraded)
+	}
 	if len(viol) > 0 {
-		os.Exit(1)
+		os.Exit(harness.ExitViolations)
 	}
 	if interrupted {
-		os.Exit(130)
+		os.Exit(harness.ExitInterrupted)
 	}
 }
 
@@ -439,6 +503,6 @@ func writeReports(dir, fsName string, clusters []*core.Cluster, census *harness.
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chipmunk:", err)
-		os.Exit(2)
+		os.Exit(harness.ExitFatal)
 	}
 }

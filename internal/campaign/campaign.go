@@ -16,14 +16,24 @@
 // finished work.
 //
 // Fault tolerance falls out of the lease state machine (see coordinator.go):
-// pending -> leased(worker, deadline) -> done. A worker that dies mid-shard
-// simply lets its lease expire; the shard reverts to pending and is
-// re-dispatched. Nothing a worker does before its result is credited has
-// any effect on the campaign state.
+// pending -> leased(worker, deadline) -> done | quarantined. A worker that
+// dies mid-shard simply lets its lease expire; the shard reverts to pending
+// and is re-dispatched. A shard that keeps failing — lease expiries,
+// structured error payloads from a worker's watchdog, results rejected at
+// the wire — spends a bounded number of dispatch attempts and then moves to
+// the shard-quarantine ledger instead of failing the campaign or looping:
+// the campaign completes degraded with a partial census over the healthy
+// shards. Workers heartbeat live leases so a conservative TTL never loses a
+// legitimately long shard, and result payloads carry an FNV-64a
+// self-checksum so wire corruption is rejected, never mis-credited. Nothing
+// a worker does before its result is credited has any effect on the
+// campaign state.
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"time"
@@ -184,9 +194,81 @@ type ShardPayload struct {
 	Quarantined          []core.Quarantine `json:"quarantined,omitempty"`
 	Obs                  *obs.Snapshot     `json:"obs,omitempty"`
 
-	// Err reports a shard that failed with an engine error (deterministic
-	// — the coordinator fails the campaign rather than retrying forever).
+	// Err reports a shard whose engine call failed — an engine error, a
+	// contained worker panic, or a tripped shard watchdog. The coordinator
+	// counts it as a failed dispatch attempt: the shard is re-dispatched
+	// until -shard-retries attempts are spent, then quarantined.
 	Err string `json:"err,omitempty"`
+
+	// Sum is the payload's FNV-64a self-checksum (PayloadSum over the JSON
+	// encoding with Sum cleared). The coordinator recomputes it at the wire
+	// boundary and rejects mismatches with HTTP 400, so a truncated or
+	// corrupted body is re-dispatched instead of mis-credited.
+	Sum string `json:"sum,omitempty"`
+}
+
+// PayloadSum computes the payload's wire self-checksum: FNV-64a over the
+// canonical JSON encoding with the Sum field cleared. Pure function of the
+// payload's content, so worker and coordinator agree independently.
+func PayloadSum(p *ShardPayload) string {
+	cp := *p
+	cp.Sum = ""
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		// ShardPayload is a plain struct of marshalable fields; unreachable,
+		// but never let checksumming panic the wire path.
+		return fmt.Sprintf("unmarshalable: %v", err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ShardQuarantine is one entry of the shard-quarantine ledger: a shard that
+// failed -shard-retries dispatch attempts (lease expiries, structured error
+// payloads, rejected results) and was removed from the campaign instead of
+// failing it or looping forever. Mirrors PR 2's per-check quarantine one
+// level up: the campaign completes with a partial census, and the ledger is
+// never silent — persisted in the checkpoint, rendered in CAMPAIGN.txt,
+// counted in obs, and reflected in the degraded exit code.
+type ShardQuarantine struct {
+	// Shard and Start/End identify the suite slice that went unchecked.
+	Shard int `json:"shard"`
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// SuiteHash pins the ledger entry to its campaign, like shard credits.
+	SuiteHash string `json:"suite_hash,omitempty"`
+	// Worker is the last worker that held the shard; Err the last failure
+	// (lease expiry, engine error payload, rejected result); Attempts the
+	// total failed dispatch attempts.
+	Worker   string `json:"worker,omitempty"`
+	Err      string `json:"err,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// String renders the ledger entry deterministically (reports, tests).
+func (q ShardQuarantine) String() string {
+	return fmt.Sprintf("shard %d [%d,%d): %d failed attempts, last worker %q: %s",
+		q.Shard, q.Start, q.End, q.Attempts, q.Worker, q.Err)
+}
+
+// HeartbeatRequest extends a live lease (POST /campaign/heartbeat): a
+// worker legitimately still running its shard posts one every TTL/3, so
+// lease durations can stay conservative without losing long shards — an
+// expiry then means the worker is actually gone.
+type HeartbeatRequest struct {
+	Worker    string `json:"worker"`
+	Shard     int    `json:"shard"`
+	SuiteHash string `json:"suite_hash"`
+}
+
+// HeartbeatResponse answers a heartbeat. Extended is false when the shard
+// is no longer leased to this worker (expired and re-dispatched, done, or
+// quarantined): the worker should abandon the shard rather than burn
+// compute on a result that would be discarded.
+type HeartbeatResponse struct {
+	Extended bool  `json:"extended"`
+	TTLNanos int64 `json:"ttl_ns,omitempty"`
 }
 
 // CreditResponse answers a result post.
@@ -195,6 +277,11 @@ type CreditResponse struct {
 	// Duplicate means the shard was already credited (at-most-once): the
 	// payload was discarded.
 	Duplicate bool `json:"duplicate"`
+	// Quarantined means the shard is in the shard-quarantine ledger — either
+	// this error payload spent its last dispatch attempt, or a late result
+	// arrived for an already-quarantined shard (discarded: a shard is never
+	// both credited and quarantined).
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Done means the campaign completed with this credit.
 	Done bool `json:"done"`
 }

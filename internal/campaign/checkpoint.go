@@ -19,9 +19,10 @@ import (
 // had just reported, and only the missing shards are leased out again.
 
 // ckptLine is the on-disk record: Type discriminates the header from shard
-// credits so the file stays self-describing and future-extensible.
+// credits and shard quarantines so the file stays self-describing and
+// future-extensible.
 type ckptLine struct {
-	Type string `json:"type"` // "campaign" (header) or "shard"
+	Type string `json:"type"` // "campaign" (header), "shard", or "quarantine"
 	// Header fields.
 	CampaignID string `json:"campaign_id,omitempty"`
 	SuiteHash  string `json:"suite_hash,omitempty"`
@@ -32,6 +33,10 @@ type ckptLine struct {
 	ShardSize  int    `json:"shard_size,omitempty"`
 	// Shard credit.
 	Payload *ShardPayload `json:"payload,omitempty"`
+	// Shard quarantine (type "quarantine"): the ledger entry, persisted so
+	// a resumed campaign carries quarantined shards forward instead of
+	// silently re-running or re-crediting them.
+	Quarantine *ShardQuarantine `json:"quarantine,omitempty"`
 }
 
 // Checkpoint appends credited shards to the campaign's checkpoint file.
@@ -46,6 +51,10 @@ type CheckpointState struct {
 	// impossible: the coordinator credits each shard at most once before
 	// appending).
 	Payloads []*ShardPayload
+	// Quarantined holds the recorded shard-quarantine entries in file
+	// order. A shard may appear here AND in Payloads when a later
+	// -retry-quarantined run credited it: the credit wins.
+	Quarantined []*ShardQuarantine
 	// Skipped counts corrupt or torn lines the tolerant loader dropped —
 	// reported, never silent.
 	Skipped int
@@ -94,6 +103,12 @@ func readCheckpoint(r io.Reader) (*CheckpointState, error) {
 		case "shard":
 			if rec.Payload != nil {
 				st.Payloads = append(st.Payloads, rec.Payload)
+			} else {
+				st.Skipped++
+			}
+		case "quarantine":
+			if rec.Quarantine != nil {
+				st.Quarantined = append(st.Quarantined, rec.Quarantine)
 			} else {
 				st.Skipped++
 			}
@@ -160,6 +175,16 @@ func (ck *Checkpoint) AppendShard(p *ShardPayload) error {
 		return nil
 	}
 	return ck.append(ckptLine{Type: "shard", Payload: p})
+}
+
+// AppendQuarantine records one quarantined shard durably, with the same
+// fsync contract as credits: a resumed coordinator must never silently
+// re-run (or worse, re-credit) a shard the ledger already condemned.
+func (ck *Checkpoint) AppendQuarantine(q ShardQuarantine) error {
+	if ck == nil {
+		return nil
+	}
+	return ck.append(ckptLine{Type: "quarantine", Quarantine: &q})
 }
 
 func (ck *Checkpoint) append(rec ckptLine) error {

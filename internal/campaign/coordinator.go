@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"chipmunk/internal/core"
 	"chipmunk/internal/harness"
+	"chipmunk/internal/obs"
 	"chipmunk/internal/workload"
 )
 
@@ -23,21 +25,41 @@ import (
 const DefaultShardSize = 32
 
 // DefaultLeaseTTL is how long a worker holds a shard before the
-// coordinator assumes it died and re-dispatches.
+// coordinator assumes it died and re-dispatches. With heartbeats extending
+// live leases, an expiry means the worker is actually gone, so the TTL can
+// stay conservative without losing long shards.
 const DefaultLeaseTTL = 2 * time.Minute
+
+// DefaultShardRetries is how many failed dispatch attempts (lease expiry,
+// structured error payload, rejected result) a shard gets before it is
+// quarantined instead of re-dispatched (-shard-retries).
+const DefaultShardRetries = 3
 
 // CoordinatorConfig configures NewCoordinator.
 type CoordinatorConfig struct {
 	Spec      Spec
 	ShardSize int           // 0 = DefaultShardSize
 	LeaseTTL  time.Duration // 0 = DefaultLeaseTTL
+	// ShardRetries bounds failed dispatch attempts per shard before it is
+	// quarantined (0 = DefaultShardRetries). A shard that crash-loops its
+	// worker — OOM, SIGKILL, an engine panic that escapes the check sandbox
+	// — degrades the campaign instead of stalling or failing it.
+	ShardRetries int
 	// CheckpointPath, when set, appends credited shards to this file and
 	// — when the file already records shards of this same campaign —
 	// resumes by skipping them ("-resume").
 	CheckpointPath string
+	// RetryQuarantined re-runs the shards the checkpoint records as
+	// quarantined instead of carrying them forward ("-retry-quarantined"):
+	// their attempt budgets reset and they are leased out again.
+	RetryQuarantined bool
 	// Progress, when set, is called after every credited shard with the
 	// folded census so far (drives the -debug-addr /progress view).
 	Progress func(doneWorkloads, totalWorkloads int, c harness.Census)
+	// Journal, when non-nil, receives one "shard-quarantine" event per
+	// quarantined shard — the campaign-layer mirror of the per-check
+	// quarantine events the engine emits.
+	Journal *obs.Journal
 	// Logf, when set, receives one line per lease/credit/expiry event.
 	Logf func(format string, args ...any)
 }
@@ -48,6 +70,7 @@ const (
 	shardPending shardState = iota
 	shardLeased
 	shardDone
+	shardQuarantined
 )
 
 type shardSlot struct {
@@ -56,6 +79,10 @@ type shardSlot struct {
 	worker     string
 	deadline   time.Time
 	payload    *ShardPayload
+	// attempts counts failed dispatch attempts; lastErr describes the most
+	// recent one (expiry, error payload, rejected result).
+	attempts int
+	lastErr  string
 }
 
 // Stats summarizes the campaign's control-plane history.
@@ -69,6 +96,14 @@ type Stats struct {
 	Redispatched int
 	Duplicates   int
 	Rejected     int
+	// ShardsQuarantined counts shards in the shard-quarantine ledger
+	// (including ones carried forward from the checkpoint); a nonzero value
+	// means the campaign completed degraded. BadPayloads counts result
+	// bodies rejected at the wire (truncated, corrupt, checksum mismatch);
+	// Heartbeats counts granted lease extensions.
+	ShardsQuarantined int
+	BadPayloads       int
+	Heartbeats        int
 	// PerWorker counts shards credited per worker ID (checkpoint resumes
 	// appear under "checkpoint").
 	PerWorker map[string]int
@@ -78,11 +113,13 @@ type Stats struct {
 // the at-most-once credit ledger, and the checkpoint. It is an
 // http.Handler serving the campaign wire protocol.
 type Coordinator struct {
-	info     SpecInfo
-	leaseTTL time.Duration
-	progress func(done, total int, c harness.Census)
-	logf     func(format string, args ...any)
-	mux      *http.ServeMux
+	info         SpecInfo
+	leaseTTL     time.Duration
+	shardRetries int
+	progress     func(done, total int, c harness.Census)
+	journal      *obs.Journal
+	logf         func(format string, args ...any)
+	mux          *http.ServeMux
 
 	mu           sync.Mutex
 	shards       []shardSlot
@@ -94,6 +131,8 @@ type Coordinator struct {
 	redispatched int
 	duplicates   int
 	rejected     int
+	badPayloads  int
+	heartbeats   int
 	perWorker    map[string]int
 
 	doneOnce sync.Once
@@ -120,6 +159,10 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
+	retries := cfg.ShardRetries
+	if retries <= 0 {
+		retries = DefaultShardRetries
+	}
 	hash := workload.FormatSuiteHash(workload.SuiteHash(suite))
 	n := numShards(len(suite), shardSize)
 	info := SpecInfo{
@@ -131,14 +174,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		Workloads:  len(suite),
 	}
 	c := &Coordinator{
-		info:      info,
-		leaseTTL:  ttl,
-		progress:  cfg.Progress,
-		logf:      cfg.Logf,
-		shards:    make([]shardSlot, n),
-		remaining: n,
-		perWorker: map[string]int{},
-		doneCh:    make(chan struct{}),
+		info:         info,
+		leaseTTL:     ttl,
+		shardRetries: retries,
+		progress:     cfg.Progress,
+		journal:      cfg.Journal,
+		logf:         cfg.Logf,
+		shards:       make([]shardSlot, n),
+		remaining:    n,
+		perWorker:    map[string]int{},
+		doneCh:       make(chan struct{}),
 	}
 	for i := range c.shards {
 		c.shards[i].start, c.shards[i].end = shardRange(i, shardSize, len(suite))
@@ -147,10 +192,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	mux.HandleFunc(PathSpec, c.handleSpec)
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathResult, c.handleResult)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
 	c.mux = mux
 
 	if cfg.CheckpointPath != "" {
-		if err := c.attachCheckpoint(cfg.CheckpointPath); err != nil {
+		if err := c.attachCheckpoint(cfg.CheckpointPath, cfg.RetryQuarantined); err != nil {
 			return nil, err
 		}
 	}
@@ -165,7 +211,7 @@ func campaignID(spec Spec, suiteHash string) string {
 	return fmt.Sprintf("c%016x", h.Sum64())
 }
 
-func (c *Coordinator) attachCheckpoint(path string) error {
+func (c *Coordinator) attachCheckpoint(path string, retryQuarantined bool) error {
 	st, err := LoadCheckpoint(path)
 	if err != nil {
 		return err
@@ -191,6 +237,41 @@ func (c *Coordinator) attachCheckpoint(path string) error {
 		c.resumed++
 		c.perWorker["checkpoint"]++
 	}
+	// Quarantine records: a credit anywhere in the file wins (the shard was
+	// eventually checked, e.g. by a prior -retry-quarantined run); otherwise
+	// the shard carries its quarantine forward — never re-credited, never
+	// silently re-run — unless this run asks to retry it.
+	requeued := 0
+	for _, q := range st.Quarantined {
+		if q.SuiteHash != "" && q.SuiteHash != c.info.SuiteHash {
+			c.log("checkpoint: ignoring foreign quarantine record (shard %d, hash %s)", q.Shard, q.SuiteHash)
+			continue
+		}
+		if q.Shard < 0 || q.Shard >= len(c.shards) {
+			c.log("checkpoint: ignoring out-of-range quarantine record (shard %d)", q.Shard)
+			continue
+		}
+		slot := &c.shards[q.Shard]
+		if slot.state == shardDone {
+			continue // later credited: done wins
+		}
+		if retryQuarantined {
+			if slot.state == shardQuarantined {
+				slot.state = shardPending
+				c.remaining++
+			}
+			slot.attempts, slot.lastErr, slot.worker = 0, "", ""
+			requeued++
+			continue
+		}
+		if slot.state != shardQuarantined {
+			c.remaining--
+		}
+		slot.state = shardQuarantined
+		slot.worker = q.Worker
+		slot.attempts = q.Attempts
+		slot.lastErr = q.Err
+	}
 	fresh := st.Header == nil
 	ck, err := OpenCheckpoint(path, c.info, fresh)
 	if err != nil {
@@ -200,10 +281,28 @@ func (c *Coordinator) attachCheckpoint(path string) error {
 	if c.resumed > 0 {
 		c.log("checkpoint: resumed %d/%d shards from %s", c.resumed, len(c.shards), path)
 	}
+	if n := c.quarantinedLocked(); n > 0 {
+		c.log("checkpoint: carrying %d quarantined shards forward (re-run them with -retry-quarantined)", n)
+	}
+	if requeued > 0 {
+		c.log("checkpoint: re-queued %d quarantined shards for retry", requeued)
+	}
 	if c.remaining == 0 {
 		c.complete()
 	}
 	return nil
+}
+
+// quarantinedLocked counts quarantined shards. Caller holds c.mu (or owns
+// the coordinator exclusively, as during construction).
+func (c *Coordinator) quarantinedLocked() int {
+	n := 0
+	for i := range c.shards {
+		if c.shards[i].state == shardQuarantined {
+			n++
+		}
+	}
+	return n
 }
 
 // Info returns the campaign identity served on handshake.
@@ -220,17 +319,94 @@ func (c *Coordinator) complete() {
 }
 
 // reclaimLocked reverts expired leases to pending so the next lease
-// request re-dispatches them. Caller holds c.mu.
+// request re-dispatches them. Each expiry is a failed dispatch attempt:
+// with heartbeats extending live leases, expiry means the worker is gone,
+// and a shard whose attempts are spent is quarantined. Caller holds c.mu.
 func (c *Coordinator) reclaimLocked(now time.Time) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		if s.state == shardLeased && now.After(s.deadline) {
-			c.log("lease expired: shard %d (worker %s) re-dispatching", i, s.worker)
-			s.state = shardPending
-			s.worker = ""
-			c.redispatched++
+			c.failAttemptLocked(i, s.worker, "lease expired (worker gone or stalled)")
 		}
 	}
+}
+
+// failAttemptLocked records one failed dispatch attempt for a leased shard
+// — lease expiry, structured error payload, or rejected result — and either
+// reverts it to pending for re-dispatch or, once the attempt budget is
+// spent, quarantines it. Caller holds c.mu.
+func (c *Coordinator) failAttemptLocked(i int, worker, cause string) {
+	s := &c.shards[i]
+	s.attempts++
+	s.lastErr = cause
+	s.worker = worker
+	if s.attempts >= c.shardRetries {
+		c.quarantineLocked(i)
+		return
+	}
+	c.log("shard %d attempt %d/%d failed (worker %s): %s — re-dispatching",
+		i, s.attempts, c.shardRetries, worker, cause)
+	s.state = shardPending
+	c.redispatched++
+}
+
+// quarantineLocked moves a shard to the quarantine ledger: removed from the
+// campaign (never re-credited), persisted in the checkpoint, journaled, and
+// reported — never silent, never fatal. Caller holds c.mu.
+func (c *Coordinator) quarantineLocked(i int) {
+	s := &c.shards[i]
+	s.state = shardQuarantined
+	c.remaining--
+	q := c.quarantineEntryLocked(i)
+	c.log("shard QUARANTINED: %s", q)
+	c.journal.Emit(obs.Event{
+		Type: "shard-quarantine", FS: c.info.Spec.FS, Workload: c.info.Spec.Suite,
+		Sys: -1, Rank: i, States: s.end - s.start, Detail: q.String(),
+	})
+	if err := c.ckpt.AppendQuarantine(q); err != nil {
+		// Same contract as shard credits: a checkpoint that silently stops
+		// recording is worse than a failed campaign — resume would re-run
+		// shards it believes missing.
+		if c.failed == nil {
+			c.failed = err
+		}
+	}
+	if c.remaining == 0 || c.failed != nil {
+		// complete only closes a channel (sync.Once); safe under c.mu.
+		c.complete()
+	}
+}
+
+// quarantineEntryLocked renders shard i's ledger entry. Caller holds c.mu.
+func (c *Coordinator) quarantineEntryLocked(i int) ShardQuarantine {
+	s := &c.shards[i]
+	return ShardQuarantine{
+		Shard: i, Start: s.start, End: s.end, SuiteHash: c.info.SuiteHash,
+		Worker: s.worker, Err: s.lastErr, Attempts: s.attempts,
+	}
+}
+
+// Quarantined returns the shard-quarantine ledger in shard order.
+func (c *Coordinator) Quarantined() []ShardQuarantine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []ShardQuarantine
+	for i := range c.shards {
+		if c.shards[i].state == shardQuarantined {
+			out = append(out, c.quarantineEntryLocked(i))
+		}
+	}
+	return out
+}
+
+// Degraded reports whether the campaign carries quarantined shards: its
+// census is partial (the quarantined slices went unchecked) and the CLI
+// exits with the distinct degraded code so CI can tell "degraded" from
+// "failed".
+func (c *Coordinator) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantinedLocked() > 0
 }
 
 func (c *Coordinator) leasedLocked() int {
@@ -294,18 +470,35 @@ func (c *Coordinator) Credit(p *ShardPayload) (CreditResponse, error) {
 		c.mu.Unlock()
 		return CreditResponse{}, fmt.Errorf("shard %d out of range [0,%d)", p.Shard, len(c.shards))
 	}
-	if p.Err != "" {
-		// Engine errors are deterministic (same binary, same suite):
-		// re-dispatching would loop forever, so the campaign fails fast,
-		// mirroring harness.Run.
-		if c.failed == nil {
-			c.failed = fmt.Errorf("shard %d (worker %s): %s", p.Shard, p.Worker, p.Err)
-		}
-		c.mu.Unlock()
-		c.complete()
-		return CreditResponse{Accepted: false, Done: true}, nil
-	}
 	slot := &c.shards[p.Shard]
+	if p.Err != "" {
+		// A structured error payload — engine error, contained worker panic,
+		// tripped shard watchdog — is one failed dispatch attempt. The shard
+		// is re-dispatched until its attempt budget is spent, then
+		// quarantined; the campaign never fails or loops on one bad shard.
+		if slot.state != shardLeased || slot.worker != p.Worker {
+			// Stale: the lease already expired (that attempt was counted at
+			// reclaim) or the shard moved on. Discard.
+			c.mu.Unlock()
+			c.log("stale error payload for shard %d from %s: discarded", p.Shard, p.Worker)
+			return CreditResponse{Accepted: false, Duplicate: true}, nil
+		}
+		c.failAttemptLocked(p.Shard, p.Worker, p.Err)
+		quarantined := slot.state == shardQuarantined
+		done := c.remaining == 0
+		c.mu.Unlock()
+		return CreditResponse{Accepted: false, Quarantined: quarantined, Done: done}, nil
+	}
+	if slot.state == shardQuarantined {
+		// Never credit a quarantined shard: the ledger says its slice went
+		// unchecked, and a shard must never be both credited and
+		// quarantined. (A healthy late result can land here when earlier
+		// attempts spent the budget; re-run it with -retry-quarantined.)
+		c.duplicates++
+		c.mu.Unlock()
+		c.log("result for quarantined shard %d from %s: discarded", p.Shard, p.Worker)
+		return CreditResponse{Accepted: false, Duplicate: true, Quarantined: true}, nil
+	}
 	if slot.state == shardDone {
 		c.duplicates++
 		c.mu.Unlock()
@@ -349,7 +542,11 @@ func (c *Coordinator) Credit(p *ShardPayload) (CreditResponse, error) {
 }
 
 // Merged folds the credited shards, in shard order, into the campaign
-// census so far.
+// census so far. Quarantined shards contribute nothing (their slices went
+// unchecked); their count lands in the census obs snapshot under the
+// measurement-class "shards-quarantined" counter, which Fingerprint
+// excludes — the census over the healthy shards stays byte-identical to a
+// serial run over the same slices.
 func (c *Coordinator) Merged() (*harness.Census, []core.Violation) {
 	c.mu.Lock()
 	payloads := make([]*ShardPayload, 0, len(c.shards))
@@ -358,8 +555,64 @@ func (c *Coordinator) Merged() (*harness.Census, []core.Violation) {
 			payloads = append(payloads, c.shards[i].payload)
 		}
 	}
+	quarantined := c.quarantinedLocked()
 	c.mu.Unlock()
-	return Fold(payloads)
+	cen, viol := Fold(payloads)
+	if quarantined > 0 {
+		if cen.Obs == nil {
+			cen.Obs = &obs.Snapshot{}
+		}
+		if cen.Obs.Counters == nil {
+			cen.Obs.Counters = make(map[string]int64, 1)
+		}
+		cen.Obs.Counters[obs.CtrShardsQuarantined.String()] = int64(quarantined)
+	}
+	return cen, viol
+}
+
+// Heartbeat extends a live lease (POST /campaign/heartbeat). Extension is
+// granted only when the shard is still leased to the requesting worker;
+// otherwise the worker learns it lost the lease and should abandon the
+// shard.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.SuiteHash != c.info.SuiteHash {
+		c.rejected++
+		return HeartbeatResponse{}, fmt.Errorf(
+			"suite fingerprint mismatch: coordinator has %s, worker %q sent %s — refusing heartbeat",
+			c.info.SuiteHash, req.Worker, req.SuiteHash)
+	}
+	if req.Shard < 0 || req.Shard >= len(c.shards) {
+		return HeartbeatResponse{}, fmt.Errorf("shard %d out of range [0,%d)", req.Shard, len(c.shards))
+	}
+	s := &c.shards[req.Shard]
+	if s.state != shardLeased || s.worker != req.Worker || time.Now().After(s.deadline) {
+		return HeartbeatResponse{Extended: false}, nil
+	}
+	s.deadline = time.Now().Add(c.leaseTTL)
+	c.heartbeats++
+	return HeartbeatResponse{Extended: true, TTLNanos: int64(c.leaseTTL)}, nil
+}
+
+// RejectResult records a result payload rejected at the wire (truncated
+// body, corrupt JSON, checksum mismatch) as a failed dispatch attempt when
+// the claimed (shard, worker) identity matches a live lease — the shard is
+// re-dispatched promptly instead of waiting out the lease. When the
+// identity itself is implausible (corrupted, foreign, or stale) only the
+// bad-payload counter moves; lease expiry covers the shard.
+func (c *Coordinator) RejectResult(shard int, worker, cause string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.badPayloads++
+	if shard < 0 || shard >= len(c.shards) {
+		return
+	}
+	s := &c.shards[shard]
+	if s.state != shardLeased || s.worker != worker {
+		return
+	}
+	c.failAttemptLocked(shard, worker, cause)
 }
 
 // Stats snapshots the control-plane counters.
@@ -370,14 +623,23 @@ func (c *Coordinator) Stats() Stats {
 	for k, v := range c.perWorker {
 		per[k] = v
 	}
+	done := 0
+	for i := range c.shards {
+		if c.shards[i].state == shardDone {
+			done++
+		}
+	}
 	return Stats{
-		Shards:       len(c.shards),
-		Done:         len(c.shards) - c.remaining,
-		Resumed:      c.resumed,
-		Redispatched: c.redispatched,
-		Duplicates:   c.duplicates,
-		Rejected:     c.rejected,
-		PerWorker:    per,
+		Shards:            len(c.shards),
+		Done:              done,
+		Resumed:           c.resumed,
+		Redispatched:      c.redispatched,
+		Duplicates:        c.duplicates,
+		Rejected:          c.rejected,
+		ShardsQuarantined: c.quarantinedLocked(),
+		BadPayloads:       c.badPayloads,
+		Heartbeats:        c.heartbeats,
+		PerWorker:         per,
 	}
 }
 
@@ -442,11 +704,12 @@ func (c *Coordinator) Close() error {
 // --- HTTP surface -------------------------------------------------------
 
 // Wire paths. Workers GET the spec once (handshake), then loop
-// POST lease -> run shard -> POST result.
+// POST lease -> run shard (heartbeating) -> POST result.
 const (
-	PathSpec   = "/campaign/spec"
-	PathLease  = "/campaign/lease"
-	PathResult = "/campaign/result"
+	PathSpec      = "/campaign/spec"
+	PathLease     = "/campaign/lease"
+	PathResult    = "/campaign/result"
+	PathHeartbeat = "/campaign/heartbeat"
 )
 
 // maxResultBody bounds one shard-result POST; aligned with maxCkptLine
@@ -477,12 +740,45 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	// Results are the one message that mutates the census, so the wire
+	// boundary is paranoid: the body must parse AND match its own FNV-64a
+	// self-checksum. A truncated or corrupted payload gets HTTP 400 and a
+	// failed-attempt mark, and the shard is re-dispatched — never
+	// mis-credited. (Workers retry 400s with a fresh POST; a fresh body
+	// passes unless the corruption is at the sender.)
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBody))
+	if err != nil {
+		c.RejectResult(-1, "", "truncated result body")
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("truncated result body: %v", err))
+		return
+	}
 	var p ShardPayload
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBody)).Decode(&p); err != nil {
+	if err := json.Unmarshal(data, &p); err != nil {
+		c.RejectResult(-1, "", "corrupt result body")
 		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad result payload: %v", err))
 		return
 	}
+	if want := PayloadSum(&p); p.Sum == "" || p.Sum != want {
+		cause := fmt.Sprintf("payload checksum mismatch: body carries %q, content hashes to %s", p.Sum, want)
+		c.RejectResult(p.Shard, p.Worker, cause)
+		writeJSONError(w, http.StatusBadRequest, cause)
+		return
+	}
 	resp, err := c.Credit(&p)
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad heartbeat request: %v", err))
+		return
+	}
+	resp, err := c.Heartbeat(req)
 	if err != nil {
 		writeJSONError(w, http.StatusConflict, err.Error())
 		return
@@ -511,13 +807,14 @@ type Server struct {
 }
 
 // ListenAndServe starts serving the campaign protocol on addr (host:port;
-// port 0 picks a free one, see Addr).
-func ListenAndServe(addr string, c *Coordinator) (*Server, error) {
+// port 0 picks a free one, see Addr). h is usually the Coordinator itself;
+// the chaos harness wraps it with WrapWireFaults.
+func ListenAndServe(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: listen: %w", err)
 	}
-	srv := &http.Server{Handler: c, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -533,8 +830,13 @@ func (s *Server) Close() error { return s.srv.Close() }
 // name (deterministic output for logs and tests).
 func (st Stats) String() string {
 	lines := []string{fmt.Sprintf(
-		"campaign: %d/%d shards done (%d resumed from checkpoint, %d re-dispatched, %d duplicates discarded, %d rejected)",
-		st.Done, st.Shards, st.Resumed, st.Redispatched, st.Duplicates, st.Rejected)}
+		"campaign: %d/%d shards done (%d resumed from checkpoint, %d re-dispatched, %d duplicates discarded, %d rejected, %d bad payloads, %d heartbeats)",
+		st.Done, st.Shards, st.Resumed, st.Redispatched, st.Duplicates, st.Rejected, st.BadPayloads, st.Heartbeats)}
+	if st.ShardsQuarantined > 0 {
+		lines = append(lines, fmt.Sprintf(
+			"  DEGRADED: %d shards quarantined after exhausting their dispatch attempts — census excludes their workloads (re-run with -retry-quarantined)",
+			st.ShardsQuarantined))
+	}
 	workers := make([]string, 0, len(st.PerWorker))
 	for wkr := range st.PerWorker {
 		workers = append(workers, wkr)

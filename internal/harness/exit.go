@@ -1,0 +1,30 @@
+package harness
+
+// Process exit codes shared by every frontend, so CI pipelines can
+// distinguish outcomes without parsing output. The convention predates the
+// distributed runner (violations/fatal/interrupted) and gains two
+// campaign-specific codes: a degraded campaign completed but quarantined
+// shards (its census is partial — worth a different alert than a bug
+// finding or a crash), and a worker that never managed to join its
+// coordinator failed before doing any work at all.
+const (
+	// ExitClean: the run completed and found nothing.
+	ExitClean = 0
+	// ExitViolations: the run completed and found crash-consistency
+	// violations — the tool worked; the target is buggy.
+	ExitViolations = 1
+	// ExitFatal: the tool itself failed (bad flags, I/O error, engine
+	// error).
+	ExitFatal = 2
+	// ExitDegraded: a distributed campaign completed with quarantined
+	// shards — the census is partial. Takes precedence over ExitViolations:
+	// an incomplete census is the more urgent fact about the run.
+	ExitDegraded = 3
+	// ExitCoordinatorUnreachable: a campaign worker exhausted its dial
+	// budget at handshake and never joined. Distinct from ExitFatal so
+	// fleet tooling can retry joining instead of paging.
+	ExitCoordinatorUnreachable = 7
+	// ExitInterrupted: the run was cancelled by SIGINT (partial census
+	// reported), following the shell convention of 128+SIGINT.
+	ExitInterrupted = 130
+)

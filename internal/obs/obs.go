@@ -131,6 +131,12 @@ const (
 	// its base: guest-mutation undo plus delta-span reverts.
 	// Measurement-class.
 	CtrBytesRolledBack
+	// CtrShardsQuarantined counts campaign shards the coordinator moved to
+	// the shard-quarantine ledger after exhausting their dispatch attempts.
+	// Measurement-class: infrastructure failures, not a function of the
+	// suite — a degraded census must stay fingerprint-comparable to a clean
+	// serial run over the same shards.
+	CtrShardsQuarantined
 	numCounters
 )
 
@@ -150,6 +156,8 @@ var counterNames = [numCounters]string{
 	CtrBytesMaterialized: "bytes-materialized",
 	CtrBytesPrimed:       "bytes-primed",
 	CtrBytesRolledBack:   "bytes-rolled-back",
+
+	CtrShardsQuarantined: "shards-quarantined",
 }
 
 func (c Counter) String() string {
@@ -168,7 +176,8 @@ func (c Counter) String() string {
 func (c Counter) Deterministic() bool {
 	switch c {
 	case CtrFaultsInjected, CtrImagePrimes, CtrImagesRetired,
-		CtrBytesMaterialized, CtrBytesPrimed, CtrBytesRolledBack:
+		CtrBytesMaterialized, CtrBytesPrimed, CtrBytesRolledBack,
+		CtrShardsQuarantined:
 		return false
 	}
 	return true

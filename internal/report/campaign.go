@@ -22,19 +22,40 @@ type CampaignSummary struct {
 	ShardSize  int
 
 	// Control-plane history: shards credited from the checkpoint at
-	// startup, lease expiries re-dispatched, at-most-once discards, and
-	// fingerprint-mismatch rejections.
+	// startup, failed dispatch attempts re-dispatched, at-most-once
+	// discards, fingerprint-mismatch rejections, result bodies rejected at
+	// the wire (truncated/corrupt/checksum mismatch), and granted lease
+	// extensions.
 	Resumed      int
 	Redispatched int
 	Duplicates   int
 	Rejected     int
+	BadPayloads  int
+	Heartbeats   int
 	// PerWorker counts shards credited per worker ID.
 	PerWorker map[string]int
+
+	// Quarantined lists the shard-quarantine ledger: shards that exhausted
+	// their dispatch attempts and were removed from the campaign. A
+	// non-empty list means the census is partial (degraded), and the listed
+	// slices went unchecked until re-run with -retry-quarantined.
+	Quarantined []QuarantinedShard
 
 	// Fingerprint is the deterministic census identity — equal to the
 	// serial run's fingerprint by the determinism contract, so two
 	// CAMPAIGN.txt files from different cluster topologies diff clean.
 	Fingerprint string
+}
+
+// QuarantinedShard is one shard-quarantine ledger entry, in plain values
+// (mirrors campaign.ShardQuarantine without importing it).
+type QuarantinedShard struct {
+	Shard    int
+	Start    int
+	End      int
+	Worker   string
+	Err      string
+	Attempts int
 }
 
 // WriteCampaignSummary persists the summary as CAMPAIGN.txt under the
@@ -49,6 +70,8 @@ func (w *Writer) WriteCampaignSummary(s CampaignSummary) (string, error) {
 	fmt.Fprintf(&b, "re-dispatched:    %d expired leases\n", s.Redispatched)
 	fmt.Fprintf(&b, "duplicates:       %d results discarded (at-most-once)\n", s.Duplicates)
 	fmt.Fprintf(&b, "rejected:         %d fingerprint mismatches\n", s.Rejected)
+	fmt.Fprintf(&b, "bad payloads:     %d result bodies rejected at the wire\n", s.BadPayloads)
+	fmt.Fprintf(&b, "heartbeats:       %d lease extensions granted\n", s.Heartbeats)
 	workers := make([]string, 0, len(s.PerWorker))
 	for wkr := range s.PerWorker {
 		workers = append(workers, wkr)
@@ -57,6 +80,13 @@ func (w *Writer) WriteCampaignSummary(s CampaignSummary) (string, error) {
 	b.WriteString("\nshards credited per worker:\n")
 	for _, wkr := range workers {
 		fmt.Fprintf(&b, "  %-24s %d\n", wkr, s.PerWorker[wkr])
+	}
+	if len(s.Quarantined) > 0 {
+		fmt.Fprintf(&b, "\nDEGRADED — quarantined shards (census excludes these slices; re-run with -retry-quarantined):\n")
+		for _, q := range s.Quarantined {
+			fmt.Fprintf(&b, "  shard %d [%d,%d): %d failed attempts, last worker %q: %s\n",
+				q.Shard, q.Start, q.End, q.Attempts, q.Worker, q.Err)
+		}
 	}
 	if s.Fingerprint != "" {
 		fmt.Fprintf(&b, "\ncensus fingerprint (matches the serial run byte-for-byte):\n%s\n",
