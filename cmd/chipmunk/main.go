@@ -365,6 +365,8 @@ func runCoordinator(addr string, cspec campaign.Spec, knobs coordinatorKnobs,
 	fmt.Printf("chipmunk coordinator on %s: campaign %s, %s (bugs %s), suite %s: %d workloads in %d shards of %d, fingerprint %s, lease %v\n",
 		srv.Addr(), info.CampaignID, sys.Name, cspec.Bugs, cspec.Suite,
 		info.Workloads, info.Shards, info.ShardSize, info.SuiteHash, knobs.leaseTTL)
+	fmt.Printf("watch the campaign at http://%s%s (JSON: %s, metrics: /debug/metrics)\n",
+		srv.Addr(), campaign.PathDash, campaign.PathStatus)
 	inst.EmitRun(sys.Name, info.Workloads)
 	if daddr := inst.Debug.Addr(); daddr != "" {
 		fmt.Printf("debug listener on http://%s (/progress aggregates across workers)\n", daddr)

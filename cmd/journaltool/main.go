@@ -5,6 +5,9 @@
 //	journaltool -strict run.jsonl               # fail (exit 1) on corrupt lines
 //	journaltool -canonical run.jsonl            # sorted canonical event keys
 //	journaltool -merge -o merged.jsonl w1.jsonl w2.jsonl
+//	journaltool -timeline w1.jsonl w2.jsonl     # per-trace span waterfalls
+//	journaltool -triage merged.jsonl            # deduplicated violation census
+//	journaltool -triage -o reports merged.jsonl # ... written as reports/TRIAGE.txt
 //
 // The reader is tolerant by design — a journal truncated by a crashed or
 // killed run still summarizes, with a warning counting the skipped lines.
@@ -21,6 +24,13 @@
 // analyzable run record. The output is clean JSONL: it round-trips through
 // journaltool itself, -strict included. A SIGKILLed worker's torn final
 // line is skipped and counted like any other corrupt line.
+//
+// -timeline consumes RAW journals (before -merge: canonicalization clears
+// the wall-clock fields a waterfall needs) and renders each trace's spans
+// as an ASCII waterfall plus a per-stage breakdown of where the time went.
+// -triage clusters violation events by (violation kind, file system,
+// canonical trace prefix) into a deduplicated census — deterministic for a
+// given event multiset, so two merge orders produce identical output.
 package main
 
 import (
@@ -36,46 +46,104 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("journaltool", flag.ContinueOnError)
+	fl.SetOutput(stderr)
 	var (
-		strict    = flag.Bool("strict", false, "exit nonzero if any journal line is corrupt or truncated")
-		canonical = flag.Bool("canonical", false, "dump sorted canonical event keys instead of a summary")
-		merge     = flag.Bool("merge", false, "order-normalize and concatenate all input journals into one canonical JSONL stream")
-		out       = flag.String("o", "", "(with -merge) write the merged stream here instead of stdout")
+		strict    = fl.Bool("strict", false, "exit nonzero if any journal line is corrupt or truncated")
+		canonical = fl.Bool("canonical", false, "dump sorted canonical event keys instead of a summary")
+		merge     = fl.Bool("merge", false, "order-normalize and concatenate all input journals into one canonical JSONL stream")
+		timeline  = fl.Bool("timeline", false, "render per-trace span waterfalls and a stage breakdown (raw journals)")
+		triage    = fl.Bool("triage", false, "cluster violations by (kind, fs, trace prefix) into a deduplicated census")
+		out       = fl.String("o", "", "with -merge: write the merged stream here; with -triage: write TRIAGE.txt under this directory")
 	)
-	flag.Parse()
-	if flag.NArg() < 1 || (!*merge && flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: journaltool [-strict] [-canonical] <journal.jsonl>")
-		fmt.Fprintln(os.Stderr, "       journaltool -merge [-strict] [-o merged.jsonl] <journal.jsonl>...")
-		os.Exit(2)
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	multi := *merge || *timeline || *triage
+	if fl.NArg() < 1 || (!multi && fl.NArg() != 1) {
+		fmt.Fprintln(stderr, "usage: journaltool [-strict] [-canonical] <journal.jsonl>")
+		fmt.Fprintln(stderr, "       journaltool -merge [-strict] [-o merged.jsonl] <journal.jsonl>...")
+		fmt.Fprintln(stderr, "       journaltool -timeline <journal.jsonl>...")
+		fmt.Fprintln(stderr, "       journaltool -triage [-o reportdir] <journal.jsonl>...")
+		return 2
 	}
 
-	lists := make([][]obs.Event, 0, flag.NArg())
+	lists := make([][]obs.Event, 0, fl.NArg())
 	skipped := 0
-	for _, path := range flag.Args() {
+	for _, path := range fl.Args() {
 		events, skip, err := obs.ReadJournalFile(path)
-		fatalIf(err)
+		if err != nil {
+			fmt.Fprintln(stderr, "journaltool:", err)
+			return 2
+		}
 		if skip > 0 {
-			fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines in %s\n", skip, path)
+			fmt.Fprintf(stderr, "journaltool: %d corrupt/truncated lines in %s\n", skip, path)
 		}
 		lists = append(lists, events)
 		skipped += skip
+	}
+	flat := lists[0]
+	if len(lists) > 1 {
+		flat = nil
+		for _, l := range lists {
+			flat = append(flat, l...)
+		}
 	}
 
 	switch {
 	case *merge:
 		merged := obs.CanonicalEvents(lists...)
-		var w io.Writer = os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
-			fatalIf(err)
+			if err != nil {
+				fmt.Fprintln(stderr, "journaltool:", err)
+				return 2
+			}
 			bw := bufio.NewWriter(f)
-			fatalIf(obs.WriteEvents(bw, merged))
-			fatalIf(bw.Flush())
-			fatalIf(f.Close())
-			fmt.Fprintf(os.Stderr, "journaltool: merged %d events from %d journals into %s\n",
-				len(merged), flag.NArg(), *out)
-		} else {
-			fatalIf(obs.WriteEvents(w, merged))
+			err = obs.WriteEvents(bw, merged)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "journaltool:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "journaltool: merged %d events from %d journals into %s\n",
+				len(merged), fl.NArg(), *out)
+		} else if err := obs.WriteEvents(stdout, merged); err != nil {
+			fmt.Fprintln(stderr, "journaltool:", err)
+			return 2
+		}
+	case *timeline:
+		if _, err := report.WriteTimeline(stdout, flat); err != nil {
+			fmt.Fprintln(stderr, "journaltool:", err)
+			return 2
+		}
+	case *triage:
+		clusters := report.TriageEvents(flat)
+		if *out != "" {
+			w, err := report.NewWriter(*out)
+			if err != nil {
+				fmt.Fprintln(stderr, "journaltool:", err)
+				return 2
+			}
+			path, err := w.WriteTriage(flat)
+			if err != nil {
+				fmt.Fprintln(stderr, "journaltool:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "journaltool: triaged %d clusters into %s\n", len(clusters), path)
+		}
+		if err := report.WriteTriageCensus(stdout, clusters); err != nil {
+			fmt.Fprintln(stderr, "journaltool:", err)
+			return 2
 		}
 	case *canonical:
 		keys := make([]string, len(lists[0]))
@@ -84,20 +152,17 @@ func main() {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Println(k)
+			fmt.Fprintln(stdout, k)
 		}
 	default:
-		fatalIf(report.WriteJournalSummary(os.Stdout, lists[0], skipped))
+		if err := report.WriteJournalSummary(stdout, lists[0], skipped); err != nil {
+			fmt.Fprintln(stderr, "journaltool:", err)
+			return 2
+		}
 	}
 	if *strict && skipped > 0 {
-		fmt.Fprintf(os.Stderr, "journaltool: %d corrupt/truncated lines total\n", skipped)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "journaltool: %d corrupt/truncated lines total\n", skipped)
+		return 1
 	}
-}
-
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "journaltool:", err)
-		os.Exit(2)
-	}
+	return 0
 }

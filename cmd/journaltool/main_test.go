@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chipmunk/internal/obs"
+)
+
+func writeJournal(t *testing.T, path string, events []obs.Event, tail string) {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(tail)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStrictSurfacesSkipped: the tolerant reader's skipped-line count is
+// printed per file and fails the run under -strict — the contract CI's
+// journal validation step relies on.
+func TestStrictSurfacesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	writeJournal(t, path, []obs.Event{
+		{Type: "run", FS: "nova", Sys: -1},
+		{Type: "workload", FS: "nova", Workload: "wl", Sys: -1},
+	}, `{"type":"workload","fs":"nova","torn...`+"\n")
+
+	var out, errb strings.Builder
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("tolerant mode exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "1 corrupt/truncated lines in") {
+		t.Fatalf("skip count not surfaced: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "WARNING: 1 corrupt/truncated lines skipped") {
+		t.Fatalf("summary missing warning: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-strict", path}, &out, &errb); code != 1 {
+		t.Fatalf("-strict exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "1 corrupt/truncated lines total") {
+		t.Fatalf("-strict total not surfaced: %s", errb.String())
+	}
+}
+
+// TestTimelineAndTriageModes: -timeline renders waterfalls from several raw
+// journals at once, and -triage produces an order-independent census plus
+// TRIAGE.txt under -o.
+func TestTimelineAndTriageModes(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	w1 := filepath.Join(dir, "w1.jsonl")
+	w2 := filepath.Join(dir, "w2.jsonl")
+	writeJournal(t, w1, []obs.Event{
+		{Type: "span", Name: "workload", Trace: "aaaa", Span: "r1", Workload: "wl1",
+			Sys: -1, Time: t0, DurNanos: int64(5 * time.Millisecond)},
+		{Type: "violation", FS: "nova", Workload: "wl1", Kind: "content-mismatch",
+			Prefix: "creat(f1)", Sys: 0, Detail: "d1"},
+	}, "")
+	writeJournal(t, w2, []obs.Event{
+		{Type: "span", Name: "workload", Trace: "bbbb", Span: "r2", Workload: "wl2",
+			Sys: -1, Time: t0.Add(time.Second), DurNanos: int64(5 * time.Millisecond)},
+		{Type: "violation", FS: "nova", Workload: "wl2", Kind: "content-mismatch",
+			Prefix: "creat(f1)", Sys: 0, Detail: "d1"},
+	}, "")
+
+	var out, errb strings.Builder
+	if code := run([]string{"-timeline", w1, w2}, &out, &errb); code != 0 {
+		t.Fatalf("-timeline exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"2 spans in 2 traces", "trace aaaa", "trace bbbb", "stage breakdown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out.String())
+		}
+	}
+
+	repDir := filepath.Join(dir, "reports")
+	var tri1, tri2 strings.Builder
+	if code := run([]string{"-triage", "-o", repDir, w1, w2}, &tri1, &errb); code != 0 {
+		t.Fatalf("-triage exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-triage", w2, w1}, &tri2, &errb); code != 0 {
+		t.Fatalf("-triage exit %d: %s", code, errb.String())
+	}
+	if tri1.String() != tri2.String() {
+		t.Fatalf("triage census depends on journal order:\n--- w1,w2 ---\n%s--- w2,w1 ---\n%s",
+			tri1.String(), tri2.String())
+	}
+	if !strings.Contains(tri1.String(), "2 violations in 1 clusters") {
+		t.Fatalf("census wrong:\n%s", tri1.String())
+	}
+	data, err := os.ReadFile(filepath.Join(repDir, "TRIAGE.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != tri1.String() {
+		t.Fatalf("TRIAGE.txt diverges from stdout census:\n%s", data)
+	}
+}

@@ -260,6 +260,10 @@ type HeartbeatRequest struct {
 	Worker    string `json:"worker"`
 	Shard     int    `json:"shard"`
 	SuiteHash string `json:"suite_hash"`
+	// StatesChecked piggybacks the shard's live progress (crash states
+	// checked so far) on the heartbeat, feeding the coordinator's
+	// /campaign/status rate and ETA without a separate progress wire call.
+	StatesChecked int `json:"states_checked,omitempty"`
 }
 
 // HeartbeatResponse answers a heartbeat. Extended is false when the shard

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -83,6 +84,13 @@ type shardSlot struct {
 	// recent one (expiry, error payload, rejected result).
 	attempts int
 	lastErr  string
+	// leasedAt stamps the current lease grant (feeds the shard-lease span
+	// and the dashboard's in-flight age); lastBeat is the most recent
+	// heartbeat for this lease, and progress the states-checked count it
+	// piggybacked (live only while leased — reset on each grant).
+	leasedAt time.Time
+	lastBeat time.Time
+	progress int
 }
 
 // Stats summarizes the campaign's control-plane history.
@@ -118,8 +126,13 @@ type Coordinator struct {
 	shardRetries int
 	progress     func(done, total int, c harness.Census)
 	journal      *obs.Journal
-	logf         func(format string, args ...any)
-	mux          *http.ServeMux
+	// tracer emits "shard-lease" spans (one per credited shard, spanning
+	// lease grant to credit) under the campaign's coordinates: seed = suite
+	// hash, shard index -1. Nil when no journal is attached.
+	tracer  *obs.Tracer
+	started time.Time
+	logf    func(format string, args ...any)
+	mux     *http.ServeMux
 
 	mu           sync.Mutex
 	shards       []shardSlot
@@ -134,6 +147,9 @@ type Coordinator struct {
 	badPayloads  int
 	heartbeats   int
 	perWorker    map[string]int
+	// workers maps worker ID to the last moment it was heard from (lease,
+	// heartbeat, or result) — the dashboard's liveness column.
+	workers map[string]time.Time
 
 	doneOnce sync.Once
 	doneCh   chan struct{}
@@ -179,11 +195,19 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		shardRetries: retries,
 		progress:     cfg.Progress,
 		journal:      cfg.Journal,
+		started:      time.Now(),
 		logf:         cfg.Logf,
 		shards:       make([]shardSlot, n),
 		remaining:    n,
 		perWorker:    map[string]int{},
+		workers:      map[string]time.Time{},
 		doneCh:       make(chan struct{}),
+	}
+	if cfg.Journal != nil {
+		// The campaign traces under (suite hash, shard -1): deterministic for
+		// a given campaign, distinct from every worker's per-shard traces.
+		seed, _ := strconv.ParseUint(hash, 16, 64)
+		c.tracer = obs.NewTracer(cfg.Journal, seed, -1)
 	}
 	for i := range c.shards {
 		c.shards[i].start, c.shards[i].end = shardRange(i, shardSize, len(suite))
@@ -193,6 +217,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathResult, c.handleResult)
 	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathStatus, c.handleStatus)
+	mux.HandleFunc(PathDash, c.handleDash)
+	mux.HandleFunc("/debug/metrics", c.handleMetrics)
 	c.mux = mux
 
 	if cfg.CheckpointPath != "" {
@@ -434,14 +461,19 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 		return LeaseResponse{Status: LeaseDone}, nil
 	}
 	c.reclaimLocked(time.Now())
+	c.workers[req.Worker] = time.Now()
 	for i := range c.shards {
 		s := &c.shards[i]
 		if s.state != shardPending {
 			continue
 		}
+		now := time.Now()
 		s.state = shardLeased
 		s.worker = req.Worker
-		s.deadline = time.Now().Add(c.leaseTTL)
+		s.deadline = now.Add(c.leaseTTL)
+		s.leasedAt = now
+		s.lastBeat = now
+		s.progress = 0
 		c.log("lease: shard %d [%d,%d) -> %s (ttl %v)", i, s.start, s.end, req.Worker, c.leaseTTL)
 		return LeaseResponse{
 			Status: LeaseGranted, Shard: i, Start: s.start, End: s.end,
@@ -516,6 +548,14 @@ func (c *Coordinator) Credit(p *ShardPayload) (CreditResponse, error) {
 	slot.payload = p
 	c.remaining--
 	c.perWorker[p.Worker]++
+	c.workers[p.Worker] = time.Now()
+	// One measurement span per credited shard, spanning lease grant to
+	// credit: the campaign-side view of shard latency (includes wire and
+	// queueing time the worker's own "shard" span cannot see).
+	c.tracer.Span("shard-lease", slot.leasedAt, "", obs.Event{
+		FS: c.info.Spec.FS, Workload: c.info.Spec.Suite, Worker: p.Worker,
+		Sys: -1, Rank: p.Shard, States: p.StatesChecked,
+	})
 	done := c.remaining == 0
 	doneCount := len(c.shards) - c.remaining
 	if err := c.ckpt.AppendShard(p); err != nil {
@@ -586,11 +626,17 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 	if req.Shard < 0 || req.Shard >= len(c.shards) {
 		return HeartbeatResponse{}, fmt.Errorf("shard %d out of range [0,%d)", req.Shard, len(c.shards))
 	}
+	c.workers[req.Worker] = time.Now()
 	s := &c.shards[req.Shard]
 	if s.state != shardLeased || s.worker != req.Worker || time.Now().After(s.deadline) {
 		return HeartbeatResponse{Extended: false}, nil
 	}
-	s.deadline = time.Now().Add(c.leaseTTL)
+	now := time.Now()
+	s.deadline = now.Add(c.leaseTTL)
+	s.lastBeat = now
+	if req.StatesChecked > s.progress {
+		s.progress = req.StatesChecked
+	}
 	c.heartbeats++
 	return HeartbeatResponse{Extended: true, TTLNanos: int64(c.leaseTTL)}, nil
 }
@@ -710,6 +756,12 @@ const (
 	PathLease     = "/campaign/lease"
 	PathResult    = "/campaign/result"
 	PathHeartbeat = "/campaign/heartbeat"
+	// PathStatus and PathDash are the read-only observability surface:
+	// PathStatus serves the live JSON shard map (dashboards, scripts, the CI
+	// smoke), PathDash a stdlib-only auto-refreshing HTML view of the same
+	// snapshot. Neither mutates campaign state.
+	PathStatus = "/campaign/status"
+	PathDash   = "/campaign/dash"
 )
 
 // maxResultBody bounds one shard-result POST; aligned with maxCkptLine

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -153,10 +154,18 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 	}
 	logf("worker %s joined campaign %s: %s suite %s (%d workloads, %d shards), fingerprint %s",
 		wc.ID, info.CampaignID, sys.Name, info.Spec.Suite, info.Workloads, info.Shards, info.SuiteHash)
+	// Per-shard traces key off (suite hash, shard index): any worker that
+	// runs shard k of this campaign emits the same trace ID, so a
+	// re-dispatched shard's attempts land in one waterfall.
+	traceSeed, _ := strconv.ParseUint(info.SuiteHash, 16, 64)
 
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		var lstart time.Time
+		if wc.Journal != nil {
+			lstart = time.Now()
 		}
 		var lease LeaseResponse
 		err := postJSON(ctx, client, "http://"+wc.Addr+PathLease,
@@ -208,7 +217,15 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 			continue
 		}
 		logf("worker %s: running shard %d [%d,%d)", wc.ID, lease.Shard, lease.Start, lease.End)
-		payload, abandoned := runShard(ctx, client, wc, cfg, suite, lease, info)
+		// The shard's measurement trace: a "shard" span over the engine call,
+		// with wire:lease/wire:heartbeat/wire:result children. These spans
+		// measure the fleet (latency, retries), not the suite — they are
+		// never part of the local span-determinism differential.
+		tr := obs.NewTracer(wc.Journal, traceSeed, lease.Shard)
+		shardSpan := tr.ID("shard", info.Spec.Suite, 0, lease.Shard)
+		tr.Span("wire:lease", lstart, shardSpan,
+			obs.Event{Workload: info.Spec.Suite, Worker: wc.ID, Sys: -1, Rank: lease.Shard})
+		payload, abandoned := runShard(ctx, client, wc, cfg, suite, lease, info, tr, shardSpan)
 		if payload == nil {
 			if abandoned {
 				// The coordinator told a heartbeat this lease is lost
@@ -223,8 +240,11 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 		}
 		payload.Sum = PayloadSum(payload)
 
+		rstart := tr.Begin()
 		var credit CreditResponse
 		err = postJSON(ctx, client, "http://"+wc.Addr+PathResult, payload, &credit, wc.DialBudget)
+		tr.Span("wire:result", rstart, shardSpan,
+			obs.Event{Workload: info.Spec.Suite, Worker: wc.ID, Sys: -1, Rank: lease.Shard, States: payload.StatesChecked})
 		if err != nil {
 			if gone(err) {
 				logf("worker %s: coordinator %s gone before result for shard %d; lease will expire elsewhere",
@@ -261,18 +281,21 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 // panics, and tripped watchdogs become payloads with Err set: one failed
 // dispatch attempt, counted toward the shard's quarantine budget.
 func runShard(ctx context.Context, client *http.Client, wc WorkerConfig, cfg core.Config,
-	suite []workload.Workload, lease LeaseResponse, info SpecInfo) (payload *ShardPayload, abandoned bool) {
+	suite []workload.Workload, lease LeaseResponse, info SpecInfo,
+	tr *obs.Tracer, shardSpan string) (payload *ShardPayload, abandoned bool) {
 	runCtx, cancel := context.WithCancel(ctx)
 	if wc.ShardTimeout > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, wc.ShardTimeout)
 	}
 	defer cancel()
 
-	// Heartbeat the lease every TTL/3 while the engine runs. A failed
-	// heartbeat POST stops the loop quietly (the result POST or the lease
-	// expiry decides); an explicit "not extended" means the lease is gone —
-	// cancel the engine and abandon.
+	// Heartbeat the lease every TTL/3 while the engine runs, piggybacking
+	// the shard's live states-checked count for the coordinator's dashboard.
+	// A failed heartbeat POST stops the loop quietly (the result POST or the
+	// lease expiry decides); an explicit "not extended" means the lease is
+	// gone — journal the refusal, cancel the engine, and abandon.
 	var lost atomic.Bool
+	var progress atomic.Int64
 	hbDone := make(chan struct{})
 	interval := time.Duration(lease.TTLNanos) / 3
 	if interval <= 0 {
@@ -282,19 +305,28 @@ func runShard(ctx context.Context, client *http.Client, wc WorkerConfig, cfg cor
 		defer close(hbDone)
 		t := time.NewTicker(interval)
 		defer t.Stop()
-		for {
+		for beat := 0; ; beat++ {
 			select {
 			case <-runCtx.Done():
 				return
 			case <-t.C:
 			}
+			hstart := tr.Begin()
 			var hb HeartbeatResponse
 			err := postJSON(runCtx, client, "http://"+wc.Addr+PathHeartbeat,
-				HeartbeatRequest{Worker: wc.ID, Shard: lease.Shard, SuiteHash: info.SuiteHash}, &hb, interval)
+				HeartbeatRequest{Worker: wc.ID, Shard: lease.Shard, SuiteHash: info.SuiteHash,
+					StatesChecked: int(progress.Load())}, &hb, interval)
 			if err != nil {
 				return
 			}
+			tr.Span("wire:heartbeat", hstart, shardSpan,
+				obs.Event{Workload: info.Spec.Suite, Worker: wc.ID, Sys: -1, Rank: beat})
 			if !hb.Extended {
+				wc.Journal.Emit(obs.Event{
+					Type: "heartbeat-refused", FS: info.Spec.FS, Workload: info.Spec.Suite,
+					Worker: wc.ID, Sys: -1, Rank: lease.Shard,
+					Detail: "coordinator refused lease extension (expired, re-dispatched, or quarantined); abandoning shard",
+				})
 				lost.Store(true)
 				cancel()
 				return
@@ -302,6 +334,7 @@ func runShard(ctx context.Context, client *http.Client, wc WorkerConfig, cfg cor
 		}
 	}()
 
+	sbegin := tr.Begin()
 	census, viol, err := func() (c *harness.Census, v []core.Violation, err error) {
 		// Self-defense: an engine panic (or a poisoned shard) must become a
 		// structured error payload, never a dead worker — the coordinator's
@@ -319,24 +352,46 @@ func runShard(ctx context.Context, client *http.Client, wc WorkerConfig, cfg cor
 		if wc.runEngine != nil {
 			return wc.runEngine(runCtx, cfg, suite[lease.Start:lease.End], lease, wc.Jobs)
 		}
-		return harness.Run(runCtx, cfg, suite[lease.Start:lease.End], harness.WithWorkers(wc.Jobs))
+		return harness.Run(runCtx, cfg, suite[lease.Start:lease.End], harness.WithWorkers(wc.Jobs),
+			harness.WithProgress(func(done, total int, c harness.Census) {
+				progress.Store(int64(c.StatesChecked))
+			}))
 	}()
 	cancel()
 	<-hbDone
 
+	shardEvent := func(detail string) obs.Event {
+		e := obs.Event{Workload: info.Spec.Suite, FS: info.Spec.FS,
+			Worker: wc.ID, Sys: -1, Rank: lease.Shard, Detail: detail}
+		if census != nil {
+			e.States = census.StatesChecked
+			e.Fences = census.Fences
+			e.Violations = census.Violations
+		}
+		return e
+	}
 	errPayload := func(msg string) *ShardPayload {
 		return &ShardPayload{Shard: lease.Shard, Worker: wc.ID, SuiteHash: info.SuiteHash, Err: msg}
 	}
 	switch {
 	case err == nil:
+		tr.Span("shard", sbegin, "", shardEvent(""))
 		return NewShardPayload(lease.Shard, wc.ID, info.SuiteHash, census, viol), false
 	case lost.Load():
+		tr.Span("shard", sbegin, "", shardEvent("abandoned: lease lost mid-run"))
 		return nil, true
 	case ctx.Err() != nil:
 		return nil, false
 	case errors.Is(runCtx.Err(), context.DeadlineExceeded):
-		return errPayload(fmt.Sprintf("shard watchdog: engine exceeded -shard-timeout %v", wc.ShardTimeout)), false
+		msg := fmt.Sprintf("shard watchdog: engine exceeded -shard-timeout %v", wc.ShardTimeout)
+		wc.Journal.Emit(obs.Event{
+			Type: "shard-watchdog", FS: info.Spec.FS, Workload: info.Spec.Suite,
+			Worker: wc.ID, Sys: -1, Rank: lease.Shard, Detail: msg,
+		})
+		tr.Span("shard", sbegin, "", shardEvent(msg))
+		return errPayload(msg), false
 	default:
+		tr.Span("shard", sbegin, "", shardEvent("error: "+err.Error()))
 		return errPayload(err.Error()), false
 	}
 }

@@ -54,6 +54,12 @@ type checker struct {
 	obs     *obs.Collector
 	journal *obs.Journal
 
+	// tracer emits deterministic "span" events (coordinator-only, like the
+	// journal); checkSpan is the precomputed ID of the run's "check" span,
+	// the parent every fence span hangs off.
+	tracer    *obs.Tracer
+	checkSpan string
+
 	// scratch is the coordinator-only buffer state-key computation
 	// materializes written ranges into; workers use pooled buffers.
 	scratch []byte
@@ -252,6 +258,7 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	if ck.journal != nil {
 		fenceStart = time.Now()
 	}
+	ft := ck.tracer.Begin()
 	dt := ck.obs.Start()
 
 	// Stream candidate subsets in canonical rank order — size ascending,
@@ -302,6 +309,10 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 		Fence: ctx.fence, Sys: sys, Phase: ctx.phase.String(),
 		InFlight: n, States: len(distinct), Deduped: dedupedHere,
 		DurNanos: sinceNanos(fenceStart),
+	})
+	ck.tracer.Span("fence", ft, ck.checkSpan, obs.Event{
+		FS: ck.caps.Name, Workload: ck.w.Name,
+		Fence: ctx.fence, Sys: sys, States: len(distinct),
 	})
 	return nil
 }

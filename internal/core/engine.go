@@ -123,6 +123,14 @@ type Config struct {
 	// the journal's order-normalized event set is identical between serial
 	// and parallel runs of the same suite.
 	Journal *obs.Journal
+	// Tracer, when non-nil, emits deterministic "span" events into its
+	// journal covering the engine stages of this run: a "workload" root span
+	// with "oracle", "record", and "check" children, plus one "fence" span
+	// per enumerated fence. Span IDs are pure functions of work coordinates
+	// (see obs.Tracer), and all engine spans are emitted from the
+	// coordinator goroutine, so the canonical span multiset is identical
+	// across worker counts — the same contract Journal events honor.
+	Tracer *obs.Tracer
 	// Checker selects the correctness contract applied to every mounted
 	// crash state (nil = NewOracleChecker, the classic FS-oracle comparison,
 	// byte-identical to the pre-seam engine). The factory runs once per
@@ -349,9 +357,16 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	if cfg.Obs != nil || cfg.Journal != nil {
 		runStart = time.Now()
 	}
+	// Spans: the root "workload" span is emitted last (after its children —
+	// parents complete after children), so its ID is precomputed here for
+	// the children to reference.
+	tr := cfg.Tracer
+	runBegin := tr.Begin()
+	wlSpan := tr.ID("workload", w.Name, 0, 0)
 
 	// --- Oracle pass: run the workload on the reference model, recording
 	// the observable state around every system call.
+	obegin := tr.Begin()
 	ot := col.Start()
 	oracle := memfs.New()
 	if err := oracle.Mkfs(); err != nil {
@@ -378,8 +393,12 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	}
 	states = append(states, final)
 	col.ObserveSince(obs.StageOracle, ot)
+	// The oracle pass runs on the reference model, not the target, so its
+	// span carries no FS attribution.
+	tr.Span("oracle", obegin, wlSpan, obs.Event{Workload: w.Name})
 
 	// --- Record pass: run the workload on the target, tracing writes.
+	rbegin := tr.Begin()
 	rt := col.Start()
 	dev := pmem.NewDevice(devSize)
 	pm := persist.New(dev)
@@ -401,6 +420,7 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	caps := target.Caps()
 	col.ObserveSince(obs.StageRecord, rt)
 	dev.Stats().Feed(col)
+	tr.Span("record", rbegin, wlSpan, obs.Event{FS: caps.Name, Workload: w.Name})
 
 	res := &Result{OpResults: targetResults}
 
@@ -434,11 +454,16 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		OpResults:     targetResults,
 		SkipUsability: cfg.SkipUsability,
 	})
+	cbegin := tr.Begin()
 	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, contract: contract, res: res,
-		obs: col, journal: cfg.Journal}
+		obs: col, journal: cfg.Journal,
+		tracer: tr, checkSpan: tr.ID("check", w.Name, 0, 0)}
 	if err := ck.walk(baseline, log); err != nil {
 		return nil, err
 	}
+	tr.Span("check", cbegin, wlSpan, obs.Event{
+		FS: caps.Name, Workload: w.Name, States: res.StatesChecked,
+	})
 
 	// Freeze the run's metrics. Counters are copied from the Result fields
 	// — not accumulated on the hot path — so snapshot counters and Result
@@ -457,6 +482,10 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		res.Obs = &snap
 		cfg.Obs.Merge(snap)
 	}
+	tr.Span("workload", runBegin, "", obs.Event{
+		FS: caps.Name, Workload: w.Name,
+		Fences: res.Fences, Violations: len(res.Violations) + res.SuppressedViolations,
+	})
 	cfg.Journal.Emit(obs.Event{
 		Type: "workload", FS: caps.Name, Workload: w.Name, Sys: -1,
 		States: res.StatesChecked, Deduped: res.StatesDeduped,

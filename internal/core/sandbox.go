@@ -107,6 +107,7 @@ func (ck *checker) fold(out checkOutcome) {
 			Fence: out.ctx.fence, Sys: out.ctx.sys, Rank: out.ctx.rank,
 			Phase: out.v.Phase.String(), Kind: out.v.Kind.String(),
 			Detail: firstLine(out.v.Detail),
+			Prefix: ck.tracePrefix(out.ctx.sys),
 		})
 	}
 }
@@ -595,6 +596,22 @@ func stateDigest(img []byte, log *trace.Log, subset []int) uint64 {
 		i = j
 	}
 	return h.Sum64()
+}
+
+// tracePrefix renders the workload's ops up to and including the implicated
+// syscall — the canonical trace prefix violation events carry. A pure
+// function of the workload, so two violations with the same prefix failed
+// at the same point of the same op sequence: the clustering key
+// journaltool -triage groups on (together with Kind and FS).
+func (ck *checker) tracePrefix(sys int) string {
+	if sys < 0 || sys >= len(ck.w.Ops) {
+		return ""
+	}
+	parts := make([]string, 0, sys+1)
+	for i := 0; i <= sys; i++ {
+		parts = append(parts, ck.w.Ops[i].String())
+	}
+	return strings.Join(parts, "; ")
 }
 
 // firstLine truncates a panic rendering to its first line so violation

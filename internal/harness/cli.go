@@ -103,9 +103,9 @@ func BindCLI(fl *flag.FlagSet, def CLIDefaults) *CLIOptions {
 	fl.BoolVar(&c.Stats, "stats", false,
 		"print the per-stage time/counter breakdown after the run")
 	fl.StringVar(&c.Journal, "journal", "",
-		"append one JSONL event per workload/fence/violation/quarantine/retry to this file")
+		"append one JSONL event per workload/fence/violation/quarantine/retry/span to this file")
 	fl.StringVar(&c.DebugAddr, "debug-addr", "",
-		"serve live introspection (/debug/vars, /debug/pprof/, /progress) on this host:port")
+		"serve live introspection (/debug/vars, /debug/metrics, /debug/pprof/, /progress) on this host:port")
 	return c
 }
 
@@ -157,6 +157,10 @@ func (c *CLIOptions) Instrument() (*Instrumentation, error) {
 			return nil, err
 		}
 		in.Journal = j
+		// Local runs trace under fixed (seed 0, shard 0) coordinates, so
+		// the span multiset is comparable across worker counts and reruns;
+		// campaign workers derive per-shard tracers instead.
+		in.Tracer = obs.NewTracer(j, 0, 0)
 	}
 	if c.DebugAddr != "" {
 		ds, err := obs.ServeDebug(c.DebugAddr, in.Col)

@@ -19,6 +19,7 @@ import (
 type Instrumentation struct {
 	Col     *obs.Collector
 	Journal *obs.Journal
+	Tracer  *obs.Tracer
 	Debug   *obs.DebugServer
 	stats   bool
 }
@@ -30,6 +31,7 @@ func (in *Instrumentation) Apply(o *Options) {
 	}
 	o.Obs = in.Col
 	o.Journal = in.Journal
+	o.Tracer = in.Tracer
 }
 
 // EmitRun journals the run-level header event (suite size, target FS).

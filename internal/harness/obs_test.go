@@ -6,6 +6,7 @@ import (
 	"flag"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -84,6 +85,64 @@ func TestSuiteJournalDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(keys[1], keys[4]) {
 		t.Fatalf("suite journal multisets diverge: j=1 has %d events, j=4 has %d",
 			len(keys[1]), len(keys[4]))
+	}
+}
+
+// TestSpanMultisetDeterministic: the canonical span multiset a suite emits
+// is byte-identical between serial and 8-worker runs (engine-level AND
+// suite-level parallelism) — the acceptance contract of the deterministic
+// span layer. Span IDs are pure functions of work coordinates and all
+// engine spans are coordinator-emitted, so only wall-clock fields (cleared
+// by CanonicalKey) may differ.
+func TestSpanMultisetDeterministic(t *testing.T) {
+	sys, _ := SystemByName("pmfs")
+	suite := ace.Seq1()[:6]
+	multisets := map[int]string{}
+	spanCount := 0
+	for _, workers := range []int{1, 8} {
+		var buf bytes.Buffer
+		jr := obs.NewJournal(&buf)
+		opts := Options{
+			Bugs: bugs.None(), Cap: 2, Workers: workers,
+			Journal: jr, Tracer: obs.NewTracer(jr, 0, 0),
+		}
+		if _, _, err := Run(context.Background(), opts.ConfigFor(sys), suite, WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		if err := jr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		events, skipped, err := obs.ReadJournal(&buf)
+		if err != nil || skipped != 0 {
+			t.Fatalf("journal read: err=%v skipped=%d", err, skipped)
+		}
+		var ks []string
+		roots := 0
+		for _, e := range events {
+			if e.Type != "span" {
+				continue
+			}
+			if e.Trace == "" || e.Span == "" {
+				t.Fatalf("span event missing IDs: %+v", e)
+			}
+			if e.Name == "workload" && e.Parent == "" {
+				roots++
+			}
+			ks = append(ks, e.CanonicalKey())
+		}
+		if roots != len(suite) {
+			t.Fatalf("workers=%d: %d root spans, want %d", workers, roots, len(suite))
+		}
+		sort.Strings(ks)
+		spanCount = len(ks)
+		multisets[workers] = strings.Join(ks, "\n")
+	}
+	if spanCount == 0 {
+		t.Fatal("no spans emitted")
+	}
+	if multisets[1] != multisets[8] {
+		t.Fatalf("canonical span multisets diverge between workers=1 and workers=8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+			multisets[1], multisets[8])
 	}
 }
 

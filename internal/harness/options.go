@@ -45,6 +45,9 @@ type Options struct {
 	Obs *obs.Collector
 	// Journal receives run-journal events from every engine run (nil = off).
 	Journal *obs.Journal
+	// Tracer emits deterministic engine-stage spans into the journal
+	// (nil = off; see obs.Tracer).
+	Tracer *obs.Tracer
 	// App selects an application-level workload and its crash-contract
 	// checker instead of the FS-oracle comparison: "" (none, the default)
 	// or "kv" (the WAL KV store, internal/app/kvstore).
@@ -77,6 +80,7 @@ func (o Options) ConfigFor(sys System) core.Config {
 		DisableDeltaMaterialize: o.DisableDeltaMaterialize,
 		Obs:                     o.Obs,
 		Journal:                 o.Journal,
+		Tracer:                  o.Tracer,
 	}
 	if o.App == "kv" {
 		cfg.AppFactory = kvwork.Factory(o.AppBugs)

@@ -19,6 +19,26 @@ type ProgressInfo struct {
 	StatesChecked int     `json:"states_checked"`
 	Violations    int     `json:"violations"`
 	ElapsedSec    float64 `json:"elapsed_sec"`
+	// StatesPerSec is the run's crash-state checking rate so far and
+	// ETASec the projected seconds to completion (workload-weighted;
+	// 0 until the first workload completes). SetProgress derives both
+	// from the elapsed clock when the producer leaves them zero.
+	StatesPerSec float64 `json:"states_per_sec"`
+	ETASec       float64 `json:"eta_sec"`
+}
+
+// derive fills the rate and ETA fields from the elapsed clock when the
+// producer left them zero.
+func (p *ProgressInfo) derive() {
+	if p.ElapsedSec <= 0 {
+		return
+	}
+	if p.StatesPerSec == 0 && p.StatesChecked > 0 {
+		p.StatesPerSec = float64(p.StatesChecked) / p.ElapsedSec
+	}
+	if p.ETASec == 0 && p.Done > 0 && p.Total > p.Done {
+		p.ETASec = p.ElapsedSec * float64(p.Total-p.Done) / float64(p.Done)
+	}
 }
 
 // DebugServer is the opt-in live-introspection listener (-debug-addr): it
@@ -47,6 +67,7 @@ func ServeDebug(addr string, col *Collector) (*DebugServer, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", ds.handleVars)
+	mux.HandleFunc("/debug/metrics", ds.handleMetrics)
 	mux.HandleFunc("/progress", ds.handleProgress)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,6 +97,7 @@ func (ds *DebugServer) SetProgress(p ProgressInfo) {
 	if p.ElapsedSec == 0 {
 		p.ElapsedSec = time.Since(ds.start).Seconds()
 	}
+	p.derive()
 	ds.progress.Store(p)
 }
 
@@ -101,7 +123,17 @@ func (ds *DebugServer) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	if p.ElapsedSec == 0 {
 		p.ElapsedSec = time.Since(ds.start).Seconds()
 	}
+	p.derive()
 	writeJSON(w, p)
+}
+
+// handleMetrics serves the live collector snapshot in Prometheus text
+// exposition format — the same rendering the campaign coordinator mounts
+// at its own /debug/metrics.
+func (ds *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := ds.col.Snapshot()
+	w.Header().Set("Content-Type", MetricsContentType)
+	snap.WriteMetrics(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -23,7 +23,9 @@ type Event struct {
 	// Time is when the event was emitted (filled by Emit when zero).
 	Time time.Time `json:"t"`
 	// Type is the event class: "run", "workload", "fence", "violation",
-	// "quarantine", or "retry".
+	// "quarantine", "retry", "span" (see Tracer), or the campaign-side
+	// diagnostics "shard-quarantine", "heartbeat-refused", and
+	// "shard-watchdog".
 	Type string `json:"type"`
 	// FS names the system under test; Workload the workload involved.
 	FS       string `json:"fs,omitempty"`
@@ -51,6 +53,21 @@ type Event struct {
 	StateKey string `json:"state_key,omitempty"`
 	// Detail is a one-line human-readable cause.
 	Detail string `json:"detail,omitempty"`
+	// Name, Trace, Span, and Parent describe "span" events (see Tracer):
+	// the span's class, its trace, its own deterministic ID, and its
+	// enclosing span ("" for a trace root).
+	Name   string `json:"name,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Worker attributes campaign-side events (heartbeat-refused,
+	// shard-watchdog, shard-lease spans) to a worker ID.
+	Worker string `json:"worker,omitempty"`
+	// Prefix is the canonical trace prefix of a violation event: the
+	// workload's op renderings up to and including the implicated syscall.
+	// A pure function of the workload, it is the clustering key
+	// journaltool -triage groups violations by (with Kind and FS).
+	Prefix string `json:"prefix,omitempty"`
 	// DurNanos is the event's measured duration, where one applies
 	// (workload and fence events).
 	DurNanos int64 `json:"dur_ns,omitempty"`

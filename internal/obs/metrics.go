@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) — the /debug/metrics endpoint shared by the -debug-addr
+// listener and the campaign coordinator. No client library: the format is
+// line-oriented text, and emitting it by hand keeps the package
+// stdlib-only.
+//
+// Mapping:
+//   - every Counter becomes a `chipmunk_<name>_total` counter (emitted in
+//     enum order, zeros included, so the series set is stable);
+//   - every Stage becomes one `{stage=...}` series family of the
+//     `chipmunk_stage_duration_seconds` histogram: the log2 buckets render
+//     as cumulative `_bucket{le=...}` lines (le = 2^i ns in seconds, the
+//     bucket's upper edge) up to the highest occupied bucket, plus the
+//     mandatory `+Inf`, `_sum`, and `_count`;
+//   - the simulated-PM cost-model counters become `chipmunk_pm_*_total`.
+//
+// Output is a deterministic function of the snapshot: fixed iteration
+// order, no timestamps.
+
+// MetricsContentType is the Content-Type for WriteMetrics output.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteMetrics renders the snapshot in Prometheus text exposition format.
+// Nil-safe: a nil snapshot renders the same stable series set with zero
+// values.
+func (s *Snapshot) WriteMetrics(w io.Writer) {
+	for i := Counter(0); i < numCounters; i++ {
+		name := "chipmunk_" + metricName(i.String()) + "_total"
+		fmt.Fprintf(w, "# HELP %s Chipmunk %q counter.\n", name, i.String())
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, s.Count(i))
+	}
+
+	const hist = "chipmunk_stage_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-stage duration histogram (log2 buckets).\n", hist)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", hist)
+	for i := Stage(0); i < numStages; i++ {
+		st := s.Stage(i)
+		hi := -1
+		for b, n := range st.Buckets {
+			if n > 0 {
+				hi = b
+			}
+		}
+		var cum int64
+		for b := 0; b <= hi; b++ {
+			cum += st.Buckets[b]
+			le := float64(uint64(1)<<uint(b)) / 1e9
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", hist, i.String(), formatLE(le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", hist, i.String(), st.Count)
+		fmt.Fprintf(w, "%s_sum{stage=%q} %s\n", hist, i.String(), formatLE(float64(st.Nanos)/1e9))
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", hist, i.String(), st.Count)
+	}
+
+	pm := []struct {
+		name string
+		v    int64
+	}{
+		{"pm_store_bytes", s.pmStats().StoreBytes},
+		{"pm_nt_bytes", s.pmStats().NTBytes},
+		{"pm_flushes", s.pmStats().Flushes},
+		{"pm_lines_flushed", s.pmStats().LinesFlushed},
+		{"pm_fences", s.pmStats().Fences},
+		{"pm_sim_nanos", s.pmStats().SimNanos},
+	}
+	for _, m := range pm {
+		name := "chipmunk_" + m.name + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.v)
+	}
+}
+
+// pmStats returns the PM stats nil-safely.
+func (s *Snapshot) pmStats() PMStats {
+	if s == nil {
+		return PMStats{}
+	}
+	return s.PM
+}
+
+// metricName sanitizes a counter name into the Prometheus identifier
+// alphabet ([a-zA-Z0-9_]): the obs counter names only use '-' outside it.
+func metricName(name string) string {
+	return strings.ReplaceAll(name, "-", "_")
+}
+
+// formatLE renders a bucket edge (seconds) the shortest exact way.
+func formatLE(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteMetricsFormat: the exposition contains every counter (zeros
+// included, stable series set), cumulative histogram buckets ending in
+// +Inf/_sum/_count per stage, and the PM counters.
+func TestWriteMetricsFormat(t *testing.T) {
+	c := New()
+	c.Observe(StageCheck, time.Millisecond)
+	c.Observe(StageCheck, 3*time.Millisecond)
+	c.Inc(CtrStatesChecked)
+	c.Add(CtrDedupHits, 7)
+	c.RecordPM(100, 0, 2, 3, 4, 500)
+	s := c.Snapshot()
+
+	var b strings.Builder
+	s.WriteMetrics(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"chipmunk_states_checked_total 1",
+		"chipmunk_dedup_hit_total 7",
+		"chipmunk_violations_total 0", // untouched counter still in the series set
+		`chipmunk_stage_duration_seconds_bucket{stage="check",le="+Inf"} 2`,
+		`chipmunk_stage_duration_seconds_count{stage="check"} 2`,
+		`chipmunk_stage_duration_seconds_sum{stage="check"} 0.004`,
+		`chipmunk_stage_duration_seconds_count{stage="mount"} 0`,
+		"chipmunk_pm_store_bytes_total 100",
+		"chipmunk_pm_sim_nanos_total 500",
+		"# TYPE chipmunk_stage_duration_seconds histogram",
+		"# TYPE chipmunk_states_checked_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative-bucket invariant: counts along each stage's le series
+	// never decrease, and the last finite bucket equals the +Inf count.
+	var prev, inf int64 = -1, -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, `{stage="check",le=`) {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+		if strings.Contains(line, `le="+Inf"`) {
+			inf = n
+		}
+	}
+	if inf != 2 {
+		t.Fatalf("+Inf bucket = %d, want 2", inf)
+	}
+}
+
+// TestWriteMetricsParses validates the output against the text-format
+// line grammar: every non-comment line is `name{labels} value` with a
+// parsable value — what a Prometheus scraper minimally requires.
+func TestWriteMetricsParses(t *testing.T) {
+	c := New()
+	c.Observe(StageMount, 42*time.Microsecond)
+	c.Inc(CtrWorkloads)
+	snap := c.Snapshot()
+	var b strings.Builder
+	snap.WriteMetrics(&b)
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if !strings.HasPrefix(name, "chipmunk_") {
+			t.Fatalf("unexpected metric name in %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("unbalanced label braces in %q", line)
+		}
+	}
+}
+
+// TestWriteMetricsDeterministic: rendering the same snapshot twice (and a
+// structurally equal snapshot from a merged collector) is byte-identical —
+// the property the CI smoke diffs on.
+func TestWriteMetricsDeterministic(t *testing.T) {
+	c := New()
+	c.Observe(StageReplay, time.Microsecond)
+	c.Add(CtrFences, 9)
+	s := c.Snapshot()
+	var b1, b2 strings.Builder
+	s.WriteMetrics(&b1)
+	s.WriteMetrics(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("repeated renders differ")
+	}
+
+	merged := New()
+	merged.Merge(s)
+	var b3 strings.Builder
+	mergedSnap := merged.Snapshot()
+	mergedSnap.WriteMetrics(&b3)
+	if b3.String() != b1.String() {
+		t.Fatalf("merged render differs:\n%s\nvs\n%s", b3.String(), b1.String())
+	}
+}
+
+// TestWriteMetricsNil: a nil snapshot renders the full zero-valued series
+// set without panicking.
+func TestWriteMetricsNil(t *testing.T) {
+	var s *Snapshot
+	var b strings.Builder
+	s.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"chipmunk_workloads_total 0",
+		`chipmunk_stage_duration_seconds_bucket{stage="oracle",le="+Inf"} 0`,
+		"chipmunk_pm_fences_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("nil metrics missing %q:\n%s", want, out)
+		}
+	}
+}

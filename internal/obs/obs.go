@@ -554,6 +554,9 @@ func (s *Snapshot) Render(wall time.Duration) string {
 			"sum", "", total.Round(time.Microsecond), "", "",
 			100*float64(total)/float64(wall))
 		fmt.Fprintf(&b, "wall-clock: %v\n", wall.Round(time.Microsecond))
+		if sc := s.Count(CtrStatesChecked); sc > 0 {
+			fmt.Fprintf(&b, "throughput: %.1f states/sec\n", float64(sc)/wall.Seconds())
+		}
 	} else {
 		fmt.Fprintf(&b, "%-8s %12s %14v\n", "sum", "", total.Round(time.Microsecond))
 	}

@@ -7,11 +7,13 @@ import (
 )
 
 // TestDisabledSinkAllocs pins the contract the engine's hot path relies
-// on: every method of a nil collector and a nil journal returns without
-// allocating (and Start never reads the clock, returning the zero time).
+// on: every method of a nil collector, a nil journal, and a nil tracer
+// returns without allocating (and Start/Begin never read the clock,
+// returning the zero time).
 func TestDisabledSinkAllocs(t *testing.T) {
 	var c *Collector
 	var j *Journal
+	var tr *Tracer
 	allocs := testing.AllocsPerRun(100, func() {
 		st := c.Start()
 		c.ObserveSince(StageCheck, st)
@@ -20,12 +22,21 @@ func TestDisabledSinkAllocs(t *testing.T) {
 		c.Add(CtrFences, 3)
 		c.RecordPM(1, 2, 3, 4, 5, 6)
 		j.Emit(Event{Type: "fence"})
+		b := tr.Begin()
+		_ = tr.ID("check", "wl", 0, 0)
+		_ = tr.Span("check", b, "", Event{Workload: "wl"})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled sink allocated %v times per op, want 0", allocs)
 	}
 	if !(*Collector)(nil).Start().IsZero() {
 		t.Fatal("nil collector Start() read the clock")
+	}
+	if !(*Tracer)(nil).Begin().IsZero() {
+		t.Fatal("nil tracer Begin() read the clock")
+	}
+	if (*Tracer)(nil).Enabled() || (*Tracer)(nil).Trace() != "" {
+		t.Fatal("nil tracer not fully disabled")
 	}
 }
 
@@ -113,7 +124,7 @@ func TestSnapshotRender(t *testing.T) {
 	c.RecordPM(1, 2, 3, 4, 5, 6)
 	s := c.Snapshot()
 	out := s.Render(10 * time.Millisecond)
-	for _, want := range []string{"mount", "check", "sum", "states-checked=1", "% wall", "pm: "} {
+	for _, want := range []string{"mount", "check", "sum", "states-checked=1", "% wall", "pm: ", "throughput: 100.0 states/sec"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
@@ -121,13 +132,81 @@ func TestSnapshotRender(t *testing.T) {
 	if strings.Contains(out, "oracle") {
 		t.Fatalf("render shows empty stage:\n%s", out)
 	}
-	// Zero wall omits percentages but still renders.
-	if out := s.Render(0); !strings.Contains(out, "mount") {
+	// Zero wall omits percentages, the wall-clock line, and throughput,
+	// but still renders the table.
+	if out := s.Render(0); !strings.Contains(out, "mount") || strings.Contains(out, "throughput") {
 		t.Fatalf("wall-less render broken:\n%s", out)
 	}
 	var nilSnap *Snapshot
 	if got := nilSnap.Render(time.Second); !strings.Contains(got, "no metrics") {
 		t.Fatalf("nil render = %q", got)
+	}
+}
+
+// TestRenderEdgeCases: a snapshot with no states checked renders no
+// throughput line, and an all-empty (but non-nil) snapshot still renders
+// a header and sum row without panicking.
+func TestRenderEdgeCases(t *testing.T) {
+	c := New()
+	c.Observe(StageMount, time.Millisecond)
+	noStates := c.Snapshot()
+	out := noStates.Render(10 * time.Millisecond)
+	if strings.Contains(out, "throughput") {
+		t.Fatalf("throughput rendered without states checked:\n%s", out)
+	}
+	emptySnap := New().Snapshot()
+	out = emptySnap.Render(time.Second)
+	if !strings.Contains(out, "sum") || !strings.Contains(out, "stage") {
+		t.Fatalf("empty snapshot render broken:\n%s", out)
+	}
+	if strings.Contains(out, "counters:") {
+		t.Fatalf("empty snapshot rendered counters line:\n%s", out)
+	}
+}
+
+// TestQuantileEdgeCases pins Quantile's boundary behavior: an empty stat
+// returns 0, a single-bucket stat returns that bucket's upper edge for
+// every q, and quantiles over a merged histogram reflect the combined
+// observation mass, not either input alone.
+func TestQuantileEdgeCases(t *testing.T) {
+	if q := (StageStat{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty stat quantile = %v, want 0", q)
+	}
+
+	// Single bucket: 5 observations of ~1ms all land in one log2 bucket,
+	// so p01 through p100 all return the same upper edge.
+	single := New()
+	for i := 0; i < 5; i++ {
+		single.Observe(StageCheck, time.Millisecond)
+	}
+	singleSnap := single.Snapshot()
+	st := singleSnap.Stage(StageCheck)
+	lo, hi := st.Quantile(0.01), st.Quantile(1.0)
+	if lo != hi {
+		t.Fatalf("single-bucket quantiles differ: p01=%v p100=%v", lo, hi)
+	}
+	if lo < time.Millisecond || lo > 2*time.Millisecond {
+		t.Fatalf("single-bucket edge %v not bracketing 1ms", lo)
+	}
+
+	// Merged histogram: 9 fast observations from one collector, 1 slow from
+	// another. The median must come from the fast mass, p99+ from the slow.
+	fast, slow := New(), New()
+	for i := 0; i < 9; i++ {
+		fast.Observe(StageCheck, time.Microsecond)
+	}
+	slow.Observe(StageCheck, time.Second)
+	merged := fast.Snapshot()
+	merged.Merge(slow.Snapshot())
+	mst := (&merged).Stage(StageCheck)
+	if mst.Count != 10 {
+		t.Fatalf("merged count = %d", mst.Count)
+	}
+	if q := mst.Quantile(0.5); q > time.Millisecond {
+		t.Fatalf("merged p50 = %v, want fast-bucket edge", q)
+	}
+	if q := mst.Quantile(0.99); q < time.Second {
+		t.Fatalf("merged p99 = %v, want slow-bucket edge", q)
 	}
 }
 

@@ -1,0 +1,219 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"chipmunk/internal/obs"
+)
+
+// This file renders span events ("span" journal lines, see obs.Tracer) as
+// per-trace ASCII waterfalls plus a stage critical-path breakdown — the
+// journaltool -timeline view. It consumes RAW journals: the canonical
+// merged stream clears Time and DurNanos by design, so timelines are drawn
+// from the per-worker (or local-run) files before merging.
+
+// timelineBarWidth is the waterfall's bar column in characters.
+const timelineBarWidth = 40
+
+// timelineMaxRows caps the rows rendered per trace; the remainder is
+// summarized in one "(N more spans)" line, never silently dropped.
+const timelineMaxRows = 40
+
+// WriteTimeline renders every trace found in events as a waterfall (spans
+// in start order, bars scaled to the trace's wall-clock extent) followed by
+// an aggregate per-stage breakdown of where the time went. Events that are
+// not spans are ignored, so whole journals can be passed unfiltered.
+// Returns the number of spans rendered (0 = the journal carries no spans,
+// e.g. it was canonicalized, or the run traced nothing).
+func WriteTimeline(w io.Writer, events []obs.Event) (int, error) {
+	byTrace := map[string][]obs.Event{}
+	total := 0
+	for _, e := range events {
+		if e.Type != "span" || e.Trace == "" {
+			continue
+		}
+		byTrace[e.Trace] = append(byTrace[e.Trace], e)
+		total++
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "timeline: no span events (canonicalized journal, or run traced nothing — pass raw per-worker journals)")
+		return 0, nil
+	}
+
+	traces := make([]string, 0, len(byTrace))
+	for id := range byTrace {
+		traces = append(traces, id)
+	}
+	// Trace order: earliest span start, then trace ID — deterministic for a
+	// given set of journals.
+	sort.Slice(traces, func(i, j int) bool {
+		ti, tj := earliestSpan(byTrace[traces[i]]), earliestSpan(byTrace[traces[j]])
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return traces[i] < traces[j]
+	})
+
+	fmt.Fprintf(w, "timeline: %d spans in %d traces\n", total, len(traces))
+	for _, id := range traces {
+		writeTraceWaterfall(w, id, byTrace[id])
+	}
+	writeStageBreakdown(w, byTrace)
+	return total, nil
+}
+
+func earliestSpan(spans []obs.Event) time.Time {
+	t := spans[0].Time
+	for _, s := range spans[1:] {
+		if s.Time.Before(t) {
+			t = s.Time
+		}
+	}
+	return t
+}
+
+// writeTraceWaterfall renders one trace: spans sorted by start time (ties
+// broken by span ID for determinism), bars positioned and scaled against
+// the trace's own [start, end] extent, names indented by tree depth.
+func writeTraceWaterfall(w io.Writer, id string, spans []obs.Event) {
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Time.Equal(spans[j].Time) {
+			return spans[i].Time.Before(spans[j].Time)
+		}
+		if spans[i].Name != spans[j].Name {
+			return spans[i].Name < spans[j].Name
+		}
+		return spans[i].Span < spans[j].Span
+	})
+	start := spans[0].Time
+	var end time.Time
+	for _, s := range spans {
+		if e := s.Time.Add(time.Duration(s.DurNanos)); e.After(end) {
+			end = e
+		}
+	}
+	extent := end.Sub(start)
+	if extent <= 0 {
+		extent = time.Nanosecond
+	}
+	depth := spanDepths(spans)
+
+	fmt.Fprintf(w, "\ntrace %s: %d spans, %v\n", id, len(spans), extent.Round(time.Microsecond))
+	rows := spans
+	more := 0
+	if len(rows) > timelineMaxRows {
+		more = len(rows) - timelineMaxRows
+		rows = rows[:timelineMaxRows]
+	}
+	for _, s := range rows {
+		off := s.Time.Sub(start)
+		dur := time.Duration(s.DurNanos)
+		from := int(int64(timelineBarWidth) * int64(off) / int64(extent))
+		width := int(int64(timelineBarWidth) * int64(dur) / int64(extent))
+		if from >= timelineBarWidth {
+			from = timelineBarWidth - 1
+		}
+		if width < 1 {
+			width = 1
+		}
+		if from+width > timelineBarWidth {
+			width = timelineBarWidth - from
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("#", width) +
+			strings.Repeat(" ", timelineBarWidth-from-width)
+		label := strings.Repeat("  ", depth[s.Span]) + s.Name
+		if s.Workload != "" {
+			label += " " + s.Workload
+		}
+		if s.Name == "fence" {
+			label += fmt.Sprintf(" f%d", s.Fence)
+		}
+		fmt.Fprintf(w, "  %9s %9s |%s| %s\n",
+			"+"+off.Round(time.Microsecond).String(), dur.Round(time.Microsecond), bar, label)
+	}
+	if more > 0 {
+		fmt.Fprintf(w, "  ... (%d more spans)\n", more)
+	}
+}
+
+// spanDepths computes each span's tree depth from Parent links (roots are
+// depth 0; an unknown parent — e.g. the row cap cut it — counts as a root).
+func spanDepths(spans []obs.Event) map[string]int {
+	parent := make(map[string]string, len(spans))
+	for _, s := range spans {
+		if _, ok := parent[s.Span]; !ok {
+			parent[s.Span] = s.Parent
+		}
+	}
+	depth := make(map[string]int, len(spans))
+	for id := range parent {
+		d, cur := 0, id
+		for d < len(spans) { // bound: a cycle could only come from a corrupt journal
+			p := parent[cur]
+			if p == "" {
+				break
+			}
+			if _, ok := parent[p]; !ok {
+				break
+			}
+			d++
+			cur = p
+		}
+		depth[id] = d
+	}
+	return depth
+}
+
+// writeStageBreakdown aggregates span durations by span name across all
+// traces — the critical-path view of where a campaign's wall-clock went
+// (check dominating oracle/record is the paper's expected shape; a fat
+// wire:* row means the fleet is coordination-bound).
+func writeStageBreakdown(w io.Writer, byTrace map[string][]obs.Event) {
+	type agg struct {
+		name  string
+		count int
+		nanos int64
+		max   int64
+	}
+	byName := map[string]*agg{}
+	for _, spans := range byTrace {
+		for _, s := range spans {
+			a := byName[s.Name]
+			if a == nil {
+				a = &agg{name: s.Name}
+				byName[s.Name] = a
+			}
+			a.count++
+			a.nanos += s.DurNanos
+			if s.DurNanos > a.max {
+				a.max = s.DurNanos
+			}
+		}
+	}
+	aggs := make([]*agg, 0, len(byName))
+	var totalNanos int64
+	for _, a := range byName {
+		aggs = append(aggs, a)
+		totalNanos += a.nanos
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].nanos != aggs[j].nanos {
+			return aggs[i].nanos > aggs[j].nanos
+		}
+		return aggs[i].name < aggs[j].name
+	})
+	fmt.Fprintf(w, "\nstage breakdown (by span name, all traces):\n")
+	for _, a := range aggs {
+		share := 0.0
+		if totalNanos > 0 {
+			share = 100 * float64(a.nanos) / float64(totalNanos)
+		}
+		fmt.Fprintf(w, "  %-16s %6d spans  %12v total  %10v max  %5.1f%%\n",
+			a.name, a.count, time.Duration(a.nanos).Round(time.Microsecond),
+			time.Duration(a.max).Round(time.Microsecond), share)
+	}
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"chipmunk/internal/obs"
+)
+
+func ms(n int) int64 { return int64(time.Duration(n) * time.Millisecond) }
+
+// spanFixture builds one trace's worth of synthetic spans: a workload root
+// with a check child and a fence grandchild, shaped like the engine emits.
+func spanFixture(trace string, t0 time.Time) []obs.Event {
+	return []obs.Event{
+		{Type: "span", Name: "workload", Trace: trace, Span: trace + "-root", Workload: "wl",
+			Time: t0, DurNanos: ms(10)},
+		{Type: "span", Name: "check", Trace: trace, Span: trace + "-check", Parent: trace + "-root",
+			Workload: "wl", Time: t0.Add(2 * time.Millisecond), DurNanos: ms(8)},
+		{Type: "span", Name: "fence", Trace: trace, Span: trace + "-f1", Parent: trace + "-check",
+			Workload: "wl", Fence: 1, Time: t0.Add(3 * time.Millisecond), DurNanos: ms(2)},
+	}
+}
+
+// TestWriteTimeline: spans group by trace, rows indent by tree depth, and
+// the stage breakdown aggregates by span name; non-span events are ignored.
+func TestWriteTimeline(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := append(spanFixture("aaaa", t0), spanFixture("bbbb", t0.Add(time.Second))...)
+	events = append(events, obs.Event{Type: "workload", Workload: "wl"}) // ignored
+
+	var sb strings.Builder
+	n, err := WriteTimeline(&sb, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("rendered %d spans, want 6", n)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"6 spans in 2 traces",
+		"trace aaaa: 3 spans",
+		"trace bbbb: 3 spans",
+		"    fence wl f1", // depth 2 => two indent steps
+		"stage breakdown",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// aaaa started a second before bbbb: earliest-start trace order.
+	if strings.Index(out, "trace aaaa") > strings.Index(out, "trace bbbb") {
+		t.Errorf("traces out of start order:\n%s", out)
+	}
+	// Breakdown sorts by total time: workload (20ms) > check (16ms) > fence (4ms).
+	wl, ck, fe := strings.Index(out, "workload "), strings.LastIndex(out, "check "), strings.LastIndex(out, "fence ")
+	bd := strings.Index(out, "stage breakdown")
+	if !(bd < fe && strings.Index(out[bd:], "workload") < strings.Index(out[bd:], "check")) || wl < 0 || ck < 0 {
+		t.Errorf("stage breakdown order wrong:\n%s", out)
+	}
+}
+
+// TestWriteTimelineRowCap: a trace past the row cap summarizes the excess
+// explicitly instead of flooding or silently truncating.
+func TestWriteTimelineRowCap(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var events []obs.Event
+	for i := 0; i < timelineMaxRows+5; i++ {
+		events = append(events, obs.Event{
+			Type: "span", Name: "fence", Trace: "cccc", Span: fmt.Sprintf("s%03d", i),
+			Workload: "wl", Fence: i, Time: t0.Add(time.Duration(i) * time.Millisecond), DurNanos: ms(1),
+		})
+	}
+	var sb strings.Builder
+	if _, err := WriteTimeline(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(5 more spans)") {
+		t.Errorf("row cap not surfaced:\n%s", sb.String())
+	}
+}
+
+// TestWriteTimelineNoSpans: a journal without spans (e.g. canonicalized)
+// renders a pointer to the raw journals, not an empty page or an error.
+func TestWriteTimelineNoSpans(t *testing.T) {
+	var sb strings.Builder
+	n, err := WriteTimeline(&sb, []obs.Event{{Type: "workload"}})
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !strings.Contains(sb.String(), "no span events") {
+		t.Errorf("missing no-spans notice: %s", sb.String())
+	}
+}

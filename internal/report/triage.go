@@ -1,0 +1,155 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"chipmunk/internal/obs"
+)
+
+// This file is the violation triage explorer behind journaltool -triage: it
+// clusters a journal's violation events by (violation kind, file system,
+// canonical trace prefix) into a deduplicated census. The prefix — the
+// workload's op renderings up to the implicated syscall, stamped on each
+// violation event by the engine — is a pure function of the workload, so
+// the census is deterministic for a given event multiset regardless of the
+// order journals were merged in.
+
+// TriageCluster is one deduplicated violation class: every violation event
+// sharing (Kind, FS, Prefix).
+type TriageCluster struct {
+	Kind   string
+	FS     string
+	Prefix string
+	// Count is the number of violation events in the cluster; Workloads the
+	// distinct workload names they came from (sorted).
+	Count     int
+	Workloads []string
+	// Detail is the representative cause line (the lexicographically
+	// smallest in the cluster — stable, not scheduling-dependent); Phases
+	// the distinct crash-phase renderings observed.
+	Detail string
+	Phases []string
+}
+
+// TriageEvents clusters every violation event. Non-violation events are
+// ignored, so whole journals pass unfiltered. Clusters come back sorted:
+// descending count, then kind, FS, prefix — the census order WriteTriage
+// renders and tests diff.
+func TriageEvents(events []obs.Event) []TriageCluster {
+	type key struct{ kind, fs, prefix string }
+	byKey := map[key]*TriageCluster{}
+	workloads := map[key]map[string]bool{}
+	phases := map[key]map[string]bool{}
+	for _, e := range events {
+		if e.Type != "violation" {
+			continue
+		}
+		k := key{e.Kind, e.FS, e.Prefix}
+		c := byKey[k]
+		if c == nil {
+			c = &TriageCluster{Kind: e.Kind, FS: e.FS, Prefix: e.Prefix, Detail: e.Detail}
+			byKey[k] = c
+			workloads[k] = map[string]bool{}
+			phases[k] = map[string]bool{}
+		}
+		c.Count++
+		if e.Detail != "" && (c.Detail == "" || e.Detail < c.Detail) {
+			c.Detail = e.Detail
+		}
+		if e.Workload != "" {
+			workloads[k][e.Workload] = true
+		}
+		if e.Phase != "" {
+			phases[k][e.Phase] = true
+		}
+	}
+	clusters := make([]TriageCluster, 0, len(byKey))
+	for k, c := range byKey {
+		c.Workloads = sortedKeys(workloads[k])
+		c.Phases = sortedKeys(phases[k])
+		clusters = append(clusters, *c)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		a, b := clusters[i], clusters[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.FS != b.FS {
+			return a.FS < b.FS
+		}
+		return a.Prefix < b.Prefix
+	})
+	return clusters
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTriageCensus renders the clusters as the TRIAGE.txt census. The
+// output is deterministic: same event multiset, same bytes.
+func WriteTriageCensus(w io.Writer, clusters []TriageCluster) error {
+	total := 0
+	for _, c := range clusters {
+		total += c.Count
+	}
+	fmt.Fprintf(w, "# Chipmunk violation triage census: %d violations in %d clusters\n",
+		total, len(clusters))
+	fmt.Fprintf(w, "# Clustered by (violation kind, file system, canonical trace prefix).\n")
+	if len(clusters) == 0 {
+		fmt.Fprintf(w, "\nno violations journaled.\n")
+		return nil
+	}
+	for i, c := range clusters {
+		fmt.Fprintf(w, "\n[%d] %s on %s — %d reports\n", i+1, c.Kind, c.FS, c.Count)
+		if c.Prefix != "" {
+			fmt.Fprintf(w, "    trace prefix: %s\n", c.Prefix)
+		}
+		if len(c.Workloads) > 0 {
+			fmt.Fprintf(w, "    workloads (%d): %s\n", len(c.Workloads), strings.Join(capList(c.Workloads, 8), ", "))
+		}
+		if len(c.Phases) > 0 {
+			fmt.Fprintf(w, "    crash phases: %s\n", strings.Join(c.Phases, "; "))
+		}
+		if c.Detail != "" {
+			fmt.Fprintf(w, "    detail: %s\n", c.Detail)
+		}
+	}
+	return nil
+}
+
+// capList bounds a rendered list at n entries with an explicit remainder
+// marker — long lists summarize, never flood.
+func capList(list []string, n int) []string {
+	if len(list) <= n {
+		return list
+	}
+	return append(append([]string{}, list[:n]...), fmt.Sprintf("... %d more", len(list)-n))
+}
+
+// WriteTriage clusters events and persists the census as TRIAGE.txt under
+// the writer's root, returning the path.
+func (w *Writer) WriteTriage(events []obs.Event) (string, error) {
+	var b strings.Builder
+	if err := WriteTriageCensus(&b, TriageEvents(events)); err != nil {
+		return "", err
+	}
+	path := filepath.Join(w.root, "TRIAGE.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chipmunk/internal/obs"
+)
+
+func triageFixture() []obs.Event {
+	return []obs.Event{
+		// Three reports of one bug class: same kind/fs/prefix, different
+		// workloads and crash phases.
+		{Type: "violation", FS: "nova", Workload: "seq1-001", Kind: "content-mismatch",
+			Prefix: "creat(f1); write(f1, 0, 4096)", Phase: "fence 1", Detail: "zzz later detail"},
+		{Type: "violation", FS: "nova", Workload: "seq1-002", Kind: "content-mismatch",
+			Prefix: "creat(f1); write(f1, 0, 4096)", Phase: "fence 2", Detail: "aaa smallest detail"},
+		{Type: "violation", FS: "nova", Workload: "seq1-001", Kind: "content-mismatch",
+			Prefix: "creat(f1); write(f1, 0, 4096)", Phase: "fence 1", Detail: "zzz later detail"},
+		// A different prefix: its own cluster even with the same kind.
+		{Type: "violation", FS: "nova", Workload: "seq1-003", Kind: "content-mismatch",
+			Prefix: "creat(f2)", Phase: "fence 1", Detail: "other bug"},
+		// A different kind and fs.
+		{Type: "violation", FS: "pmfs", Workload: "seq1-004", Kind: "missing-file",
+			Prefix: "creat(f3)", Phase: "post-syscall", Detail: "gone"},
+		// Non-violations are ignored.
+		{Type: "workload", FS: "nova", Workload: "seq1-001"},
+		{Type: "span", Name: "check", Trace: "aaaa", Span: "s1"},
+	}
+}
+
+// TestTriageEvents: violations cluster by (kind, fs, prefix), the
+// representative detail is the lexicographic minimum (stable across
+// scheduling), and clusters sort by descending count.
+func TestTriageEvents(t *testing.T) {
+	clusters := TriageEvents(triageFixture())
+	if len(clusters) != 3 {
+		t.Fatalf("%d clusters, want 3: %+v", len(clusters), clusters)
+	}
+	c := clusters[0]
+	if c.Count != 3 || c.Kind != "content-mismatch" || c.Prefix != "creat(f1); write(f1, 0, 4096)" {
+		t.Fatalf("top cluster: %+v", c)
+	}
+	if c.Detail != "aaa smallest detail" {
+		t.Fatalf("representative detail %q, want the lexicographic minimum", c.Detail)
+	}
+	if len(c.Workloads) != 2 || c.Workloads[0] != "seq1-001" || len(c.Phases) != 2 {
+		t.Fatalf("cluster rollups: %+v", c)
+	}
+}
+
+// TestTriageCensusDeterministic: the rendered census is byte-identical
+// regardless of event order — the property CI's two-merge-orders diff
+// relies on.
+func TestTriageCensusDeterministic(t *testing.T) {
+	events := triageFixture()
+	var a strings.Builder
+	if err := WriteTriageCensus(&a, TriageEvents(events)); err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]obs.Event, len(events))
+	for i, e := range events {
+		rev[len(events)-1-i] = e
+	}
+	var b strings.Builder
+	if err := WriteTriageCensus(&b, TriageEvents(rev)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("census differs by event order:\n--- forward ---\n%s--- reversed ---\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{
+		"5 violations in 3 clusters",
+		"[1] content-mismatch on nova — 3 reports",
+		"trace prefix: creat(f1); write(f1, 0, 4096)",
+		"workloads (2): seq1-001, seq1-002",
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("census missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestWriteTriageFile: the Writer persists the census as TRIAGE.txt; an
+// empty journal still writes a census that says so.
+func TestWriteTriageFile(t *testing.T) {
+	w, err := NewWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.WriteTriage(triageFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "TRIAGE.txt" {
+		t.Fatalf("path %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "3 clusters") {
+		t.Fatalf("TRIAGE.txt content:\n%s", data)
+	}
+
+	empty, err := w.WriteTriage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "no violations journaled") {
+		t.Fatalf("empty census:\n%s", data)
+	}
+}
