@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-check vet
+.PHONY: build test race bench bench-smoke bench-check bench-record profile vet
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,19 @@ bench-smoke:
 # bench-check is the perf regression gate: re-measure and fail if the
 # delta-path ns/state geomean regresses >15% against the committed
 # baseline, after calibrating out machine speed via the full-copy rows.
+# Also reports (informationally) where the run stands against the
+# BENCH_trajectory.jsonl seed and best-known rows.
 bench-check:
 	$(GO) run ./cmd/benchcore -check BENCH_core.json -rounds 10
+
+# bench-record refreshes BENCH_core.json AND appends a dated delta-path
+# summary row (git SHA, geomean ns/state, geomean states/sec) to
+# BENCH_trajectory.jsonl — the perf history that survives baseline
+# refreshes.
+bench-record:
+	$(GO) run ./cmd/benchcore -rounds 10 -record -o BENCH_core.json
+
+# profile writes pprof CPU and heap profiles of the measurement matrix for
+# `go tool pprof bench_cpu.pprof` / `go tool pprof bench_mem.pprof`.
+profile:
+	$(GO) run ./cmd/benchcore -rounds 3 -cpuprofile bench_cpu.pprof -memprofile bench_mem.pprof -o /dev/null

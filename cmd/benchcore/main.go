@@ -21,16 +21,28 @@
 // row carries ns/state, states/sec, and the per-state byte traffic taken
 // from the obs materialization counters — under the delta path the bytes
 // must track the workload's diff, not the device size.
+//
+// The trajectory ledger keeps the perf history across PRs:
+//
+//	benchcore -record                       # append a dated row to BENCH_trajectory.jsonl
+//	benchcore -check BENCH_core.json        # also reports vs the trajectory seed and best rows
+//
+// Each -record row carries the date, git SHA, and the geometric means of the
+// delta rows' ns/state and states/sec. -cpuprofile/-memprofile write pprof
+// profiles of the measurement matrix (see `make profile`).
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -65,13 +77,29 @@ type Report struct {
 	Rows   []Row  `json:"rows"`
 }
 
+// TrajRow is one line of the BENCH_trajectory.jsonl ledger: a dated,
+// SHA-attributed summary of the delta-path rows, appended by -record so the
+// perf history survives baseline refreshes.
+type TrajRow struct {
+	Date            string  `json:"date"`
+	SHA             string  `json:"sha"`
+	Go              string  `json:"go"`
+	FS              string  `json:"fs"`
+	GeoNsPerState   float64 `json:"geomean_ns_per_state"`
+	GeoStatesPerSec float64 `json:"geomean_states_per_sec"`
+}
+
 func main() {
 	var (
-		out       = flag.String("o", "", "write the JSON report here (default stdout)")
-		rounds    = flag.Int("rounds", 3, "runs per cell; the fastest is reported")
-		fsName    = flag.String("fs", "nova", "target file system")
-		check     = flag.String("check", "", "baseline BENCH_core.json to gate against; exit 1 on regression")
-		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression in -check mode")
+		out        = flag.String("o", "", "write the JSON report here (default stdout)")
+		rounds     = flag.Int("rounds", 3, "runs per cell; the fastest is reported")
+		fsName     = flag.String("fs", "nova", "target file system")
+		check      = flag.String("check", "", "baseline BENCH_core.json to gate against; exit 1 on regression")
+		tolerance  = flag.Float64("tolerance", 0.15, "allowed fractional regression in -check mode")
+		record     = flag.Bool("record", false, "append a dated delta-path summary row to the trajectory ledger")
+		trajectory = flag.String("trajectory", "BENCH_trajectory.jsonl", "trajectory ledger path (-record appends, -check reports against it)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement matrix here")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-matrix) here")
 	)
 	flag.Parse()
 
@@ -83,6 +111,11 @@ func main() {
 		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
 	}}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+	}
 	rep := Report{Schema: "bench_core/v1", Go: runtime.Version(), Rounds: *rounds, FS: sys.Name}
 	for _, fullCopy := range []bool{false, true} {
 		for _, workers := range []int{1, 4} {
@@ -91,11 +124,38 @@ func main() {
 			}
 		}
 	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("wrote CPU profile %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fatalIf(err)
+		runtime.GC()
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+		fmt.Printf("wrote heap profile %s\n", *memprofile)
+	}
 
 	if *check != "" {
-		fatalIf(gate(*check, rep, *tolerance))
+		gateErr := gate(*check, rep, *tolerance)
+		reportTrajectory(*trajectory, rep)
+		fatalIf(gateErr)
 		fmt.Printf("perf gate passed against %s (tolerance %.0f%%)\n", *check, *tolerance*100)
 		return
+	}
+
+	if *record {
+		row := TrajRow{
+			Date: time.Now().UTC().Format("2006-01-02"),
+			SHA:  gitSHA(),
+			Go:   rep.Go,
+			FS:   rep.FS,
+		}
+		row.GeoNsPerState, row.GeoStatesPerSec = deltaGeomeans(rep)
+		fatalIf(appendTrajectory(*trajectory, row))
+		fmt.Printf("recorded %s @ %s: geomean %.0f ns/state, %.0f states/sec -> %s\n",
+			row.Date, row.SHA, row.GeoNsPerState, row.GeoStatesPerSec, *trajectory)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -107,6 +167,106 @@ func main() {
 	}
 	fatalIf(os.WriteFile(*out, enc, 0o644))
 	fmt.Printf("wrote %s (%d rows)\n", *out, len(rep.Rows))
+}
+
+// deltaGeomeans summarizes the delta-path rows: geometric mean ns/state and
+// states/sec.
+func deltaGeomeans(rep Report) (ns, sps float64) {
+	var logNs, logSps float64
+	var n int
+	for _, r := range rep.Rows {
+		if r.Mode != "delta" || r.NsPerState <= 0 || r.StatesPerSec <= 0 {
+			continue
+		}
+		logNs += math.Log(r.NsPerState)
+		logSps += math.Log(r.StatesPerSec)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logNs / float64(n)), math.Exp(logSps / float64(n))
+}
+
+// gitSHA best-effort resolves the working tree's short commit SHA.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// readTrajectory parses the JSONL ledger (missing file = empty history).
+func readTrajectory(path string) ([]TrajRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var rows []TrajRow
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r TrajRow
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, sc.Err()
+}
+
+// appendTrajectory appends one JSONL row to the ledger.
+func appendTrajectory(path string, row TrajRow) error {
+	enc, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(enc, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportTrajectory prints where the current run stands against the ledger's
+// seed (first) and best-known rows. Informational only: raw ns/state is
+// machine-dependent, so the hard gate stays with the calibrated baseline.
+func reportTrajectory(path string, rep Report) {
+	rows, err := readTrajectory(path)
+	if err != nil || len(rows) == 0 {
+		return
+	}
+	curNs, curSps := deltaGeomeans(rep)
+	if curNs <= 0 {
+		return
+	}
+	seed := rows[0]
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.GeoNsPerState > 0 && r.GeoNsPerState < best.GeoNsPerState {
+			best = r
+		}
+	}
+	fmt.Printf("trajectory (%s, %d rows, uncalibrated):\n", path, len(rows))
+	fmt.Printf("  current    %8.0f ns/state %8.0f states/sec\n", curNs, curSps)
+	if seed.GeoNsPerState > 0 {
+		fmt.Printf("  seed  %s %8.0f ns/state (current x%.2f)\n", seed.SHA, seed.GeoNsPerState, curNs/seed.GeoNsPerState)
+	}
+	if best.GeoNsPerState > 0 {
+		fmt.Printf("  best  %s %8.0f ns/state (current x%.2f)\n", best.SHA, best.GeoNsPerState, curNs/best.GeoNsPerState)
+	}
 }
 
 // rowKey identifies a matrix cell across reports.

@@ -79,9 +79,11 @@ func (ck *checker) violation(ctx crashCtx, kind ViolationKind, detail string) *V
 		Syscall:  ctx.sys,
 		SysName:  sysName,
 		Phase:    ctx.phase,
-		Subset:   ctx.subset,
-		Kind:     kind,
-		Detail:   detail,
+		// Cloned, not aliased: violations outlive the fence whose arena
+		// backs ctx.subset (see arena.go). Empty subsets stay nil.
+		Subset: append([]int(nil), ctx.subset...),
+		Kind:   kind,
+		Detail: detail,
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"chipmunk/internal/obs"
 	"chipmunk/internal/vfs"
 	"chipmunk/internal/workload"
 )
@@ -67,6 +68,21 @@ type Checker interface {
 	Check(fs vfs.FS, cctx *CheckContext) *Finding
 }
 
+// CrashPointPreparer is an optional Checker extension: the engine calls
+// PrepareCrashPoint on the coordinator goroutine once per crash point,
+// before dispatching any of that point's states to check workers, so the
+// checker can precompute a shared, immutable view (e.g. the oracle snapshot
+// of oracle_checker.go) instead of re-deriving it inside every concurrent
+// Check call. The goroutine spawn gives every worker a happens-before edge
+// on whatever PrepareCrashPoint published; anything it builds must be
+// treated as frozen once Check calls may be in flight. The engine skips the
+// hook entirely under Config.DisableOracleSnapshot, so implementations must
+// also work without preparation (build-per-call), and the differential tests
+// hold them to byte-identical verdicts either way.
+type CrashPointPreparer interface {
+	PrepareCrashPoint(cctx *CheckContext)
+}
+
 // RunEnv is the per-workload context a CheckerFactory builds its Checker
 // from: everything the engine learned in the oracle and record passes.
 type RunEnv struct {
@@ -82,6 +98,10 @@ type RunEnv struct {
 	// SkipUsability mirrors Config.SkipUsability for checkers implementing
 	// the usability probe.
 	SkipUsability bool
+	// Obs is the run's metrics collector for checker-side counters (e.g.
+	// oracle-snapshot-hits). Nil when observability is off; the Collector's
+	// methods are nil-safe, so checkers record unconditionally.
+	Obs *obs.Collector
 }
 
 // CheckerFactory builds the run's Checker. It is invoked once per workload,

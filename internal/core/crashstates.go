@@ -4,7 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"hash/fnv"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,21 +66,61 @@ type checker struct {
 	keyBuf  []byte
 	spans   []span
 
-	// pool holds full-device []byte buffers for the legacy full-copy
-	// materialization path (Config.DisableDeltaMaterialize); imgPool holds
-	// *workerImage pairs for the delta path. Both are primed lazily.
-	pool    sync.Pool
-	imgPool sync.Pool
+	// Per-fence scratch reused across fences (coordinator-only, see
+	// arena.go for the ownership protocol): the dedup map, the distinct
+	// state list, the subset recursion buffer, the parallel outcome slots,
+	// and the arenas behind every crash state's subset/spans/key.
+	seen      map[string]struct{}
+	distinct  []crashState
+	subsetBuf []int
+	outcomes  []checkOutcome
+	subArena  sliceArena[int]
+	spanArena sliceArena[span]
+	keyArena  sliceArena[byte]
 
-	// baseGen is the generation of the coordinator's working image: walk
-	// bumps it each time a fence advances the persistent base, and records
-	// in advance the in-flight writes that advance applied (valid when
-	// advGen == baseGen). A pooled image at baseGen-1 catches up by
-	// replaying advance instead of re-copying the device; see prime.
-	// Written by the coordinator only, between check dispatches.
-	baseGen int64
-	advance []int
-	advGen  int64
+	// abandoned counts sandbox goroutines the dispatcher walked away from
+	// (timeout/cancel); abandonedSeen is the coordinator's high-water mark.
+	// When they differ at a fence boundary the arenas are dropped instead of
+	// reset — an abandoned goroutine may still be reading last fence's
+	// saves. Incremented from check workers, read by the coordinator after
+	// the fence joins them.
+	abandoned     atomic.Int64
+	abandonedSeen int64
+
+	// runID is this run's process-unique pool token (see arena.go);
+	// devSize the device size every pooled grab is keyed by; imgPool the
+	// resolved cross-run image pool (nil under DisableBufferReuse — every
+	// grab is then a fresh allocation).
+	runID   int64
+	devSize int
+	imgPool *sync.Pool
+
+	// prep is the contract's optional per-crash-point hook (nil when the
+	// contract has none or Config.DisableOracleSnapshot is set): the
+	// coordinator calls it once per fence before dispatching that fence's
+	// states, so workers share one immutable snapshot instead of each
+	// rebuilding the oracle-visible view.
+	prep CrashPointPreparer
+
+	// spansCoalesced counts raw write spans merged away during dedup
+	// keying (coordinator-only; mapped to obs.CtrSpansCoalesced at run end).
+	spansCoalesced int64
+
+	// baseGen is the generation of the coordinator's working image: the
+	// walk accumulates fence-applied writes into advAccum (baseDirty set)
+	// and commitBase folds them into one generation step — advance becomes
+	// the accumulated write set (valid when advGen == baseGen), baseGen
+	// bumps once — immediately before the next check dispatch. Committing
+	// lazily means back-to-back fences with no check in between cost ONE
+	// generation, so a pooled image is never more than one generation
+	// behind and catches up by replaying advance instead of re-copying the
+	// device; see prime. Written by the coordinator only, between check
+	// dispatches.
+	baseGen   int64
+	advance   []int
+	advGen    int64
+	advAccum  []int
+	baseDirty bool
 }
 
 func (ck *checker) cancelled() error {
@@ -94,13 +134,21 @@ func (ck *checker) cancelled() error {
 type span struct{ lo, hi int64 }
 
 // crashState is one distinct crash state queued for checking: the replayed
-// in-flight subset plus the merged byte spans its writes cover — the exact
+// in-flight subset, the merged byte spans its writes cover — the exact
 // spans stateKey computed during dedup, reused by the delta materializer as
-// the replay recipe (apply) and the restore recipe (revert). The zero value
-// is a post-syscall state: empty subset, the base image itself.
+// the replay recipe (apply) and the restore recipe (revert) — and the
+// byte-diff dedup key itself. The key's (offset, length, bytes) runs are the
+// state's minimal diff against the fence base: when faults are off the
+// materializer applies and reverts exactly those runs, one copy per merged
+// run, and the quarantine digest hashes the key instead of re-deriving the
+// diff. All three slices are arena-backed and valid until the fence after
+// next begins (see arena.go). The zero value is a post-syscall state: empty
+// subset, no key, the base image itself.
 type crashState struct {
 	subset []int
 	spans  []span
+	key    string
+	keyed  bool
 }
 
 // walk replays the trace, generating crash states at every fence and after
@@ -113,14 +161,24 @@ type crashState struct {
 // system calls use the current persistent image: writes that were never
 // fenced are — correctly — absent, which is how missing-fence bugs surface.
 func (ck *checker) walk(baseline []byte, log *trace.Log) error {
-	// The working image, key scratch, and pool priming are crash-state
-	// construction costs: bill them to the replay stage so the -stats sum
-	// tracks wall-clock.
+	// Key scratch is a crash-state construction cost: bill it to the replay
+	// stage so the -stats sum tracks wall-clock. walk takes ownership of
+	// baseline and advances it in place as the working image — the caller
+	// hands over a private copy, so no defensive copy is needed — and the
+	// device-sized key scratch is a pooled grab released when walk returns.
 	wt := ck.obs.Start()
-	img := append([]byte(nil), baseline...)
-	ck.scratch = make([]byte, len(img))
-	ck.pool.New = func() any { return make([]byte, len(img)) }
-	ck.imgPool.New = func() any { return newWorkerImage(len(img)) }
+	img := baseline
+	ck.devSize = len(img)
+	if !ck.cfg.DisableBufferReuse {
+		ck.imgPool = poolFor(&imagePools, ck.devSize)
+		scr := ck.loanScratch()
+		defer ck.returnScratch(scr)
+	}
+	ck.scratch = grabBuf(len(img), ck.cfg.DisableBufferReuse)
+	defer func() {
+		putBuf(ck.scratch, ck.cfg.DisableBufferReuse)
+		ck.scratch = nil
+	}()
 	// No advance recipe exists yet: a fresh image (gen -1) at generation 0
 	// must full-prime, not replay an empty recipe.
 	ck.advGen = -1
@@ -159,24 +217,27 @@ func (ck *checker) walk(baseline []byte, log *trace.Log) error {
 				}
 			}
 			// Advancing the persistent base past the fence is replay work.
-			// The applied write set is kept as the advance recipe: a pooled
-			// image one generation behind replays it instead of re-copying
-			// the whole device.
-			at := ck.obs.Start()
-			for _, idx := range pending {
-				trace.Apply(img, log.At(idx))
+			// The applied writes accumulate as the pending advance recipe;
+			// commitBase folds them into one generation step right before
+			// the next check dispatch. A fence with nothing in flight
+			// changes no bytes and costs nothing.
+			if len(pending) > 0 {
+				at := ck.obs.Start()
+				for _, idx := range pending {
+					trace.Apply(img, log.At(idx))
+				}
+				ck.advAccum = append(ck.advAccum, pending...)
+				ck.baseDirty = true
+				ck.obs.ObserveSince(obs.StageReplay, at)
+				pending = pending[:0]
 			}
-			ck.advance = append(ck.advance[:0], pending...)
-			ck.baseGen++
-			ck.advGen = ck.baseGen
-			ck.obs.ObserveSince(obs.StageReplay, at)
-			pending = pending[:0]
 		case trace.KindSyscallEnd:
 			lastDone = e.Sys
 			if ck.shouldCheckPost(e.Sys) {
 				if err := ck.cancelled(); err != nil {
 					return err
 				}
+				ck.commitBase()
 				out := ck.checkOne(img, log, crashState{}, crashCtx{phase: PhasePost, sys: e.Sys, oracleIdx: e.Sys + 1})
 				ck.fold(out)
 				if out.cancelled {
@@ -211,6 +272,7 @@ func (ck *checker) shouldCheckPost(sys int) bool {
 // that materialize byte-identical images, and checks the distinct ones —
 // serially or across the worker pool, with identical results either way.
 func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, lastDone int) error {
+	ck.commitBase()
 	full := pending
 	if ck.cfg.VinterFilter {
 		reads := ck.recoveryReadSet(img)
@@ -265,32 +327,41 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 	// lexicographic within a size, the full set last when not already the
 	// final combination — deduplicating as they are generated: each
 	// candidate's key is computed from the enumerator's shared recursion
-	// buffer, and only the distinct ones are copied out (together with their
-	// merged write spans, which the delta materializer reuses as the replay
-	// recipe). Duplicates cost one key computation and zero allocations.
-	// Rank order is the serial checking order, so the parallel path can
-	// restore it when merging results.
+	// buffer, and only the distinct ones are saved (together with their
+	// merged write spans and diff key, which the delta materializer reuses
+	// as the replay and restore recipes). Duplicates cost one key
+	// computation and zero allocations; distinct states cost arena bumps,
+	// not per-state allocations. Rank order is the serial checking order,
+	// so the parallel path can restore it when merging results.
 	//
 	// Dedup key: the exact byte diff against the base image, so equal keys
 	// mean equal images — no hash collisions, no silently skipped distinct
-	// states.
-	seen := make(map[string]struct{}, n*n)
-	var distinct []crashState
+	// states. Map keys are interned views over arena-saved bytes, never
+	// over the shared key scratch.
+	ck.resetFenceScratch()
+	seen := ck.seen
+	distinct := ck.distinct[:0]
 	dedupedHere := 0
 	admit := func(s []int) {
 		k := ck.stateKey(img, log, s)
-		if _, dup := seen[k]; dup {
+		if _, dup := seen[internKey(k)]; dup {
 			ck.res.StatesDeduped++
 			dedupedHere++
 			return
 		}
-		seen[k] = struct{}{}
+		key := internKey(ck.keyArena.save(k))
+		seen[key] = struct{}{}
 		distinct = append(distinct, crashState{
-			subset: append([]int(nil), s...),
-			spans:  append([]span(nil), ck.spans...),
+			subset: ck.subArena.save(s),
+			spans:  ck.spanArena.save(ck.spans),
+			key:    key,
+			keyed:  true,
 		})
 	}
-	subset := make([]int, 0, n)
+	// slices.Grow (not the cap builtin — shadowed by the subset-size cap
+	// above) keeps the recursion buffer allocation-free across fences.
+	ck.subsetBuf = slices.Grow(ck.subsetBuf[:0], n)
+	subset := ck.subsetBuf
 	for size := 1; size <= cap; size++ {
 		combinations(pending, subset, 0, size, admit)
 	}
@@ -299,7 +370,15 @@ func (ck *checker) enumerate(img []byte, log *trace.Log, pending []int, sys, las
 		// (including when the Vinter filter kept nothing in flight).
 		admit(full)
 	}
+	ck.distinct = distinct
 	ck.obs.ObserveSince(obs.StageDedup, dt)
+
+	// One immutable oracle snapshot per crash point, shared by every state
+	// checked at it (nil when the contract has none or the knob is off).
+	if ck.prep != nil && len(distinct) > 0 {
+		c := ctx
+		ck.prep.PrepareCrashPoint(c.check())
+	}
 
 	if err := ck.runChecks(img, log, distinct, ctx); err != nil {
 		return err
@@ -343,7 +422,9 @@ func (ck *checker) runChecks(img []byte, log *trace.Log, distinct []crashState, 
 		return nil
 	}
 
-	outcomes := make([]checkOutcome, len(distinct))
+	outcomes := slices.Grow(ck.outcomes[:0], len(distinct))[:len(distinct)]
+	clear(outcomes)
+	ck.outcomes = outcomes
 	var next int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -371,10 +452,12 @@ func (ck *checker) runChecks(img []byte, log *trace.Log, distinct []crashState, 
 // stateKey returns a canonical fingerprint of the crash image base+subset
 // materializes: the exact byte runs where that image differs from base,
 // encoded as (offset, length, bytes) records. Two subsets produce identical
-// crash images if and only if their keys are equal. Coordinator-only (it
-// reuses ck.scratch).
-func (ck *checker) stateKey(base []byte, log *trace.Log, subset []int) string {
-	// Collect and merge the written intervals.
+// crash images if and only if their keys are equal. The returned slice
+// aliases ck.keyBuf, valid until the next call — callers that keep a key
+// arena-save it first. Coordinator-only (it reuses ck.scratch).
+func (ck *checker) stateKey(base []byte, log *trace.Log, subset []int) []byte {
+	// Collect and coalesce the written intervals once; the merged spans are
+	// the materializer's replay recipe and the dedup scan's bounds.
 	spans := ck.spans[:0]
 	for _, idx := range subset {
 		e := log.At(idx)
@@ -383,37 +466,46 @@ func (ck *checker) stateKey(base []byte, log *trace.Log, subset []int) string {
 		}
 		spans = append(spans, span{e.Off, e.Off + int64(len(e.Data))})
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
-	merged := spans[:0]
-	for _, s := range spans {
-		if len(merged) > 0 && s.lo <= merged[len(merged)-1].hi {
-			if s.hi > merged[len(merged)-1].hi {
-				merged[len(merged)-1].hi = s.hi
-			}
-			continue
-		}
-		merged = append(merged, s)
-	}
+	raw := len(spans)
+	merged := coalesceSpans(spans)
 	ck.spans = merged
+	ck.spansCoalesced += int64(raw - len(merged))
 
-	// Materialize the written ranges over the base bytes, in program order
-	// (ascending log index — the same last-writer-wins order replay uses).
-	for _, s := range merged {
-		copy(ck.scratch[s.lo:s.hi], base[s.lo:s.hi])
-	}
+	// Materialize the written ranges into the scratch buffer, in program
+	// order (ascending log index — the same last-writer-wins order replay
+	// uses). Every byte of every merged span is covered by some write's
+	// extent — the spans ARE the union of those extents — so the applies
+	// fully overwrite the scanned region and no base pre-copy is needed:
+	// scratch bytes outside the spans are never read.
 	for _, idx := range subset {
 		trace.Apply(ck.scratch, log.At(idx))
 	}
 
-	// Emit the differing runs.
+	// Emit the differing runs. Distinct merged spans are separated by at
+	// least one unwritten (base-equal) byte, so runs never cross a span
+	// boundary and this per-span scan emits exactly the records a
+	// whole-image diff would.
+	// The scans move a word at a time where all eight byte pairs agree
+	// (wholly equal, or wholly differing — no zero byte in the XOR), falling
+	// back to bytes at run edges, so run boundaries — and therefore keys —
+	// are bit-identical to the byte-at-a-time scan.
 	key := ck.keyBuf[:0]
 	for _, s := range merged {
-		for i := s.lo; i < s.hi; {
-			if ck.scratch[i] == base[i] {
+		i := s.lo
+		for i < s.hi {
+			for i+8 <= s.hi && binary.LittleEndian.Uint64(ck.scratch[i:]) == binary.LittleEndian.Uint64(base[i:]) {
+				i += 8
+			}
+			for i < s.hi && ck.scratch[i] == base[i] {
 				i++
-				continue
+			}
+			if i >= s.hi {
+				break
 			}
 			j := i + 1
+			for j+8 <= s.hi && !hasZeroByte(binary.LittleEndian.Uint64(ck.scratch[j:])^binary.LittleEndian.Uint64(base[j:])) {
+				j += 8
+			}
 			for j < s.hi && ck.scratch[j] != base[j] {
 				j++
 			}
@@ -424,7 +516,88 @@ func (ck *checker) stateKey(base []byte, log *trace.Log, subset []int) string {
 		}
 	}
 	ck.keyBuf = key
-	return string(key)
+	return key
+}
+
+// hasZeroByte reports whether any byte of x is zero (the classic SWAR
+// zero-byte test), i.e. whether an 8-byte XOR window contains an equal pair.
+func hasZeroByte(x uint64) bool {
+	return (x-0x0101010101010101)&^x&0x8080808080808080 != 0
+}
+
+// coalesceSpans sorts spans by start and merges overlapping or touching
+// intervals in place, returning the merged prefix. Touching spans merge
+// (lo == hi), so distinct merged spans are always separated by at least one
+// byte no write covers — the invariant stateKey's per-span diff scan and the
+// coalesced apply/revert paths rely on.
+func coalesceSpans(spans []span) []span {
+	if len(spans) < 2 {
+		return spans
+	}
+	slices.SortFunc(spans, func(a, b span) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case a.lo > b.lo:
+			return 1
+		default:
+			return 0
+		}
+	})
+	merged := spans[:0]
+	for _, s := range spans {
+		if len(merged) > 0 && s.lo <= merged[len(merged)-1].hi {
+			if s.hi > merged[len(merged)-1].hi {
+				merged[len(merged)-1].hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// resetFenceScratch readies the per-fence scratch for reuse: normally the
+// arenas rewind and the dedup map clears in place (zero allocations in
+// steady state). If any sandbox goroutine was abandoned since the last
+// fence, the arenas are dropped instead — the goroutine may still be
+// reading last fence's subset/spans/key saves, and reusing their memory
+// would race with it. Abandonments are rare (deterministic hangs, run
+// cancellation), so the steady state stays allocation-free.
+func (ck *checker) resetFenceScratch() {
+	if n := ck.abandoned.Load(); n != ck.abandonedSeen {
+		ck.abandonedSeen = n
+		ck.subArena.drop()
+		ck.spanArena.drop()
+		ck.keyArena.drop()
+		ck.seen = nil
+		ck.distinct = nil
+		ck.outcomes = nil
+	} else {
+		ck.subArena.reset()
+		ck.spanArena.reset()
+		ck.keyArena.reset()
+	}
+	if ck.seen == nil {
+		ck.seen = make(map[string]struct{}, 64)
+	} else {
+		clear(ck.seen)
+	}
+}
+
+// commitBase folds the writes fences applied since the last check dispatch
+// into one generation step: advance becomes the accumulated recipe and
+// baseGen bumps once. Coordinator-only, called immediately before dispatching
+// checks — so every pooled image primed at the previous dispatch is exactly
+// one generation (one advance replay) behind, never more.
+func (ck *checker) commitBase() {
+	if !ck.baseDirty {
+		return
+	}
+	ck.advance, ck.advAccum = ck.advAccum, ck.advance[:0]
+	ck.baseGen++
+	ck.advGen = ck.baseGen
+	ck.baseDirty = false
 }
 
 // fenceCtx builds the crash context for a fence inside syscall sys (or

@@ -14,7 +14,6 @@ import (
 	"chipmunk/internal/obs"
 	"chipmunk/internal/persist"
 	"chipmunk/internal/pmem"
-	"chipmunk/internal/trace"
 	"chipmunk/internal/vfs"
 	"chipmunk/internal/workload"
 )
@@ -99,6 +98,25 @@ type Config struct {
 	// differential testing (mirroring DisableSandbox): results are
 	// guaranteed byte-identical either way; only the copy cost differs.
 	DisableDeltaMaterialize bool
+	// DisableCoalescedApply materializes and reverts each crash state per
+	// in-flight store instead of per coalesced byte-diff run — the
+	// pre-coalescing delta engine. Kept for differential testing (results
+	// are guaranteed byte-identical; only the copy count differs). Fault
+	// injection always uses the per-store path regardless, because torn
+	// stores are a per-store phenomenon.
+	DisableCoalescedApply bool
+	// DisableOracleSnapshot stops the engine from offering contracts the
+	// per-crash-point preparation hook (CrashPointPreparer): every check
+	// then re-derives the oracle-visible view itself, as the pre-snapshot
+	// engine did. Kept for differential testing — verdicts are guaranteed
+	// byte-identical; only the per-check setup cost differs.
+	DisableOracleSnapshot bool
+	// DisableBufferReuse gives every device-sized buffer and pooled crash
+	// image a fresh allocation instead of recycling it through the
+	// process-wide size-keyed pools — the pre-pooling allocation behavior.
+	// Kept for differential testing: byte-identical results, pessimal
+	// allocation rate.
+	DisableBufferReuse bool
 	// ExhaustiveLimit overrides the exhaustive-enumeration bound: fences
 	// with more in-flight writes fall back to SafetyCap, counted in
 	// Result.TruncatedFences (0 = DefaultExhaustiveLimit).
@@ -397,18 +415,29 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	// span carries no FS attribution.
 	tr.Span("oracle", obegin, wlSpan, obs.Event{Workload: w.Name})
 
-	// --- Record pass: run the workload on the target, tracing writes.
+	// --- Record pass: run the workload on the target, tracing writes. The
+	// device images and the baseline crash image are pooled grabs — nothing
+	// retains them past the run (workload results carry no device memory,
+	// and walk's sandbox goroutines never see these buffers), so they
+	// recycle at return. WrapImages requires the just-rebooted
+	// volatile == persistent invariant, which two zeroed buffers satisfy.
 	rbegin := tr.Begin()
 	rt := col.Start()
-	dev := pmem.NewDevice(devSize)
+	recVol := grabZeroBuf(int(devSize), cfg.DisableBufferReuse)
+	recPers := grabZeroBuf(int(devSize), cfg.DisableBufferReuse)
+	defer putBuf(recVol, cfg.DisableBufferReuse)
+	defer putBuf(recPers, cfg.DisableBufferReuse)
+	dev := pmem.WrapImages(recVol, recPers)
 	pm := persist.New(dev)
 	pm.TraceStores = cfg.TraceStores
 	target := cfg.NewFS(pm)
 	if err := target.Mkfs(); err != nil {
 		return nil, fmt.Errorf("target mkfs: %w", err)
 	}
-	baseline := dev.CrashImage()
-	log := trace.NewLog()
+	baseline := grabBuf(int(devSize), cfg.DisableBufferReuse)
+	defer putBuf(baseline, cfg.DisableBufferReuse)
+	dev.CrashImageInto(baseline)
+	log := grabLog(cfg.DisableBufferReuse)
 	rec := persist.NewRecorder(log)
 	pm.Attach(rec)
 	targetResults := workload.Run(target, w, workload.Hooks{
@@ -453,13 +482,21 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 		OracleStates:  states,
 		OpResults:     targetResults,
 		SkipUsability: cfg.SkipUsability,
+		Obs:           col,
 	})
 	cbegin := tr.Begin()
 	ck := &checker{ctx: ctx, cfg: cfg, caps: caps, w: w, contract: contract, res: res,
 		obs: col, journal: cfg.Journal,
-		tracer: tr, checkSpan: tr.ID("check", w.Name, 0, 0)}
+		tracer: tr, checkSpan: tr.ID("check", w.Name, 0, 0),
+		runID: runIDs.Add(1)}
+	if !cfg.DisableOracleSnapshot {
+		ck.prep, _ = contract.(CrashPointPreparer)
+	}
 	if err := ck.walk(baseline, log); err != nil {
 		return nil, err
+	}
+	if !cfg.DisableBufferReuse && ck.abandoned.Load() == 0 {
+		logPool.Put(log)
 	}
 	tr.Span("check", cbegin, wlSpan, obs.Event{
 		FS: caps.Name, Workload: w.Name, States: res.StatesChecked,
@@ -471,6 +508,7 @@ func RunContext(ctx context.Context, cfg Config, w workload.Workload) (*Result, 
 	// engine's own determinism guarantee.
 	if col != nil {
 		col.Add(obs.CtrWorkloads, 1)
+		col.Add(obs.CtrSpansCoalesced, ck.spansCoalesced)
 		col.Add(obs.CtrFences, int64(res.Fences))
 		col.Add(obs.CtrStatesChecked, int64(res.StatesChecked))
 		col.Add(obs.CtrDedupHits, int64(res.StatesDeduped))

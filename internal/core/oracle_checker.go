@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"chipmunk/internal/obs"
 	"chipmunk/internal/vfs"
 	"chipmunk/internal/workload"
 )
@@ -17,6 +20,33 @@ import (
 // the usability probe, in that order.
 type oracleChecker struct {
 	env RunEnv
+
+	// snaps caches per-syscall oracle snapshots, keyed by syscall index and
+	// published copy-on-write: PrepareCrashPoint (coordinator-only, called
+	// before a crash point's states are dispatched) stores a NEW map holding
+	// the old entries plus the new one, so concurrent — and even abandoned —
+	// Check calls keep reading whichever map they loaded. Snapshots are
+	// immutable after build; a Check call that finds no cached entry (the
+	// engine skipped preparation, or a bare test checker) builds its own
+	// throwaway snapshot, which is exactly the pre-snapshot per-call cost.
+	snaps atomic.Value // map[int]*oracleSnapshot
+}
+
+// oracleSnapshot is the frozen oracle-visible view of one mid-syscall crash
+// point, shared by every crash state checked at it: the sorted union of the
+// pre- and post-op oracle paths with the per-path facts checkAtomic needs —
+// presence, file states, whether the op modifies the path, and whether a
+// pre/post byte mix is legal there. All fields are read-only after
+// buildSnapshot returns (the copy-on-write invariant PrepareCrashPoint's
+// publication relies on); per-state data stays in checkAtomic's locals.
+type oracleSnapshot struct {
+	sys           int
+	paths         []string
+	index         map[string]int
+	pre, post     []vfs.FileState
+	inPre, inPost []bool
+	modified      []bool
+	mixOK         []bool
 }
 
 // NewOracleChecker builds the default FS-oracle contract — what
@@ -27,10 +57,17 @@ func NewOracleChecker(env RunEnv) Checker {
 
 func (oc *oracleChecker) Name() string { return "fs-oracle" }
 
+// captureScratches recycles crash-state capture storage across checks and
+// runs. Safe because the capture never escapes Check: every consumer (Diff,
+// checkAtomic, usability) reduces it to verdict strings before returning.
+var captureScratches = sync.Pool{New: func() any { return new(vfs.Scratch) }}
+
 // Check applies the oracle contract to one mounted crash state. Safe for
 // concurrent calls: it only reads the run's frozen RunEnv.
 func (oc *oracleChecker) Check(fs vfs.FS, cctx *CheckContext) *Finding {
-	st, err := vfs.Capture(fs)
+	scr := captureScratches.Get().(*vfs.Scratch)
+	defer captureScratches.Put(scr)
+	st, err := vfs.CaptureWith(fs, scr)
 	if err != nil {
 		return &Finding{Kind: VUnreadable, Detail: fmt.Sprintf("reading recovered state failed: %v", err)}
 	}
@@ -56,61 +93,133 @@ func (oc *oracleChecker) Check(fs vfs.FS, cctx *CheckContext) *Finding {
 	return nil
 }
 
+// PrepareCrashPoint implements CrashPointPreparer: it builds and publishes
+// the crash point's oracle snapshot before any of its states reach a check
+// worker. Coordinator-only; fences inside the same syscall reuse the entry.
+func (oc *oracleChecker) PrepareCrashPoint(cctx *CheckContext) {
+	if cctx.Phase != PhaseMid || cctx.Sys < 0 || cctx.Sys+1 >= len(oc.env.OracleStates) {
+		return
+	}
+	old, _ := oc.snaps.Load().(map[int]*oracleSnapshot)
+	if _, ok := old[cctx.Sys]; ok {
+		return
+	}
+	next := make(map[int]*oracleSnapshot, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[cctx.Sys] = oc.buildSnapshot(cctx.Sys)
+	oc.snaps.Store(next)
+}
+
+// snapshotFor returns the crash point's prepared snapshot, or builds a
+// throwaway one when none was published (Config.DisableOracleSnapshot, or a
+// checker used outside an engine run) — the legacy per-check cost, with the
+// identical verdict.
+func (oc *oracleChecker) snapshotFor(cctx *CheckContext) *oracleSnapshot {
+	if m, _ := oc.snaps.Load().(map[int]*oracleSnapshot); m != nil {
+		if s, ok := m[cctx.Sys]; ok {
+			oc.env.Obs.Inc(obs.CtrOracleSnapshotHits)
+			return s
+		}
+	}
+	return oc.buildSnapshot(cctx.Sys)
+}
+
+// buildSnapshot derives one syscall's frozen oracle view: the sorted
+// pre ∪ post path union and the per-path modified/mix facts, computed once
+// instead of once per crash state. The caller guarantees sys is in range.
+func (oc *oracleChecker) buildSnapshot(sys int) *oracleSnapshot {
+	pre := oc.env.OracleStates[sys]
+	post := oc.env.OracleStates[sys+1]
+
+	index := make(map[string]int, len(pre)+len(post))
+	paths := make([]string, 0, len(pre)+len(post))
+	for p := range pre {
+		if _, ok := index[p]; !ok {
+			index[p] = 0
+			paths = append(paths, p)
+		}
+	}
+	for p := range post {
+		if _, ok := index[p]; !ok {
+			index[p] = 0
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	n := len(paths)
+	snap := &oracleSnapshot{
+		sys: sys, paths: paths, index: index,
+		pre: make([]vfs.FileState, n), post: make([]vfs.FileState, n),
+		inPre: make([]bool, n), inPost: make([]bool, n),
+		modified: make([]bool, n), mixOK: make([]bool, n),
+	}
+	mixCtx := &CheckContext{Phase: PhaseMid, Sys: sys}
+	for i, p := range paths {
+		index[p] = i
+		preF, inPre := pre[p]
+		postF, inPost := post[p]
+		snap.pre[i], snap.inPre[i] = preF, inPre
+		snap.post[i], snap.inPost[i] = postF, inPost
+		snap.modified[i] = inPre != inPost || (inPre && inPost && !preF.Equal(postF))
+		snap.mixOK[i] = oc.mixAllowed(mixCtx, p)
+	}
+	return snap
+}
+
 // checkAtomic validates a mid-syscall crash state: every file the call
 // modifies must match either the pre-call or post-call oracle version, all
 // of them the same version; untouched files must be untouched (§3.3
-// "Testing crash states").
+// "Testing crash states"). The per-path oracle facts come from the crash
+// point's shared snapshot; only the crash state itself is examined per call.
 func (oc *oracleChecker) checkAtomic(crash vfs.State, cctx *CheckContext) string {
 	if cctx.Sys < 0 || cctx.Sys+1 >= len(oc.env.OracleStates) {
 		return ""
 	}
-	pre := oc.env.OracleStates[cctx.Sys]
-	post := oc.env.OracleStates[cctx.Sys+1]
+	snap := oc.snapshotFor(cctx)
 
-	paths := map[string]bool{}
-	for p := range pre {
-		paths[p] = true
-	}
-	for p := range post {
-		paths[p] = true
-	}
+	// A crash-only path — present in neither oracle state — is always an
+	// untouched-presence violation. Track the first in sort order so the
+	// verdict is the one the legacy sorted pre ∪ post ∪ crash walk returned:
+	// it fires exactly when the walk would have reached that path before
+	// any other violation.
+	extra := ""
 	for p := range crash {
-		paths[p] = true
+		if _, ok := snap.index[p]; !ok && (extra == "" || p < extra) {
+			extra = p
+		}
 	}
-	sorted := make([]string, 0, len(paths))
-	for p := range paths {
-		sorted = append(sorted, p)
-	}
-	sort.Strings(sorted)
 
 	var sawPre, sawPost []string
-	for _, p := range sorted {
-		preF, inPre := pre[p]
-		postF, inPost := post[p]
+	for i, p := range snap.paths {
+		if extra != "" && extra < p {
+			return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", extra, true)
+		}
 		crashF, inCrash := crash[p]
 
-		modified := inPre != inPost || (inPre && inPost && !preF.Equal(postF))
-		if !modified {
+		if !snap.modified[i] {
 			// Untouched by this call: must match exactly (or be equally
 			// absent).
-			if inPre != inCrash {
+			if snap.inPre[i] != inCrash {
 				return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", p, inCrash)
 			}
-			if inPre && !preF.Equal(crashF) {
+			if snap.inPre[i] && !snap.pre[i].Equal(crashF) {
 				return fmt.Sprintf("%s: untouched file changed\n  crash:  %s\n  oracle: %s",
-					p, crashF.Describe(), preF.Describe())
+					p, crashF.Describe(), snap.pre[i].Describe())
 			}
 			continue
 		}
 
-		matchPre := inPre == inCrash && (!inPre || preF.Equal(crashF))
-		matchPost := inPost == inCrash && (!inPost || postF.Equal(crashF))
+		matchPre := snap.inPre[i] == inCrash && (!snap.inPre[i] || snap.pre[i].Equal(crashF))
+		matchPost := snap.inPost[i] == inCrash && (!snap.inPost[i] || snap.post[i].Equal(crashF))
 		switch {
 		case matchPre:
 			sawPre = append(sawPre, p)
 		case matchPost:
 			sawPost = append(sawPost, p)
-		case oc.mixAllowed(cctx, p) && inCrash && byteMixOK(preF, postF, crashF, inPre, inPost):
+		case snap.mixOK[i] && inCrash && byteMixOK(snap.pre[i], snap.post[i], crashF, snap.inPre[i], snap.inPost[i]):
 			// A torn data write on a system without atomic writes: legal,
 			// and consistent with either version.
 		default:
@@ -120,18 +229,21 @@ func (oc *oracleChecker) checkAtomic(crash vfs.State, cctx *CheckContext) string
 			} else {
 				detail += "\n  crash:  (missing)"
 			}
-			if inPre {
-				detail += "\n  pre:    " + preF.Describe()
+			if snap.inPre[i] {
+				detail += "\n  pre:    " + snap.pre[i].Describe()
 			} else {
 				detail += "\n  pre:    (absent)"
 			}
-			if inPost {
-				detail += "\n  post:   " + postF.Describe()
+			if snap.inPost[i] {
+				detail += "\n  post:   " + snap.post[i].Describe()
 			} else {
 				detail += "\n  post:   (absent)"
 			}
 			return detail
 		}
+	}
+	if extra != "" {
+		return fmt.Sprintf("%s: untouched file presence changed (crash has it: %v)", extra, true)
 	}
 	if len(sawPre) > 0 && len(sawPost) > 0 {
 		return fmt.Sprintf("operation not atomic: %s at pre-op state while %s at post-op state",

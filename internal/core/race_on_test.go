@@ -1,0 +1,6 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether the binary was built with -race.
+const raceDetectorEnabled = true

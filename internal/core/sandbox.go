@@ -171,7 +171,7 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, st crashState, cctx cras
 		Phase:    cctx.phase,
 		Rank:     cctx.rank,
 		Subset:   append([]int(nil), st.subset...),
-		StateKey: stateDigest(img, log, st.subset),
+		StateKey: stateDigest(img, log, st),
 		Kind:     kind,
 		Detail:   detail,
 		Stack:    last.stack,
@@ -182,26 +182,33 @@ func (ck *checker) checkOne(img []byte, log *trace.Log, st crashState, cctx cras
 
 // workerImage is one pooled crash-image pair with its reusable device and
 // undo log. Invariant while pooled: both images hold exactly the contents of
-// the coordinator's working image at generation gen (-1 = never primed).
-// prime re-establishes the invariant for the current generation, applyDelta
+// run `run`'s working image at generation gen (-1 = never primed). prime
+// re-establishes the invariant for the current run and generation, applyDelta
 // perturbs it for one crash state, and release restores it — so a state
 // whose base is already primed costs only its own diff, never a device copy.
+// Images recycle across engine runs through the process-wide pool
+// (arena.go); the run token is what keeps a stale image's generations from
+// aliasing a new run's.
 type workerImage struct {
-	dev        *pmem.Device
-	volatile   []byte
-	persistent []byte
-	undo       *pmem.UndoLog
-	gen        int64
+	dev *pmem.Device
+	// img is the single buffer serving as BOTH the volatile and persistent
+	// image: a just-rebooted device starts with the two identical, and a
+	// crash-state check never examines durability again, so the unified
+	// device (pmem.WrapImage) keeps them fused — halving prime, delta, and
+	// rollback traffic relative to a two-image pair.
+	img  []byte
+	undo *pmem.UndoLog
+	run  int64
+	gen  int64
 }
 
 func newWorkerImage(size int) *workerImage {
 	wi := &workerImage{
-		volatile:   make([]byte, size),
-		persistent: make([]byte, size),
-		undo:       pmem.NewUndoLog(nil),
-		gen:        -1,
+		img:  make([]byte, size),
+		undo: pmem.NewUndoLog(nil),
+		gen:  -1,
 	}
-	wi.dev = pmem.WrapImages(wi.volatile, wi.persistent)
+	wi.dev = pmem.WrapImage(wi.img)
 	wi.dev.TrackUndo(wi.undo)
 	return wi
 }
@@ -242,10 +249,15 @@ func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crash
 		return ck.attemptFullCopy(img, log, st.subset, cctx, timeout)
 	}
 	rt := ck.obs.Start()
-	wi := ck.imgPool.Get().(*workerImage)
+	wi := ck.grabImage()
 	inj := ck.injector(cctx)
+	// With faults off the state's diff key is its exact materialization
+	// recipe: apply (and later revert) each coalesced run once. Fault
+	// injection tears individual stores, so it must go through the
+	// per-store path — a torn prefix can differ from the diff runs.
+	coal := st.keyed && inj == nil && !ck.cfg.DisableCoalescedApply
 	ck.prime(wi, img, log)
-	flipOff, flipped := ck.applyDelta(wi, log, st.subset, inj)
+	flipOff, flipped := ck.applyDelta(wi, log, st, inj, coal)
 	ck.obs.ObserveSince(obs.StageReplay, rt)
 	wi.dev.Reset()
 	wi.dev.InjectFaults(inj)
@@ -291,7 +303,7 @@ func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crash
 	// back to the pool (delta reverted), poisoned ones are retired.
 	finish := func(r attemptResult) attemptResult {
 		if lease.Load() == leaseClean {
-			ck.release(wi, img, st.spans, flipOff, flipped)
+			ck.release(wi, img, st, coal, flipOff, flipped)
 		} else {
 			ck.obs.Inc(obs.CtrImagesRetired)
 		}
@@ -317,6 +329,7 @@ func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crash
 	case <-timerC:
 		if lease.CompareAndSwap(leaseRunning, leaseAbandoned) {
 			ck.obs.Inc(obs.CtrImagesRetired)
+			ck.abandoned.Add(1)
 			return attemptResult{timedOut: true}
 		}
 		// The check finished inside the deadline/CAS race window; its send
@@ -325,6 +338,7 @@ func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crash
 	case <-cancelC:
 		if lease.CompareAndSwap(leaseRunning, leaseAbandoned) {
 			ck.obs.Inc(obs.CtrImagesRetired)
+			ck.abandoned.Add(1)
 			return attemptResult{cancelled: true}
 		}
 		// Reclaim or retire the image, but still report cancellation: a
@@ -334,44 +348,61 @@ func (ck *checker) attempt(img []byte, log *trace.Log, st crashState, cctx crash
 	}
 }
 
-// prime establishes the pooled-image invariant for the current generation:
-// a current image is untouched (zero copies — the empty-subset fast path),
-// an image exactly one generation behind catches up by replaying the last
-// fence's advance recipe (O(advance bytes)), and anything older — fresh
-// from the pool, or stale after the coordinator moved on — is re-primed by
-// full device copy, the only O(device) operation left on the check path.
+// prime establishes the pooled-image invariant for the current run and
+// generation: a current image is untouched (zero copies — the empty-subset
+// fast path), an image exactly one generation behind catches up by replaying
+// the last fence's advance recipe (O(advance bytes)), and anything older —
+// fresh from the pool, left over from a previous run, or stale after the
+// coordinator moved on — is re-primed by full device copy, the only
+// O(device) operation left on the check path. The run-token check comes
+// first: a recycled image's generation numbers are meaningless outside the
+// run that stamped them.
 func (ck *checker) prime(wi *workerImage, base []byte, log *trace.Log) {
-	if wi.gen == ck.baseGen {
-		return
-	}
-	if wi.gen == ck.baseGen-1 && ck.advGen == ck.baseGen {
-		var n int64
-		for _, idx := range ck.advance {
-			e := log.At(idx)
-			trace.Apply(wi.volatile, e)
-			trace.Apply(wi.persistent, e)
-			n += 2 * int64(len(e.Data))
+	if wi.run == ck.runID {
+		if wi.gen == ck.baseGen {
+			return
 		}
-		wi.gen = ck.baseGen
-		ck.obs.Add(obs.CtrBytesPrimed, n)
-		return
+		if wi.gen == ck.baseGen-1 && ck.advGen == ck.baseGen {
+			var n int64
+			for _, idx := range ck.advance {
+				e := log.At(idx)
+				trace.Apply(wi.img, e)
+				n += int64(len(e.Data))
+			}
+			wi.gen = ck.baseGen
+			ck.obs.Add(obs.CtrBytesPrimed, n)
+			return
+		}
 	}
-	copy(wi.volatile, base)
-	copy(wi.persistent, base)
+	copy(wi.img, base)
+	wi.run = ck.runID
 	wi.gen = ck.baseGen
 	ck.obs.Inc(obs.CtrImagePrimes)
-	ck.obs.Add(obs.CtrBytesPrimed, int64(2*len(base)))
+	ck.obs.Add(obs.CtrBytesPrimed, int64(len(base)))
 }
 
-// applyDelta perturbs a primed image into one crash state: the subset's
-// writes land on both images in program order (torn to a word-aligned
-// prefix when the injector says so), then the injected bit flip — applied
-// to the persistent image and mirrored into the volatile one, preserving
-// the just-rebooted volatile == persistent invariant the legacy path got
-// from its full copy. Cost is O(subset bytes), independent of device size.
-func (ck *checker) applyDelta(wi *workerImage, log *trace.Log, subset []int, inj *pmem.Injector) (flipOff int64, flipped bool) {
+// applyDelta perturbs a primed image into one crash state. On the coalesced
+// path (faults off) the state's byte-diff key is the recipe: each merged
+// (offset, length, bytes) run lands on the unified image exactly once —
+// overlapping stores were already resolved, last-writer-wins, when the key
+// was computed. Otherwise the subset's writes land per store in program
+// order (torn to a word-aligned prefix when the injector says so), then the
+// injected bit flip. The just-rebooted volatile == persistent invariant the
+// legacy path establishes by copying is structural here: the unified device
+// serves both images from wi.img. Cost is O(diff bytes) coalesced,
+// O(subset bytes) otherwise; both independent of device size.
+func (ck *checker) applyDelta(wi *workerImage, log *trace.Log, st crashState, inj *pmem.Injector, coal bool) (flipOff int64, flipped bool) {
+	if coal {
+		var n int64
+		forEachKeyRun(st.key, func(off int64, data string) {
+			copy(wi.img[off:off+int64(len(data))], data)
+			n += int64(len(data))
+		})
+		ck.obs.Add(obs.CtrBytesMaterialized, n)
+		return 0, false
+	}
 	var n int64
-	for _, idx := range subset {
+	for _, idx := range st.subset {
 		e := log.At(idx)
 		if !e.IsWrite() {
 			continue
@@ -380,16 +411,13 @@ func (ck *checker) applyDelta(wi *workerImage, log *trace.Log, subset []int, inj
 		if tn < len(e.Data) {
 			ck.obs.Inc(obs.CtrFaultsInjected)
 		}
-		copy(wi.persistent[e.Off:e.Off+int64(tn)], e.Data[:tn])
-		copy(wi.volatile[e.Off:e.Off+int64(tn)], e.Data[:tn])
-		n += 2 * int64(tn)
+		copy(wi.img[e.Off:e.Off+int64(tn)], e.Data[:tn])
+		n += int64(tn)
 	}
 	if inj != nil {
-		var bit int
-		if flipOff, bit, flipped = inj.FlipBit(wi.persistent); flipped {
-			wi.volatile[flipOff] ^= 1 << bit
+		if flipOff, _, flipped = inj.FlipBit(wi.img); flipped {
 			ck.obs.Inc(obs.CtrFaultsInjected)
-			n += 2
+			n++
 		}
 	}
 	ck.obs.Add(obs.CtrBytesMaterialized, n)
@@ -398,27 +426,57 @@ func (ck *checker) applyDelta(wi *workerImage, log *trace.Log, subset []int, inj
 
 // release returns a cleanly-finished image to the pool. The sandbox
 // goroutine already rolled back the guest's mutations, so exactly the delta
-// this attempt applied remains: re-copying the subset's merged spans and
-// the flipped byte from the base restores the pooled-image invariant
-// (contents == base at wi.gen). Span bytes the subset's writes did not
-// change are copied back too — the spans over-approximate the diff — but
-// that is still O(subset bytes). The flip byte may land outside every span;
-// when it lands inside, the span copy has already restored it and the
-// second write is a same-value no-op.
-func (ck *checker) release(wi *workerImage, base []byte, spans []span, flipOff int64, flipped bool) {
+// this attempt applied remains. On the coalesced path only the key's diff
+// runs were written, so only those bytes are re-copied from the base — the
+// minimal restore. Otherwise the subset's merged spans are re-copied (the
+// spans over-approximate the diff) plus the flipped byte, which may land
+// outside every span; when it lands inside, the span copy has already
+// restored it and the second write is a same-value no-op. Either way the
+// pooled-image invariant (contents == base at wi.gen) holds afterward.
+func (ck *checker) release(wi *workerImage, base []byte, st crashState, coal bool, flipOff int64, flipped bool) {
 	var n int64
-	for _, s := range spans {
-		copy(wi.volatile[s.lo:s.hi], base[s.lo:s.hi])
-		copy(wi.persistent[s.lo:s.hi], base[s.lo:s.hi])
-		n += 2 * (s.hi - s.lo)
-	}
-	if flipped {
-		wi.volatile[flipOff] = base[flipOff]
-		wi.persistent[flipOff] = base[flipOff]
-		n += 2
+	if coal {
+		forEachKeyRun(st.key, func(off int64, data string) {
+			copy(wi.img[off:off+int64(len(data))], base[off:off+int64(len(data))])
+			n += int64(len(data))
+		})
+	} else {
+		for _, s := range st.spans {
+			copy(wi.img[s.lo:s.hi], base[s.lo:s.hi])
+			n += s.hi - s.lo
+		}
+		if flipped {
+			wi.img[flipOff] = base[flipOff]
+			n++
+		}
 	}
 	ck.obs.Add(obs.CtrBytesRolledBack, n)
-	ck.imgPool.Put(wi)
+	ck.putImage(wi)
+}
+
+// forEachKeyRun decodes a byte-diff key's (offset, length, bytes) records.
+// The callback's data string aliases the key — no copies.
+func forEachKeyRun(key string, fn func(off int64, data string)) {
+	for i := 0; i+12 <= len(key); {
+		off := int64(beUint64(key[i:]))
+		n := int(beUint32(key[i+8:]))
+		i += 12
+		fn(off, key[i:i+n])
+		i += n
+	}
+}
+
+// beUint64 and beUint32 read big-endian integers from a string without the
+// []byte conversion binary.BigEndian would force (and its allocation).
+func beUint64(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 | uint64(s[3])<<32 |
+		uint64(s[4])<<24 | uint64(s[5])<<16 | uint64(s[6])<<8 | uint64(s[7])
+}
+
+func beUint32(s string) uint32 {
+	_ = s[3]
+	return uint32(s[0])<<24 | uint32(s[1])<<16 | uint32(s[2])<<8 | uint32(s[3])
 }
 
 // attemptFullCopy is the legacy materialization path
@@ -427,8 +485,9 @@ func (ck *checker) release(wi *workerImage, base []byte, spans []span, flipOff i
 // delta path changes nothing.
 func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cctx crashCtx, timeout time.Duration) attemptResult {
 	rt := ck.obs.Start()
-	persistent := ck.pool.Get().([]byte)
-	volatile := ck.pool.Get().([]byte)
+	fresh := ck.cfg.DisableBufferReuse
+	persistent := grabBuf(ck.devSize, fresh)
+	volatile := grabBuf(ck.devSize, fresh)
 	inj := ck.injector(cctx)
 	ck.materialize(persistent, img, log, subset, inj)
 	if inj != nil {
@@ -450,8 +509,8 @@ func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cct
 			if r := recover(); r != nil {
 				// Every attempt re-copies the buffers in full before use,
 				// so they are safe to recycle even after a mid-check panic.
-				ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
-				ck.pool.Put(volatile)   //nolint:staticcheck
+				putBuf(persistent, fresh)
+				putBuf(volatile, fresh)
 				if me, ok := r.(*pmem.MediaError); ok {
 					done <- attemptResult{media: me}
 					return
@@ -468,8 +527,8 @@ func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cct
 
 		// A timed-out check was abandoned together with these buffers; only
 		// the goroutine itself knows when they are safe to recycle.
-		ck.pool.Put(persistent) //nolint:staticcheck
-		ck.pool.Put(volatile)   //nolint:staticcheck
+		putBuf(persistent, fresh)
+		putBuf(volatile, fresh)
 		done <- attemptResult{ok: true, v: v, checkStart: ct}
 	}()
 
@@ -490,8 +549,10 @@ func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cct
 		}
 		return r
 	case <-timerC:
+		ck.abandoned.Add(1)
 		return attemptResult{timedOut: true}
 	case <-cancelC:
+		ck.abandoned.Add(1)
 		return attemptResult{cancelled: true}
 	}
 }
@@ -502,12 +563,13 @@ func (ck *checker) attemptFullCopy(img []byte, log *trace.Log, subset []int, cct
 // default, full-copy under DisableDeltaMaterialize — minus fault injection
 // (faults force the sandbox on).
 func (ck *checker) checkDirect(img []byte, log *trace.Log, st crashState, cctx crashCtx) *Violation {
+	fresh := ck.cfg.DisableBufferReuse
 	if ck.cfg.DisableDeltaMaterialize {
-		persistent := ck.pool.Get().([]byte)
-		volatile := ck.pool.Get().([]byte)
+		persistent := grabBuf(ck.devSize, fresh)
+		volatile := grabBuf(ck.devSize, fresh)
 		defer func() {
-			ck.pool.Put(persistent) //nolint:staticcheck // fixed-size []byte, pooled by design
-			ck.pool.Put(volatile)   //nolint:staticcheck
+			putBuf(persistent, fresh)
+			putBuf(volatile, fresh)
 		}()
 		rt := ck.obs.Start()
 		ck.materialize(persistent, img, log, st.subset, nil)
@@ -518,16 +580,17 @@ func (ck *checker) checkDirect(img []byte, log *trace.Log, st crashState, cctx c
 		return v
 	}
 
-	wi := ck.imgPool.Get().(*workerImage)
+	wi := ck.grabImage()
+	coal := st.keyed && !ck.cfg.DisableCoalescedApply
 	rt := ck.obs.Start()
 	ck.prime(wi, img, log)
-	ck.applyDelta(wi, log, st.subset, nil)
+	ck.applyDelta(wi, log, st, nil, coal)
 	ck.obs.ObserveSince(obs.StageReplay, rt)
 	wi.dev.Reset()
 	v, ct := ck.checkState(wi.dev, cctx, ck.obs.Start())
 	ck.obs.ObserveSince(obs.StageCheck, ct)
 	ck.obs.Add(obs.CtrBytesRolledBack, wi.undo.Rollback())
-	ck.release(wi, img, st.spans, 0, false)
+	ck.release(wi, img, st, coal, 0, false)
 	return v
 }
 
@@ -566,17 +629,24 @@ func (ck *checker) injector(cctx crashCtx) *pmem.Injector {
 // stateDigest fingerprints a crash state for the quarantine ledger: the
 // FNV-64a digest of the byte-diff key (the (offset, length, bytes) runs
 // where the materialized image differs from the fence's base image — the
-// same identity stateKey deduplicates on). Post-syscall states, which ARE
-// their base image, digest the whole image. Only called on quarantine, so
-// the extra allocation is off the hot path; safe from worker goroutines.
-func stateDigest(img []byte, log *trace.Log, subset []int) uint64 {
+// same identity stateKey deduplicates on). Keyed states hash their key
+// directly — the key IS the record stream the legacy digest hashed, so the
+// digests are identical without re-deriving the diff (which used to cost a
+// full-image copy per quarantine). Post-syscall states, which ARE their base
+// image, digest the whole image. The unkeyed-subset fallback re-derives the
+// diff the slow way; it only runs for states built outside enumerate (tests).
+// Safe from worker goroutines.
+func stateDigest(img []byte, log *trace.Log, st crashState) uint64 {
+	if st.keyed {
+		return fnv64a(st.key)
+	}
 	h := fnv.New64a()
-	if len(subset) == 0 {
+	if len(st.subset) == 0 {
 		h.Write(img)
 		return h.Sum64()
 	}
 	scratch := append([]byte(nil), img...)
-	for _, idx := range subset {
+	for _, idx := range st.subset {
 		trace.Apply(scratch, log.At(idx))
 	}
 	var rec [12]byte
@@ -596,6 +666,17 @@ func stateDigest(img []byte, log *trace.Log, subset []int) uint64 {
 		i = j
 	}
 	return h.Sum64()
+}
+
+// fnv64a is hash/fnv's 64-bit FNV-1a over a string, hand-rolled so the hot
+// path never allocates a hasher.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // tracePrefix renders the workload's ops up to and including the implicated

@@ -1,9 +1,28 @@
 package nova
 
 import (
+	"sync"
+
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/vfs"
 )
+
+// pagePool recycles Pwrite's page staging buffers across calls and mounts —
+// the crash-state checker's usability probe writes through a fresh FS on
+// every mounted state, so per-call page allocations would dominate the
+// check loop's heap traffic.
+var pagePool sync.Pool
+
+func grabPage() []byte {
+	if v := pagePool.Get(); v != nil {
+		return v.([]byte)
+	}
+	return make([]byte, PageSize)
+}
+
+func putPage(b []byte) {
+	pagePool.Put(b) //nolint:staticcheck // fixed-size []byte, pooled by design
+}
 
 // maxFileSize bounds file growth so fuzzer-generated offsets cannot exhaust
 // the pool (cf. the paper's §4.4 non-crash-consistency finding that NOVA
@@ -67,13 +86,16 @@ func (f *FS) Pwrite(fd vfs.FD, data []byte, off int64) (int, error) {
 	firstPage := uint64(off / PageSize)
 	lastPage := uint64((end - 1) / PageSize)
 
-	// Phase 1: build the new data pages with NT stores.
+	// Phase 1: build the new data pages with NT stores. The staging buffer
+	// is pooled: the device and the trace both copy the bytes they keep, so
+	// it can be recycled as soon as the page is stored.
 	type pendingPage struct {
 		filePage uint64
 		poolPage uint64
-		content  []byte
 	}
 	var pend []pendingPage
+	content := grabPage()
+	defer putPage(content)
 	for fp := firstPage; fp <= lastPage; fp++ {
 		np, err := f.alloc.alloc()
 		if err != nil {
@@ -82,9 +104,10 @@ func (f *FS) Pwrite(fd vfs.FD, data []byte, off int64) (int, error) {
 			}
 			return 0, err
 		}
-		content := make([]byte, PageSize)
 		if old, ok := d.pages[fp]; ok {
 			f.pm.LoadInto(pageOff(old), content)
+		} else {
+			clear(content)
 		}
 		pageStart := int64(fp) * PageSize
 		from := max64(off, pageStart)
@@ -92,7 +115,7 @@ func (f *FS) Pwrite(fd vfs.FD, data []byte, off int64) (int, error) {
 		copy(content[from-pageStart:], data[from-off:to-off])
 		f.pm.MemcpyNT(pageOff(np), content)
 		f.writePageCsum(np, content)
-		pend = append(pend, pendingPage{fp, np, content})
+		pend = append(pend, pendingPage{fp, np})
 	}
 	f.pm.Fence()
 

@@ -40,6 +40,15 @@ type Options struct {
 	// -full-copy escape hatch, mirroring DisableSandbox, kept for
 	// differential testing and perf comparison. Results are identical.
 	DisableDeltaMaterialize bool
+	// DisableCoalescedApply materializes per in-flight store instead of per
+	// coalesced diff run; DisableOracleSnapshot rebuilds the oracle view in
+	// every check instead of sharing one snapshot per crash point;
+	// DisableBufferReuse allocates fresh device-sized buffers instead of
+	// recycling pooled ones. All three mirror DisableDeltaMaterialize:
+	// legacy code paths kept for differential testing, identical results.
+	DisableCoalescedApply bool
+	DisableOracleSnapshot bool
+	DisableBufferReuse    bool
 	// Obs receives per-stage metrics from every engine run (nil = off;
 	// the engine then skips all clock reads).
 	Obs *obs.Collector
@@ -78,6 +87,9 @@ func (o Options) ConfigFor(sys System) core.Config {
 		ExhaustiveLimit:         o.ExhaustiveLimit,
 		Faults:                  o.Faults,
 		DisableDeltaMaterialize: o.DisableDeltaMaterialize,
+		DisableCoalescedApply:   o.DisableCoalescedApply,
+		DisableOracleSnapshot:   o.DisableOracleSnapshot,
+		DisableBufferReuse:      o.DisableBufferReuse,
 		Obs:                     o.Obs,
 		Journal:                 o.Journal,
 		Tracer:                  o.Tracer,

@@ -137,6 +137,18 @@ const (
 	// suite — a degraded census must stay fingerprint-comparable to a clean
 	// serial run over the same shards.
 	CtrShardsQuarantined
+	// CtrSpansCoalesced counts raw write spans merged away when the engine
+	// coalesces a crash-state subset's adjacent/overlapping byte intervals
+	// into maximal runs before keying and materialization. Coordinator-only
+	// (recorded during dedup enumeration), so deterministic: a pure function
+	// of the checked suite, identical across worker counts.
+	CtrSpansCoalesced
+	// CtrOracleSnapshotHits counts crash-state checks served by a shared
+	// per-crash-point oracle snapshot instead of re-deriving the
+	// oracle-visible view per check. Measurement-class like
+	// CtrFaultsInjected: recorded per check attempt, so sandbox retries
+	// (rare, transient) recount a state's hit.
+	CtrOracleSnapshotHits
 	numCounters
 )
 
@@ -157,7 +169,9 @@ var counterNames = [numCounters]string{
 	CtrBytesPrimed:       "bytes-primed",
 	CtrBytesRolledBack:   "bytes-rolled-back",
 
-	CtrShardsQuarantined: "shards-quarantined",
+	CtrShardsQuarantined:  "shards-quarantined",
+	CtrSpansCoalesced:     "spans-coalesced",
+	CtrOracleSnapshotHits: "oracle-snapshot-hits",
 }
 
 func (c Counter) String() string {
@@ -177,7 +191,7 @@ func (c Counter) Deterministic() bool {
 	switch c {
 	case CtrFaultsInjected, CtrImagePrimes, CtrImagesRetired,
 		CtrBytesMaterialized, CtrBytesPrimed, CtrBytesRolledBack,
-		CtrShardsQuarantined:
+		CtrShardsQuarantined, CtrOracleSnapshotHits:
 		return false
 	}
 	return true

@@ -12,6 +12,8 @@ package persist
 
 import (
 	"encoding/binary"
+	"sync"
+	"sync/atomic"
 
 	"chipmunk/internal/pmem"
 )
@@ -66,6 +68,42 @@ type PM struct {
 	// TraceStores enables per-store probing, emulating instruction-level
 	// tracers like Yat and Vinter for the overhead ablation.
 	TraceStores bool
+
+	// memset is MemsetNT's reusable pattern buffer (non-zero bytes only;
+	// zero fills use the shared zeros buffer) and flushCap Flush's reusable
+	// line-capture buffer. Reuse across calls is safe because every
+	// consumer copies: the device captures the bytes into its own in-flight
+	// storage and probes append private copies.
+	memset   []byte
+	flushCap []byte
+}
+
+// zeroBuf publishes a shared all-zero buffer for MemsetNT's dominant b==0
+// case, so zeroing PM ranges neither allocates nor fills: the device copies
+// the bytes it keeps and the Probe contract forbids mutating data, so the
+// buffer is effectively read-only. Grown (never shrunk) under zeroMu,
+// published atomically so concurrent checkers can read it lock-free.
+var (
+	zeroBuf atomic.Value // []byte
+	zeroMu  sync.Mutex
+)
+
+func zeros(n int) []byte {
+	if b, _ := zeroBuf.Load().([]byte); len(b) >= n {
+		return b[:n]
+	}
+	zeroMu.Lock()
+	defer zeroMu.Unlock()
+	if b, _ := zeroBuf.Load().([]byte); len(b) >= n {
+		return b[:n]
+	}
+	size := 4096
+	for size < n {
+		size *= 2
+	}
+	b := make([]byte, size)
+	zeroBuf.Store(b)
+	return b[:n]
 }
 
 // New wraps mem. Probes can be attached later with Attach.
@@ -102,8 +140,14 @@ func (p *PM) MemcpyNT(off int64, src []byte) {
 
 // MemsetNT writes n copies of b at off with non-temporal stores.
 func (p *PM) MemsetNT(off int64, b byte, n int) {
-	buf := make([]byte, n)
-	if b != 0 {
+	var buf []byte
+	if b == 0 {
+		buf = zeros(n)
+	} else {
+		if cap(p.memset) < n {
+			p.memset = make([]byte, n)
+		}
+		buf = p.memset[:n]
 		for i := range buf {
 			buf[i] = b
 		}
@@ -146,12 +190,22 @@ func (p *PM) Flush(off int64, n int) {
 	if n <= 0 {
 		return
 	}
+	if len(p.probes) == 0 {
+		// No probe wants the capture; skip it. Crash-state check mounts
+		// attach no probes, so this removes a full-range copy from every
+		// flush the recovery and usability paths issue.
+		p.mem.Flush(off, n)
+		return
+	}
 	lo := off &^ (pmem.CacheLineSize - 1)
 	hi := (off + int64(n) + pmem.CacheLineSize - 1) &^ (pmem.CacheLineSize - 1)
 	if hi > p.mem.Size() {
 		hi = p.mem.Size()
 	}
-	capture := make([]byte, hi-lo)
+	if cap(p.flushCap) < int(hi-lo) {
+		p.flushCap = make([]byte, hi-lo)
+	}
+	capture := p.flushCap[:hi-lo]
 	p.mem.Peek(lo, capture)
 	p.mem.Flush(off, n)
 	for _, pr := range p.probes {

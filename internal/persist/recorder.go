@@ -3,8 +3,8 @@ package persist
 import "chipmunk/internal/trace"
 
 // Recorder is the probe Chipmunk attaches to a PM under test. It appends
-// one trace entry per persistence-function call; the data slices are copied
-// so later mutations cannot corrupt the log.
+// one trace entry per persistence-function call; the log copies the data
+// bytes into its own arena, so later mutations cannot corrupt it.
 type Recorder struct {
 	Log *trace.Log
 }
@@ -14,12 +14,12 @@ func NewRecorder(log *trace.Log) *Recorder { return &Recorder{Log: log} }
 
 // OnNT implements Probe.
 func (r *Recorder) OnNT(off int64, data []byte, fn string) {
-	r.Log.Append(trace.KindNT, off, append([]byte(nil), data...), fn)
+	r.Log.Append(trace.KindNT, off, data, fn)
 }
 
 // OnFlush implements Probe.
 func (r *Recorder) OnFlush(off int64, data []byte) {
-	r.Log.Append(trace.KindFlush, off, append([]byte(nil), data...), "flush_buffer")
+	r.Log.Append(trace.KindFlush, off, data, "flush_buffer")
 }
 
 // OnFence implements Probe.
@@ -29,7 +29,7 @@ func (r *Recorder) OnFence() {
 
 // OnStore implements Probe (per-store ablation mode only).
 func (r *Recorder) OnStore(off int64, data []byte) {
-	r.Log.Append(trace.KindStore, off, append([]byte(nil), data...), "store")
+	r.Log.Append(trace.KindStore, off, data, "store")
 }
 
 var _ Probe = (*Recorder)(nil)

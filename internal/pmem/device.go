@@ -74,6 +74,19 @@ type Device struct {
 	// a pooled crash image back instead of re-copying the device.
 	undo *UndoLog
 
+	// reads backs Load results, writes backs in-flight Data captures; both
+	// recycle one buffer per epoch instead of allocating per call (see
+	// byteArena for the lifetime contract).
+	reads  byteArena
+	writes byteArena
+
+	// unified marks a device whose volatile and persistent slices alias the
+	// SAME buffer (see WrapImage): every store is immediately "durable", so
+	// in-flight capture, fence persistence, and flush captures are skipped.
+	// Only meaningful for post-crash checking, where durability is never
+	// examined again — the recording device must stay two-image.
+	unified bool
+
 	stats Stats
 }
 
@@ -119,6 +132,27 @@ func WrapImages(volatile, persistent []byte) *Device {
 	}
 }
 
+// WrapImage builds a unified device over ONE caller-owned buffer serving as
+// both images. A crashed-and-rebooted machine starts with volatile ==
+// persistent, and a crash-state check never crashes again — durability is
+// never examined — so the separation only costs memory and copies there.
+// On a unified device stores are immediately durable: NTStore and Flush
+// capture nothing in flight and Fence has nothing to persist. Guest-visible
+// behavior (loads, media faults, dirty-line tracking) is identical to a
+// two-image device, which the differential tests pin. Do NOT use for
+// recording: crash-state enumeration needs the real in-flight sets.
+func WrapImage(img []byte) *Device {
+	if len(img) == 0 {
+		panic("pmem: WrapImage on empty buffer")
+	}
+	return &Device{
+		volatile:   img,
+		persistent: img,
+		dirty:      make(map[int64]struct{}),
+		unified:    true,
+	}
+}
+
 // TrackUndo attaches an undo log: from now on every mutation of either
 // image — stores and non-temporal stores (volatile), fence persists
 // (persistent), and patches (both) — saves the overwritten range first, so
@@ -137,6 +171,8 @@ func (d *Device) Reset() {
 		delete(d.dirty, k)
 	}
 	d.faults = nil
+	d.reads.reset()
+	d.writes.reset()
 	d.stats = Stats{}
 }
 
@@ -174,7 +210,11 @@ func (d *Device) NTStore(off int64, p []byte) {
 		d.undo.SaveImage(d.volatile, off, len(p))
 	}
 	copy(d.volatile[off:], p)
-	d.inflight = append(d.inflight, InFlight{Kind: KindNT, Off: off, Data: append([]byte(nil), p...)})
+	if !d.unified {
+		data := d.writes.take(len(p))
+		copy(data, p)
+		d.inflight = append(d.inflight, InFlight{Kind: KindNT, Off: off, Data: data})
+	}
 	d.stats.NTBytes += int64(len(p))
 	d.stats.NTStores++
 	d.stats.SimNanos += costNT(len(p))
@@ -193,16 +233,16 @@ func (d *Device) Flush(off int64, n int) {
 	first := off / CacheLineSize
 	last := (off + int64(n) - 1) / CacheLineSize
 	for line := first; line <= last; line++ {
-		lo := line * CacheLineSize
-		hi := lo + CacheLineSize
-		if hi > int64(len(d.volatile)) {
-			hi = int64(len(d.volatile))
+		if !d.unified {
+			lo := line * CacheLineSize
+			hi := lo + CacheLineSize
+			if hi > int64(len(d.volatile)) {
+				hi = int64(len(d.volatile))
+			}
+			data := d.writes.take(int(hi - lo))
+			copy(data, d.volatile[lo:hi])
+			d.inflight = append(d.inflight, InFlight{Kind: KindFlush, Off: lo, Data: data})
 		}
-		d.inflight = append(d.inflight, InFlight{
-			Kind: KindFlush,
-			Off:  lo,
-			Data: append([]byte(nil), d.volatile[lo:hi]...),
-		})
 		delete(d.dirty, line)
 		d.stats.LinesFlushed++
 	}
@@ -222,6 +262,7 @@ func (d *Device) Fence() int {
 		copy(d.persistent[w.Off:], w.Data)
 	}
 	d.inflight = d.inflight[:0]
+	d.writes.reset()
 	d.stats.Fences++
 	if int64(n) > d.stats.MaxInFlight {
 		d.stats.MaxInFlight = int64(n)
@@ -249,12 +290,14 @@ func (d *Device) failOnPoisoned(off int64, n int) {
 	}
 }
 
-// Load copies n bytes at off into a fresh slice, observing the volatile
-// image (i.e. the most recent stores, durable or not).
+// Load copies n bytes at off into an arena-backed slice, observing the
+// volatile image (i.e. the most recent stores, durable or not). The slice is
+// valid until the device is Reset; callers that outlive a reset (none of the
+// file systems do — they are constructed per mount) must copy.
 func (d *Device) Load(off int64, n int) []byte {
 	d.checkRange(off, n)
 	d.failOnPoisoned(off, n)
-	out := make([]byte, n)
+	out := d.reads.take(n)
 	copy(out, d.volatile[off:])
 	d.stats.SimNanos += costLoad(n)
 	return out
@@ -295,6 +338,16 @@ func (d *Device) CrashImage() []byte {
 	return append([]byte(nil), d.persistent...)
 }
 
+// CrashImageInto copies the persistent image into dst, the allocation-free
+// variant of CrashImage for callers that pool their baselines. dst must be
+// exactly device-sized.
+func (d *Device) CrashImageInto(dst []byte) {
+	if len(dst) != len(d.persistent) {
+		panic(fmt.Sprintf("pmem: CrashImageInto buffer size %d, device size %d", len(dst), len(d.persistent)))
+	}
+	copy(dst, d.persistent)
+}
+
 // CrashImageWithSubset returns a crash image with the in-flight writes whose
 // indices appear in subset applied in program order (ascending index),
 // regardless of the order of subset. Indices out of range panic.
@@ -320,10 +373,14 @@ func (d *Device) Patch(off int64, p []byte) {
 	d.checkRange(off, len(p))
 	if d.undo != nil {
 		d.undo.SaveImage(d.volatile, off, len(p))
-		d.undo.SaveImage(d.persistent, off, len(p))
+		if !d.unified {
+			d.undo.SaveImage(d.persistent, off, len(p))
+		}
 	}
 	copy(d.volatile[off:], p)
-	copy(d.persistent[off:], p)
+	if !d.unified {
+		copy(d.persistent[off:], p)
+	}
 }
 
 // VolatileImage returns a copy of the volatile image (what a crash-free

@@ -92,6 +92,7 @@ func NewTrackingDevice(img []byte) *TrackingDevice {
 func (t *TrackingDevice) Rollback() {
 	t.undo.Rollback()
 	t.Device.inflight = t.Device.inflight[:0]
+	t.Device.writes.reset()
 	for k := range t.Device.dirty {
 		delete(t.Device.dirty, k)
 	}

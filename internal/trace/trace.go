@@ -82,9 +82,12 @@ func (e Entry) String() string {
 
 // Log is an append-only sequence of entries. The current syscall index is
 // tracked so persistence-function probes can stamp entries without knowing
-// about the executor.
+// about the executor. Entry data is copied into one log-owned arena rather
+// than allocated per entry; a growth reallocation copies the arena prefix,
+// so earlier entries' Data views stay valid and immutable.
 type Log struct {
 	entries []Entry
+	arena   []byte
 	curSys  int
 }
 
@@ -93,13 +96,29 @@ func NewLog() *Log {
 	return &Log{curSys: -1}
 }
 
+// Reset empties the log for reuse, retaining its entry and arena storage.
+// Callers must guarantee no reader still holds entries from the previous
+// use.
+func (l *Log) Reset() {
+	l.entries = l.entries[:0]
+	l.arena = l.arena[:0]
+	l.curSys = -1
+}
+
 // Append adds an entry, assigning its sequence number and current syscall.
+// The data bytes are copied, so callers may reuse their buffer immediately.
 func (l *Log) Append(kind Kind, off int64, data []byte, name string) {
+	var cp []byte
+	if len(data) > 0 {
+		start := len(l.arena)
+		l.arena = append(l.arena, data...)
+		cp = l.arena[start : start+len(data) : start+len(data)]
+	}
 	l.entries = append(l.entries, Entry{
 		Seq:  len(l.entries),
 		Kind: kind,
 		Off:  off,
-		Data: data,
+		Data: cp,
 		Sys:  l.curSys,
 		Name: name,
 	})

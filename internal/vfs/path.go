@@ -38,6 +38,9 @@ func Clean(path string) string {
 	if path == "" {
 		return "/"
 	}
+	if path == "/" || isClean(path) {
+		return path
+	}
 	parts := strings.Split(path, "/")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
@@ -56,6 +59,26 @@ func Clean(path string) string {
 		return "/"
 	}
 	return "/" + strings.Join(out, "/")
+}
+
+// isClean reports whether path is already in normal form — leading slash,
+// no empty, ".", or ".." components, no trailing slash — so Clean can
+// return it unchanged without splitting. Nearly every path the engine
+// handles is already clean (captures and probes build them with Join), so
+// this fast path removes the split/join allocations from the check loop.
+func isClean(path string) bool {
+	if path[0] != '/' || path[len(path)-1] == '/' {
+		return false
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' && (path[i-1] == '/' || path[i+1] == '.') {
+			return false
+		}
+		if path[i] == '.' && path[i-1] == '/' {
+			return false
+		}
+	}
+	return true
 }
 
 // Join concatenates a directory and a child name.

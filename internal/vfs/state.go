@@ -69,17 +69,93 @@ func equalStrings(a, b []string) bool {
 // absolute path.
 type State map[string]FileState
 
+// Scratch recycles the allocations of repeated Captures: the state map, the
+// file-content buffers, and the directory-entry name slices all come from
+// reusable storage. The State returned by CaptureWith — and every slice it
+// references — is valid only until the next CaptureWith on the same
+// scratch, so use it for transient captures (comparing a crash state
+// against an oracle) and plain Capture for captures that must persist
+// (recording oracle states).
+type Scratch struct {
+	st    State
+	data  []byte
+	dUsed int
+	dNeed int
+	names []string
+	nUsed int
+	nNeed int
+}
+
+// takeData returns an n-byte buffer from the scratch's content arena.
+func (s *Scratch) takeData(n int) []byte {
+	s.dNeed += n
+	if s.dUsed+n > len(s.data) {
+		size := s.dNeed
+		if size < 2*len(s.data) {
+			size = 2 * len(s.data)
+		}
+		if size < 4096 {
+			size = 4096
+		}
+		s.data = make([]byte, size)
+		s.dUsed = 0
+	}
+	b := s.data[s.dUsed : s.dUsed+n : s.dUsed+n]
+	s.dUsed += n
+	return b
+}
+
+// takeNames returns an empty string slice with capacity n from the
+// scratch's name arena.
+func (s *Scratch) takeNames(n int) []string {
+	s.nNeed += n
+	if s.nUsed+n > len(s.names) {
+		size := s.nNeed
+		if size < 2*len(s.names) {
+			size = 2 * len(s.names)
+		}
+		if size < 64 {
+			size = 64
+		}
+		s.names = make([]string, size)
+		s.nUsed = 0
+	}
+	out := s.names[s.nUsed : s.nUsed : s.nUsed+n]
+	s.nUsed += n
+	return out
+}
+
 // Capture walks the mounted file system from the root and records every
-// file and directory, including file contents.
+// file and directory, including file contents. The returned State owns all
+// its memory.
 func Capture(fs FS) (State, error) {
 	st := make(State)
-	if err := captureDir(fs, "/", st); err != nil {
+	if err := captureDir(fs, "/", st, nil); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
 
-func captureDir(fs FS, dir string, st State) error {
+// CaptureWith is Capture backed by reusable scratch storage (nil scratch
+// degrades to Capture). See Scratch for the lifetime contract.
+func CaptureWith(fs FS, s *Scratch) (State, error) {
+	if s == nil {
+		return Capture(fs)
+	}
+	if s.st == nil {
+		s.st = make(State, 16)
+	} else {
+		clear(s.st)
+	}
+	s.dUsed, s.dNeed = 0, 0
+	s.nUsed, s.nNeed = 0, 0
+	if err := captureDir(fs, "/", s.st, s); err != nil {
+		return nil, err
+	}
+	return s.st, nil
+}
+
+func captureDir(fs FS, dir string, st State, s *Scratch) error {
 	info, err := fs.Stat(dir)
 	if err != nil {
 		return fmt.Errorf("stat %s: %w", dir, err)
@@ -88,7 +164,12 @@ func captureDir(fs FS, dir string, st State) error {
 	if err != nil {
 		return fmt.Errorf("readdir %s: %w", dir, err)
 	}
-	names := make([]string, 0, len(ents))
+	var names []string
+	if s != nil {
+		names = s.takeNames(len(ents))
+	} else {
+		names = make([]string, 0, len(ents))
+	}
 	for _, e := range ents {
 		names = append(names, e.Name)
 	}
@@ -108,12 +189,12 @@ func captureDir(fs FS, dir string, st State) error {
 			return fmt.Errorf("stat %s: %w", child, err)
 		}
 		if ci.Type == TypeDir {
-			if err := captureDir(fs, child, st); err != nil {
+			if err := captureDir(fs, child, st, s); err != nil {
 				return err
 			}
 			continue
 		}
-		data, err := readAll(fs, child, ci.Size)
+		data, err := readAll(fs, child, ci.Size, s)
 		if err != nil {
 			return fmt.Errorf("read %s: %w", child, err)
 		}
@@ -130,13 +211,18 @@ func captureDir(fs FS, dir string, st State) error {
 	return nil
 }
 
-func readAll(fs FS, path string, size int64) ([]byte, error) {
+func readAll(fs FS, path string, size int64, s *Scratch) ([]byte, error) {
 	fd, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer fs.Close(fd)
-	buf := make([]byte, size)
+	var buf []byte
+	if s != nil {
+		buf = s.takeData(int(size))
+	} else {
+		buf = make([]byte, size)
+	}
 	n, err := fs.Pread(fd, buf, 0)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // OpKind enumerates the system calls a workload can contain — the ten core
@@ -184,9 +185,38 @@ func Pattern(seed uint32, buf []byte) {
 	}
 }
 
-// Data returns a fresh n-byte pattern buffer.
+// dataCache memoizes Data buffers: the same few (seed, size) pairs are
+// regenerated for every run of a workload (target pass, oracle pass, KV
+// model), and the buffers are immutable once built. Bounded so
+// fuzzer-generated seeds cannot grow it without limit.
+var (
+	dataMu    sync.Mutex
+	dataCache = map[[2]int64][]byte{}
+)
+
+const dataCacheMax = 256
+
+// Data returns the n-byte pattern buffer for seed. The buffer is shared and
+// memoized — callers must treat it as read-only (every consumer stores a
+// copy of the bytes it keeps).
 func Data(seed uint32, n int64) []byte {
+	k := [2]int64{int64(seed), n}
+	dataMu.Lock()
+	if b, ok := dataCache[k]; ok {
+		dataMu.Unlock()
+		return b
+	}
+	dataMu.Unlock()
 	buf := make([]byte, n)
 	Pattern(seed, buf)
+	dataMu.Lock()
+	if len(dataCache) >= dataCacheMax {
+		for old := range dataCache {
+			delete(dataCache, old)
+			break
+		}
+	}
+	dataCache[k] = buf
+	dataMu.Unlock()
 	return buf
 }
