@@ -40,6 +40,7 @@ import (
 	"chipmunk/internal/ace"
 	"chipmunk/internal/campaign"
 	"chipmunk/internal/core"
+	"chipmunk/internal/fleet"
 	"chipmunk/internal/harness"
 	"chipmunk/internal/report"
 	"chipmunk/internal/workload"
@@ -68,18 +69,32 @@ func main() {
 			"(with -worker) watchdog deadline per shard engine call (negative = no watchdog)")
 		poisonShard = flag.Int("poison-shard", -1,
 			"(with -worker) chaos hook: panic on this shard id to model a crash-looping workload (-1 = off)")
+
+		fuzzMode = flag.Bool("fuzz", false,
+			"(with -serve) coordinate a distributed coverage-guided fuzzing soak instead of a suite campaign")
+		budget = flag.String("budget", "",
+			"(with -serve -fuzz) soak budget: a duration (\"2h\") or a total exec count (\"2000\"; exec budgets make the soak byte-reproducible)")
+		fuzzSeed = flag.Int64("fuzz-seed", 1,
+			"(with -serve -fuzz) master fuzzing seed; round r runs with RNG stream splitmix64(seed, r)")
+		roundExecs = flag.Int("round-execs", fleet.DefaultRoundExecs,
+			"(with -serve -fuzz) fuzzing iterations per round lease")
+		genRounds = flag.Int("gen-rounds", fleet.DefaultGenRounds,
+			"(with -serve -fuzz) rounds per generation (the corpus-fold barrier width)")
 	)
 	flag.Parse()
 
 	// -app changes the defaults: the KV suite, and (without an explicit
-	// -fs) a sweep over every supported file system.
-	fsExplicit, suiteExplicit := false, false
+	// -fs) a sweep over every supported file system. -fuzz changes the -cap
+	// default to the fuzzer's 2 (the paper's choice for open-ended search).
+	fsExplicit, suiteExplicit, capExplicit := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "fs":
 			fsExplicit = true
 		case "suite":
 			suiteExplicit = true
+		case "cap":
+			capExplicit = true
 		}
 	})
 	if cli.App != "" && !suiteExplicit {
@@ -98,12 +113,42 @@ func main() {
 	defer inst.Close() //nolint:errcheck // re-checked explicitly below
 	inst.Apply(&opts)
 
+	if *fuzzMode && *serve == "" {
+		fatalIf(errors.New("-fuzz coordinates a distributed soak and needs -serve; for local fuzzing use chipmunkfuzz"))
+	}
+
 	if *serve != "" {
 		if *repro != "" {
 			fatalIf(errors.New("-serve shards a named suite; -repro runs locally"))
 		}
 		sys, _, err := opts.Resolve()
 		fatalIf(err)
+		if *fuzzMode {
+			capVal := opts.Cap
+			if !capExplicit {
+				capVal = 2
+			}
+			fspec := campaign.Spec{
+				FS: cli.FS, Bugs: cli.Bugs,
+				Cap: capVal, Workers: opts.Workers,
+				CheckTimeoutNanos: int64(opts.CheckTimeout),
+				ExhaustiveLimit:   opts.ExhaustiveLimit,
+				FullCopy:          opts.DisableDeltaMaterialize,
+				Faults:            cli.Faults, FaultSeed: cli.FaultSeed,
+				Stats: cli.Stats,
+				App:   cli.App, AppBugs: cli.AppBugs,
+				Fuzz:  true, FuzzSeed: *fuzzSeed,
+				RoundExecs: *roundExecs, GenRounds: *genRounds,
+			}
+			execs, dur, err := fleet.ParseBudget(*budget)
+			fatalIf(err)
+			fspec.BudgetExecs, fspec.BudgetNanos = execs, int64(dur)
+			runFuzzCoordinator(*serve, fspec, coordinatorKnobs{
+				leaseTTL: *leaseTTL, checkpoint: *resume,
+				shardRetries: *shardRetries, wireFaultSeed: *wireFaults,
+			}, sys, inst, cli)
+			return
+		}
 		cspec := campaign.Spec{
 			FS: cli.FS, Bugs: cli.Bugs, Suite: *suite, Max: *max,
 			Cap: opts.Cap, Workers: opts.Workers,
@@ -277,27 +322,44 @@ func runApp(cli *harness.CLIOptions, opts harness.Options, suiteName string,
 
 // runWorker is the -worker mode: the engine spec comes from the
 // coordinator, so only the local knobs (-j, watchdog, observability flags)
-// apply. A coordinator that was never reachable exits with the distinct
-// ExitCoordinatorUnreachable code so fleet tooling can retry joining.
+// apply. One handshake decides the mode — a fuzz spec routes to the fleet
+// fuzzing worker, a suite spec to the campaign worker — so the worker
+// command line is identical for both. A coordinator that was never
+// reachable exits with the distinct ExitCoordinatorUnreachable code so
+// fleet tooling can retry joining.
 func runWorker(addr string, cli *harness.CLIOptions, jobs int, shardTimeout time.Duration, poisonShard int) {
 	inst, err := cli.Instrument()
 	fatalIf(err)
 	ctx, stop := harness.SignalContext(context.Background())
 	defer stop()
-	wc := campaign.WorkerConfig{
-		Addr:         addr,
-		Jobs:         jobs,
-		ShardTimeout: shardTimeout,
-		Journal:      inst.Journal,
-		Logf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
 	}
-	if poisonShard >= 0 {
-		wc.PoisonShards = []int{poisonShard}
-		fmt.Printf("CHAOS: this worker panics on shard %d (-poison-shard)\n", poisonShard)
+	info, err := fleet.FetchSpec(ctx, addr, 0)
+	switch {
+	case err != nil:
+	case info.Spec.Fuzz:
+		err = fleet.RunWorker(ctx, fleet.WorkerConfig{
+			Addr:         addr,
+			RoundTimeout: shardTimeout,
+			Journal:      inst.Journal,
+			Logf:         logf,
+			Info:         info,
+		})
+	default:
+		wc := campaign.WorkerConfig{
+			Addr:         addr,
+			Jobs:         jobs,
+			ShardTimeout: shardTimeout,
+			Journal:      inst.Journal,
+			Logf:         logf,
+		}
+		if poisonShard >= 0 {
+			wc.PoisonShards = []int{poisonShard}
+			fmt.Printf("CHAOS: this worker panics on shard %d (-poison-shard)\n", poisonShard)
+		}
+		err = campaign.RunWorker(ctx, wc)
 	}
-	err = campaign.RunWorker(ctx, wc)
 	stop()
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
@@ -418,6 +480,109 @@ func runCoordinator(addr string, cspec campaign.Spec, knobs coordinatorKnobs,
 		fatalIf(err)
 		fmt.Printf("wrote campaign summary to %s\n", path)
 	})
+}
+
+// runFuzzCoordinator is the -serve -fuzz mode: coordinate a distributed
+// coverage-guided fuzzing soak — round leases, generation-barrier corpus
+// folds, minimization leases — and render the deduplicated bug census.
+// Exit status follows the campaign convention: degraded 3 (rounds dropped,
+// census incomplete), distinct bugs 1, interrupted 130.
+func runFuzzCoordinator(addr string, fspec campaign.Spec, knobs coordinatorKnobs,
+	sys harness.System, inst *harness.Instrumentation, cli *harness.CLIOptions) {
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Spec:           fspec,
+		LeaseTTL:       knobs.leaseTTL,
+		Retries:        knobs.shardRetries,
+		CheckpointPath: knobs.checkpoint,
+		Journal:        inst.Journal,
+		Logf: func(format string, args ...any) {
+			if cli.Verbose {
+				fmt.Printf(format+"\n", args...)
+			}
+		},
+	})
+	fatalIf(err)
+	var handler http.Handler = coord
+	var faultStats func() campaign.WireFaultStats
+	if knobs.wireFaultSeed != 0 {
+		handler, faultStats = campaign.WrapWireFaults(coord, campaign.DefaultWireFaults(knobs.wireFaultSeed))
+		fmt.Printf("CHAOS: wire-fault injector armed (seed %d)\n", knobs.wireFaultSeed)
+	}
+	srv, err := campaign.ListenAndServe(addr, handler)
+	fatalIf(err)
+	info := coord.Info()
+	spec := info.Spec
+	budgetNote := fmt.Sprintf("%d execs", spec.BudgetExecs)
+	if spec.BudgetNanos > 0 {
+		budgetNote = time.Duration(spec.BudgetNanos).String() + " wall-clock"
+	}
+	fmt.Printf("chipmunk fuzz coordinator on %s: soak %s, %s (bugs %s), budget %s in rounds of %d (gen width %d), seed %d, fingerprint %s, lease %v\n",
+		srv.Addr(), info.CampaignID, sys.Name, spec.Bugs, budgetNote,
+		spec.RoundExecs, spec.GenRounds, spec.FuzzSeed, info.SuiteHash, knobs.leaseTTL)
+	fmt.Printf("watch the soak at http://%s%s (JSON: %s, metrics: /debug/metrics)\n",
+		srv.Addr(), campaign.PathDash, campaign.PathStatus)
+	inst.EmitRun(sys.Name, info.Workloads)
+
+	// First SIGINT: stop issuing leases, drain in-flight units to the
+	// checkpoint, report the partial census. Second: force-exit 130.
+	ctx, stop := harness.SignalContextNotify(context.Background(),
+		"interrupt: draining — no new leases; crediting in-flight rounds to the checkpoint (interrupt again to force exit)")
+	defer stop()
+	census, err := coord.Wait(ctx)
+	srv.Close() //nolint:errcheck // listener teardown on the way out
+	stop()
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		coord.Close() //nolint:errcheck // already failing
+		fatalIf(err)
+	}
+	fatalIf(coord.Close())
+	degraded := coord.Degraded()
+
+	status := "done"
+	if interrupted {
+		status = "interrupted (partial census)"
+	}
+	fmt.Printf("\n%s: %d execs in %d rounds, %d crash states checked, corpus %d entries (%d coverage edges)\n",
+		status, census.Execs, census.RoundsCredited, census.StatesChecked,
+		census.CorpusSize, census.CoverageEdges)
+	if census.QuarantinedChecks > 0 {
+		fmt.Printf("sandbox: %d crash states quarantined\n", census.QuarantinedChecks)
+	}
+	st := coord.Stats()
+	fmt.Printf("%s\n", st)
+	if faultStats != nil {
+		fmt.Printf("%s\n", faultStats())
+	}
+	fmt.Printf("distinct bugs: %d\n", len(census.Clusters))
+	for i, b := range census.Clusters {
+		note := ""
+		if b.Minimized && b.Verified {
+			note = ", minimized"
+		}
+		fmt.Printf("  bug %d: %s on %s — %d reports (prefix %s%s)\n",
+			i+1, b.Kind, b.FS, b.Count, b.Prefix, note)
+	}
+	if cli.OutDir != "" {
+		wr, err := report.NewWriter(cli.OutDir)
+		fatalIf(err)
+		path, err := wr.WriteFuzzCensus(census)
+		fatalIf(err)
+		fmt.Printf("wrote fuzzing census to %s\n", path)
+	}
+	if inst.Journal != nil {
+		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), cli.Journal)
+	}
+	fatalIf(inst.Close())
+	if degraded {
+		os.Exit(harness.ExitDegraded)
+	}
+	if len(census.Clusters) > 0 {
+		os.Exit(harness.ExitViolations)
+	}
+	if interrupted {
+		os.Exit(harness.ExitInterrupted)
+	}
 }
 
 // finish prints the census summary, triaged clusters, and optional

@@ -75,8 +75,10 @@ func main() {
 
 	start := time.Now()
 	ran := 0
+	interrupted := false
 	for i := 0; i < *execs; i++ {
 		if ctx.Err() != nil {
+			interrupted = true
 			fmt.Printf("\ninterrupted after %d execs\n", ran)
 			break
 		}
@@ -128,15 +130,20 @@ func main() {
 		fmt.Printf("journal: %d events written to %s\n", inst.Journal.Events(), cli.Journal)
 	}
 	// os.Exit skips defers: flush the journal and stop the listener first.
+	// Status follows the shared harness convention (violations 1, fatal 2,
+	// interrupt 130) so fuzzing pipelines read the same codes as suite runs.
 	fatalIf(inst.Close())
 	if len(fz.Violations) > 0 {
-		os.Exit(1)
+		os.Exit(harness.ExitViolations)
+	}
+	if interrupted {
+		os.Exit(harness.ExitInterrupted)
 	}
 }
 
 func fatalIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chipmunkfuzz:", err)
-		os.Exit(2)
+		os.Exit(harness.ExitFatal)
 	}
 }

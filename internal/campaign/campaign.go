@@ -80,6 +80,28 @@ type Spec struct {
 	// worker must resolve the same app for shard results to be mergeable.
 	App     string `json:"app,omitempty"`
 	AppBugs string `json:"app_bugs,omitempty"`
+
+	// Fuzz switches the campaign into fleet-fuzzing mode (internal/fleet):
+	// leases become coverage-guided fuzzing rounds and minimization tasks
+	// instead of suite shards, and corpus entries travel over the wire.
+	// Workers auto-detect the mode from the handshake spec.
+	Fuzz bool `json:"fuzz,omitempty"`
+	// FuzzSeed is the soak's master seed: round r runs with RNG seed
+	// splitmix64(FuzzSeed, r), so each round's behaviour is a pure function
+	// of (spec, round index, corpus cut).
+	FuzzSeed int64 `json:"fuzz_seed,omitempty"`
+	// BudgetExecs / BudgetNanos bound the soak; exactly one is nonzero
+	// (-budget EXECS or -budget DURATION). Exec budgets make the whole soak
+	// deterministic; duration budgets bound wall-clock instead.
+	BudgetExecs int   `json:"budget_execs,omitempty"`
+	BudgetNanos int64 `json:"budget_ns,omitempty"`
+	// RoundExecs is how many fuzzing iterations one round lease covers;
+	// MinExecs the engine-invocation budget of one minimization task;
+	// GenRounds the generation width (round r's corpus is the canonical
+	// fold of everything discovered in generations before r/GenRounds).
+	RoundExecs int `json:"round_execs,omitempty"`
+	MinExecs   int `json:"min_execs,omitempty"`
+	GenRounds  int `json:"gen_rounds,omitempty"`
 }
 
 // BuildSuite generates the spec's workload suite locally.

@@ -852,6 +852,14 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, wireError{Error: msg})
 }
 
+// WriteJSON and WriteJSONError expose the coordinator's response helpers to
+// the fleet-fuzzing coordinator (internal/fleet), which serves the same wire
+// conventions (JSON bodies, {"error": ...} rejections) on its own handlers.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteJSONError renders a wire rejection; see WriteJSON.
+func WriteJSONError(w http.ResponseWriter, status int, msg string) { writeJSONError(w, status, msg) }
+
 // Server binds a Coordinator to a TCP listener (-serve ADDR).
 type Server struct {
 	ln  net.Listener

@@ -416,6 +416,20 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any, budg
 	return doJSON(ctx, client, http.MethodGet, url, nil, out, budget)
 }
 
+// GetJSON and PostJSON expose the worker wire-call helpers — jittered
+// exponential backoff, ErrCoordinatorGone on budget exhaustion, 400/409
+// retried as in-flight corruption — to the other campaign frontend
+// (internal/fleet's fuzzing workers), so both modes share one retry
+// contract against one coordinator implementation.
+func GetJSON(ctx context.Context, client *http.Client, url string, out any, budget time.Duration) error {
+	return getJSON(ctx, client, url, out, budget)
+}
+
+// PostJSON is the exported form of postJSON; see GetJSON.
+func PostJSON(ctx context.Context, client *http.Client, url string, body, out any, budget time.Duration) error {
+	return postJSON(ctx, client, url, body, out, budget)
+}
+
 // postJSON posts body (JSON) to url and decodes the response into out, with
 // the same retry contract as getJSON. HTTP 400 and 409 are retried like
 // transport errors: 400 means the coordinator could not parse or verify the

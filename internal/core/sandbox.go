@@ -680,19 +680,9 @@ func fnv64a(s string) uint64 {
 }
 
 // tracePrefix renders the workload's ops up to and including the implicated
-// syscall — the canonical trace prefix violation events carry. A pure
-// function of the workload, so two violations with the same prefix failed
-// at the same point of the same op sequence: the clustering key
-// journaltool -triage groups on (together with Kind and FS).
+// syscall — see TracePrefix, which it delegates to.
 func (ck *checker) tracePrefix(sys int) string {
-	if sys < 0 || sys >= len(ck.w.Ops) {
-		return ""
-	}
-	parts := make([]string, 0, sys+1)
-	for i := 0; i <= sys; i++ {
-		parts = append(parts, ck.w.Ops[i].String())
-	}
-	return strings.Join(parts, "; ")
+	return TracePrefix(ck.w, sys)
 }
 
 // firstLine truncates a panic rendering to its first line so violation

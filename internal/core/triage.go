@@ -3,7 +3,32 @@ package core
 import (
 	"sort"
 	"strings"
+
+	"chipmunk/internal/workload"
 )
+
+// TracePrefix renders w's ops up to and including the implicated syscall —
+// the canonical trace prefix violation events carry. A pure function of the
+// workload, so two violations with the same prefix failed at the same point
+// of the same op sequence: the clustering key journaltool -triage and the
+// fleet bug census group on (together with Kind and FS).
+func TracePrefix(w workload.Workload, sys int) string {
+	if sys < 0 || sys >= len(w.Ops) {
+		return ""
+	}
+	parts := make([]string, 0, sys+1)
+	for i := 0; i <= sys; i++ {
+		parts = append(parts, w.Ops[i].String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ClusterKey is the (kind, FS, trace prefix) identity under which repeated
+// hits of one root cause collapse — the triple report.TriageEvents clusters
+// journal events on, reused by crash-reproducer dedup and the fleet census.
+func (v Violation) ClusterKey() string {
+	return v.Kind.String() + "|" + v.FS + "|" + TracePrefix(v.Workload, v.Syscall)
+}
 
 // Cluster groups near-identical violations, mirroring the lexical-similarity
 // triage the paper added to Syzkaller (§3.4.2): fuzzers generate many

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"chipmunk/internal/core"
+	"chipmunk/internal/fuzz"
+	"chipmunk/internal/obs"
+	"chipmunk/internal/workload"
+)
+
+// Node runs one fuzzing round: a fresh fuzz.Fuzzer seeded with the round's
+// RNG seed and the coordinator's corpus cut, absorbed in log order (the log
+// IS the canonical order — each entry was admitted exactly because it
+// carried a then-unseen signature, so replaying it in order reconstructs
+// the same corpus and coverage on every worker). Everything a round
+// produces is a pure function of (spec, round index, corpus cut).
+type Node struct {
+	fz *fuzz.Fuzzer
+	// progress mirrors fz.StatesChecked after each completed iteration; the
+	// heartbeat goroutine reads it concurrently with RunRound, so it cannot
+	// touch the fuzzer's plain fields directly.
+	progress atomic.Int64
+}
+
+// RoundDelta is what one round contributed, ready for the wire.
+type RoundDelta struct {
+	Execs             int
+	StatesChecked     int
+	RetriedChecks     int
+	QuarantinedChecks int
+	NewEntries        []CorpusEntry
+	Violations        []FuzzViolation
+	Obs               *obs.Snapshot
+}
+
+// NewNode builds a round's fuzzer from the coordinator's corpus cut.
+// Entries that fail to parse are rejected as corrupt — a node must never
+// silently fuzz against a different corpus than its peers.
+func NewNode(cfg core.Config, seed int64, kv bool, corpus []CorpusEntry) (*Node, error) {
+	fz := fuzz.New(cfg, seed, nil)
+	fz.KV = kv
+	for i, e := range corpus {
+		w, err := workload.Parse(e.Text)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: corpus entry %d unparseable: %w", i, err)
+		}
+		fz.Absorb(w, e.Sigs)
+	}
+	return &Node{fz: fz}, nil
+}
+
+// RunRound executes execs fuzzing iterations and collects the round's
+// delta. Cancellation between iterations returns the partial delta with
+// ctx's error; the caller discards it (the lease expires and the round
+// re-runs whole elsewhere — partial rounds are never credited).
+func (n *Node) RunRound(ctx context.Context, execs int) (RoundDelta, error) {
+	var d RoundDelta
+	for i := 0; i < execs; i++ {
+		if err := ctx.Err(); err != nil {
+			return d, err
+		}
+		sd, err := n.fz.StepDelta()
+		if err != nil {
+			return d, err
+		}
+		if sd.Admitted {
+			e := CorpusEntry{Text: workload.Format(sd.Workload), Sigs: sd.AllSigs}
+			e.Sum = EntrySum(e)
+			d.NewEntries = append(d.NewEntries, e)
+		}
+		for _, v := range sd.Result.Violations {
+			d.Violations = append(d.Violations, NewFuzzViolation(v))
+		}
+		n.progress.Store(int64(n.fz.StatesChecked))
+	}
+	d.Execs = n.fz.Execs
+	d.StatesChecked = n.fz.StatesChecked
+	d.RetriedChecks = n.fz.RetriedChecks
+	d.QuarantinedChecks = n.fz.Quarantined
+	d.Obs = n.fz.ObsTotals
+	return d, nil
+}
+
+// Progress reports crash states checked so far (heartbeat piggyback).
+// Safe to call concurrently with RunRound.
+func (n *Node) Progress() int { return int(n.progress.Load()) }

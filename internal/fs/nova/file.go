@@ -251,12 +251,14 @@ func (f *FS) Truncate(path string, size int64) error {
 func (f *FS) truncateShrink(d *dnode, size int64) error {
 	oldSize := d.size
 
-	// Pages fully beyond the new size will be freed.
+	// Pages fully beyond the new size will be freed. Collected in file-page
+	// order: the list lands on PM via the Fortis free-log, so its order is
+	// image content, not a DRAM detail.
 	var freed []uint64
 	firstDead := uint64((size + PageSize - 1) / PageSize)
-	for fp, pp := range d.pages {
+	for _, fp := range sortedPageKeys(d.pages) {
 		if fp >= firstDead {
-			freed = append(freed, pp)
+			freed = append(freed, d.pages[fp])
 		}
 	}
 

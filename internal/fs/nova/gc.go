@@ -1,6 +1,10 @@
 package nova
 
-import "chipmunk/internal/vfs"
+import (
+	"sort"
+
+	"chipmunk/internal/vfs"
+)
 
 // Log garbage collection, modelled on NOVA's "thorough GC": when an
 // inode's log accumulates more dead than live entries, the live entries are
@@ -82,10 +86,19 @@ func (fs *FS) collectLog(d *dnode, live int) {
 		return true
 	}
 
+	// The compacted log's on-PM entry order is part of the image: walk the
+	// DRAM maps in sorted order, never map order, so collecting the same
+	// inode state always produces byte-identical log pages.
 	newDirents := map[string]*dirent{}
 	ok := true
 	if d.typ == vfs.TypeDir {
-		for name, de := range d.dirents {
+		names := make([]string, 0, len(d.dirents))
+		for name := range d.dirents {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			de := d.dirents[name]
 			child := fs.inodes[de.ino]
 			ftype := vfs.TypeRegular
 			if child != nil {
@@ -99,8 +112,8 @@ func (fs *FS) collectLog(d *dnode, live int) {
 			newDirents[name] = &dirent{ino: de.ino, entryOff: off}
 		}
 	} else {
-		for fp, pp := range d.pages {
-			if !writeOne(entry{typ: etWrite, filePage: fp, poolPage: pp, sizeHint: uint64(d.size)}) {
+		for _, fp := range sortedPageKeys(d.pages) {
+			if !writeOne(entry{typ: etWrite, filePage: fp, poolPage: d.pages[fp], sizeHint: uint64(d.size)}) {
 				ok = false
 				break
 			}

@@ -30,6 +30,13 @@ type dnode struct {
 	dirents  map[string]*dirent // name -> entry (directories)
 	logPages []uint64           // log-page chain (DRAM bookkeeping)
 
+	// openFDs counts live descriptors (DRAM only). An inode whose last
+	// link goes away while descriptors remain stays allocated — readable
+	// and writable through those descriptors, invisible by path — and is
+	// reclaimed on the last close, as real NOVA does at inode eviction. A
+	// crash in that window leaves a valid-but-unreachable PM inode, which
+	// Mount's orphan-GC pass reclaims.
+	openFDs int
 	// bad marks an inode that a dentry references but whose on-PM state is
 	// invalid or inconsistent (bugs 2 and 10); operations return ErrIO.
 	bad bool
@@ -308,15 +315,24 @@ func (f *FS) Open(path string) (vfs.FD, error) {
 	fd := f.nextFD
 	f.nextFD++
 	f.fds[fd] = d.ino
+	d.openFDs++
 	return fd, nil
 }
 
-// Close implements vfs.FS.
+// Close implements vfs.FS. Closing the last descriptor of an unlinked
+// inode performs the deferred destroy (NOVA's eviction-time reclaim).
 func (f *FS) Close(fd vfs.FD) error {
-	if _, ok := f.fds[fd]; !ok {
+	ino, ok := f.fds[fd]
+	if !ok {
 		return vfs.ErrBadFD
 	}
 	delete(f.fds, fd)
+	if d := f.inodes[ino]; d != nil {
+		d.openFDs--
+		if d.nlink == 0 && d.openFDs == 0 {
+			f.destroyInode(d)
+		}
+	}
 	return nil
 }
 

@@ -679,3 +679,69 @@ func TestLogGCFortis(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUnlinkWhileOpen covers the deferred-destroy window: an inode whose
+// last link is removed while a descriptor is open must stay readable and
+// writable through that descriptor, and its inode number must not be
+// reused until the last close. Regression for a fuzz-found panic where a
+// mkdir reused the freed ino and a write through the stale fd landed in
+// the directory's (nil) page map.
+func TestUnlinkWhileOpen(t *testing.T) {
+	f, _ := newNova(t, bugs.None())
+	fd, err := f.Create("/victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Pwrite(fd, []byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat("/victim")
+	if err := f.Unlink("/victim"); err != nil {
+		t.Fatal(err)
+	}
+	// Allocate aggressively: none of these may reuse the victim's ino.
+	if err := f.Mkdir("/d0"); err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := f.Create("/f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/d0", "/f0"} {
+		s, err := f.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Ino == st.Ino {
+			t.Fatalf("%s reused ino %d of the unlinked-but-open inode", p, st.Ino)
+		}
+	}
+	// The stale descriptor still addresses the original inode.
+	if _, err := f.Pwrite(fd, []byte("after"), 6); err != nil {
+		t.Fatalf("pwrite through unlinked fd: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := f.Pread(fd, buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "beforeafter" {
+		t.Fatalf("read through unlinked fd = %q", buf[:n])
+	}
+	if err := f.Close(fd2); err != nil {
+		t.Fatal(err)
+	}
+	// Last close reclaims: the ino becomes reusable afterwards.
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	fd3, err := f.Create("/f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close(fd3)
+	s, _ := f.Stat("/f1")
+	if s.Ino != st.Ino {
+		t.Fatalf("ino %d not reclaimed after last close (got %d)", st.Ino, s.Ino)
+	}
+}

@@ -40,6 +40,7 @@ func (f *FS) Create(path string) (vfs.FD, error) {
 	fd := f.nextFD
 	f.nextFD++
 	f.fds[fd] = ino
+	d.openFDs++
 	return fd, nil
 }
 
@@ -208,7 +209,9 @@ func (f *FS) Unlink(path string) error {
 	}
 
 	delete(p.dirents, name)
-	if n.nlink == 0 {
+	// Open descriptors defer the destroy to the last Close: the inode
+	// number must not be reused while an fd can still reach it.
+	if n.nlink == 0 && n.openFDs == 0 {
 		f.destroyInode(n)
 	}
 	f.endOp()
@@ -488,7 +491,7 @@ func (f *FS) renameFinishVictim(np *dnode, n, victim *dnode, op *dnode) {
 func (f *FS) renameApplyDRAM(op *dnode, oname string, np *dnode, nname string, n, victim *dnode, addOff int64) {
 	delete(op.dirents, oname)
 	np.dirents[nname] = &dirent{ino: n.ino, entryOff: addOff}
-	if victim != nil && victim.nlink == 0 {
+	if victim != nil && victim.nlink == 0 && victim.openFDs == 0 {
 		f.destroyInode(victim)
 	}
 }

@@ -2,6 +2,7 @@ package nova
 
 import (
 	"bytes"
+	"sort"
 
 	"chipmunk/internal/bugs"
 	"chipmunk/internal/vfs"
@@ -50,27 +51,32 @@ func (f *FS) Mount() error {
 		return corrupt("root inode missing or not a directory")
 	}
 
-	// Pass 2: walk every inode's log.
-	for _, d := range f.inodes {
-		if err := f.rebuildLog(d); err != nil {
+	// Passes 2, 3, 5 and 6 iterate inodes in ascending order, never in map
+	// order: with several inodes corrupt, WHICH one aborts the mount (and
+	// so the error a crash-state check reports) must be a function of the
+	// image alone, or two mounts of the same crash image classify it
+	// differently and bug triage stops being reproducible.
+	for _, ino := range f.sortedInos() {
+		if err := f.rebuildLog(f.inodes[ino]); err != nil {
 			return err
 		}
 	}
 
 	// Pass 3: claim referenced pages; double references are corruption.
 	refset := map[uint64]bool{}
-	for _, d := range f.inodes {
+	for _, ino := range f.sortedInos() {
+		d := f.inodes[ino]
 		for _, lp := range d.logPages {
 			if !f.alloc.markUsed(lp) {
 				return corrupt("log page %d referenced twice", lp)
 			}
 			refset[lp] = true
 		}
-		for _, pp := range d.pages {
-			if !f.alloc.markUsed(pp) {
-				return corrupt("data page %d referenced twice", pp)
+		for _, fp := range sortedPageKeys(d.pages) {
+			if !f.alloc.markUsed(d.pages[fp]) {
+				return corrupt("data page %d referenced twice", d.pages[fp])
 			}
-			refset[pp] = true
+			refset[d.pages[fp]] = true
 		}
 	}
 
@@ -96,8 +102,11 @@ func (f *FS) Mount() error {
 
 	// Pass 5: resolve directory entries; a dentry pointing at a dead inode
 	// slot (bug 2's consequence) becomes a "bad" node that fails with EIO.
+	// (Sorted snapshot also because placeholder creation below inserts into
+	// f.inodes mid-walk; ranging the map while growing it may skip them.)
 	referenced := map[uint64]bool{RootIno: true}
-	for _, d := range f.inodes {
+	for _, ino := range f.sortedInos() {
+		d := f.inodes[ino]
 		if d.typ != vfs.TypeDir {
 			continue
 		}
@@ -114,7 +123,8 @@ func (f *FS) Mount() error {
 	// left-overs of interrupted operations and are reclaimed.
 	reachable := map[uint64]bool{RootIno: true}
 	f.markReachable(root, reachable)
-	for ino, d := range f.inodes {
+	for _, ino := range f.sortedInos() {
+		d := f.inodes[ino]
 		if reachable[ino] || d.bad {
 			continue
 		}
@@ -129,6 +139,29 @@ func (f *FS) Mount() error {
 
 	f.mounted = true
 	return nil
+}
+
+// sortedInos returns the cached inode numbers in ascending order, the
+// canonical walk order for every multi-inode pass.
+func (f *FS) sortedInos() []uint64 {
+	inos := make([]uint64, 0, len(f.inodes))
+	for ino := range f.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
+}
+
+// sortedPageKeys returns a file's mapped page indices in ascending order,
+// for walks whose side effects (PM writes, error selection) must not depend
+// on map order.
+func sortedPageKeys(pages map[uint64]uint64) []uint64 {
+	fps := make([]uint64, 0, len(pages))
+	for fp := range pages {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	return fps
 }
 
 func (f *FS) markReachable(d *dnode, seen map[uint64]bool) {

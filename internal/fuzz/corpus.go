@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,27 +11,56 @@ import (
 	"chipmunk/internal/workload"
 )
 
+// writeFileAtomic writes data via a temp file in the same directory plus
+// rename, so a worker killed mid-write never leaves a torn reproducer for
+// LoadCorpus to choke on. Temp names carry no ".txt" suffix, so an
+// orphaned temp from a crash is invisible to LoadCorpus.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // SaveCorpus writes the fuzzer's current corpus as reproducer files, one
 // per workload, so long campaigns can resume (Syzkaller's corpus.db, in
-// plain text).
+// plain text). Each entry is written temp-then-rename: a kill at any point
+// leaves every corpus file either absent or complete.
 func (f *Fuzzer) SaveCorpus(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("fuzz: %w", err)
 	}
 	for i, w := range f.corpus {
 		path := filepath.Join(dir, fmt.Sprintf("corpus-%05d.txt", i))
-		if err := os.WriteFile(path, []byte(workload.Format(w)), 0o644); err != nil {
+		if err := writeFileAtomic(path, []byte(workload.Format(w))); err != nil {
 			return fmt.Errorf("fuzz: %w", err)
 		}
 	}
 	return nil
 }
 
-// saveCrash writes a triggering workload to CrashDir as a reproducer,
-// named by failure class (panic-*, sandbox-*). Best-effort by design: it
-// runs on the panic path, where a secondary I/O failure must not mask the
-// original fault.
-func (f *Fuzzer) saveCrash(class string, w workload.Workload) {
+// saveCrash writes a triggering workload to CrashDir as a reproducer. The
+// filename is <class>-<fnv64a(key)>.txt, so repeated hits of the same key
+// (for violations, the (kind, FS, trace prefix) cluster key) update one
+// file instead of flooding the directory with duplicates. Best-effort by
+// design: it runs on the panic path, where a secondary I/O failure must
+// not mask the original fault.
+func (f *Fuzzer) saveCrash(class, key string, w workload.Workload) {
 	if f.CrashDir == "" {
 		return
 	}
@@ -38,13 +68,15 @@ func (f *Fuzzer) saveCrash(class string, w workload.Workload) {
 		return
 	}
 	f.crashSaves++
-	path := filepath.Join(f.CrashDir, fmt.Sprintf("%s-%05d.txt", class, f.crashSaves))
-	_ = os.WriteFile(path, []byte(workload.Format(w)), 0o644)
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	path := filepath.Join(f.CrashDir, fmt.Sprintf("%s-%016x.txt", class, h.Sum64()))
+	_ = writeFileAtomic(path, []byte(workload.Format(w)))
 }
 
 // LoadCorpus reads every reproducer file in dir as seed workloads.
 // Unparseable files are skipped with their names returned, not fatal — a
-// corpus directory survives format evolution.
+// corpus directory survives format evolution and torn writes alike.
 func LoadCorpus(dir string) ([]workload.Workload, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"chipmunk/internal/core"
 	"chipmunk/internal/obs"
@@ -218,8 +219,23 @@ func (f *Fuzzer) mutate(parent workload.Workload) workload.Workload {
 	return workload.Workload{Name: fmt.Sprintf("fuzz-mut-%d", f.Execs), Ops: ops}
 }
 
-// Step runs one fuzzing iteration and returns the engine result.
-func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
+// Delta is one fuzzing step's contribution: the candidate workload, the
+// engine result, and — when the candidate earned a corpus slot — the trace
+// signatures that made it novel. fleet.Node ships Deltas over the wire, so
+// everything here is a pure function of (seed, corpus, step index).
+type Delta struct {
+	Workload workload.Workload
+	Result   *core.Result
+	// Admitted reports whether Workload joined the corpus this step.
+	Admitted bool
+	// NewSigs are the signatures unseen before this step; AllSigs is the
+	// candidate's full signature set. Both sorted ascending.
+	NewSigs []uint64
+	AllSigs []uint64
+}
+
+// StepDelta runs one fuzzing iteration and reports what it contributed.
+func (f *Fuzzer) StepDelta() (Delta, error) {
 	var w workload.Workload
 	if len(f.corpus) == 0 || f.rng.Intn(4) == 0 {
 		w = f.generate()
@@ -232,13 +248,13 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 	// a crashed campaign must leave its reproducer behind.
 	defer func() {
 		if r := recover(); r != nil {
-			f.saveCrash("panic", w)
+			f.saveCrash("panic", workload.Format(w), w)
 			panic(r)
 		}
 	}()
 	res, err := core.RunContext(context.Background(), f.cfg, w)
 	if err != nil {
-		return nil, w, err
+		return Delta{Workload: w}, err
 	}
 	f.Execs++
 	f.StatesChecked += res.StatesChecked
@@ -251,13 +267,47 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 	}
 	if n := len(res.Quarantined) + res.SuppressedQuarantine; n > 0 {
 		f.Quarantined += n
-		f.saveCrash("sandbox", w)
+		f.saveCrash("sandbox", workload.Format(w), w)
 	}
 
 	// Coverage feedback: new trace-shape signatures promote the workload
 	// into the corpus.
+	d := Delta{Workload: w, Result: res, AllSigs: sortedSigs(res.SyscallSigs)}
+	for _, sig := range d.AllSigs {
+		if !f.coverage[sig] {
+			f.coverage[sig] = true
+			d.NewSigs = append(d.NewSigs, sig)
+		}
+	}
+	if len(d.NewSigs) > 0 {
+		f.corpus = append(f.corpus, w)
+		f.CorpusAdds++
+		d.Admitted = true
+	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			f.saveCrash("crash", v.ClusterKey(), w)
+		}
+		f.Violations = append(f.Violations, res.Violations...)
+		f.Clusters = core.Triage(f.Violations)
+	}
+	return d, nil
+}
+
+// Step runs one fuzzing iteration and returns the engine result.
+func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
+	d, err := f.StepDelta()
+	return d.Result, d.Workload, err
+}
+
+// Absorb injects an externally-discovered corpus entry (a coordinator
+// redistribution in fleet mode): sigs join the coverage map, and w earns a
+// corpus slot iff any of them was still unseen. Reports whether w was
+// admitted. Callers that need determinism must absorb entries in a
+// canonical order — corpus slots are assigned in call order.
+func (f *Fuzzer) Absorb(w workload.Workload, sigs []uint64) bool {
 	novel := false
-	for _, sig := range res.SyscallSigs {
+	for _, sig := range sigs {
 		if !f.coverage[sig] {
 			f.coverage[sig] = true
 			novel = true
@@ -267,11 +317,15 @@ func (f *Fuzzer) Step() (*core.Result, workload.Workload, error) {
 		f.corpus = append(f.corpus, w)
 		f.CorpusAdds++
 	}
-	if len(res.Violations) > 0 {
-		f.Violations = append(f.Violations, res.Violations...)
-		f.Clusters = core.Triage(f.Violations)
-	}
-	return res, w, nil
+	return novel
+}
+
+// sortedSigs returns a sorted copy (dedup preserved — signatures repeat per
+// syscall and the multiset shape is part of the wire contract's AllSigs).
+func sortedSigs(sigs []uint64) []uint64 {
+	out := append([]uint64(nil), sigs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Run performs n iterations.

@@ -145,3 +145,94 @@ func TestLoadCorpusSkipsGarbage(t *testing.T) {
 		t.Fatalf("seeds=%d skipped=%v", len(seeds), skipped)
 	}
 }
+
+// Minimization is deterministic: the same reproducer and budget produce a
+// byte-identical minimized workload and the same exec count. Fleet mode
+// depends on this — a re-dispatched minimization task must credit the same
+// result no matter which worker runs it.
+func TestMinimizeDeterministic(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS {
+			return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+		},
+		Cap: 2,
+	}
+	w := workload.Workload{Name: "bloated", Ops: []workload.Op{
+		{Kind: workload.OpMkdir, Path: "/junk1"},
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Size: 64, Seed: 1},
+		{Kind: workload.OpMkdir, Path: "/junk2"},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	min1, execs1, err := Minimize(cfg, w, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min2, execs2, err := Minimize(cfg, w, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs1 != execs2 {
+		t.Fatalf("exec counts differ: %d vs %d", execs1, execs2)
+	}
+	if workload.Format(min1) != workload.Format(min2) {
+		t.Fatalf("minimized workloads differ:\n%s\nvs\n%s", workload.Format(min1), workload.Format(min2))
+	}
+}
+
+// Minimization preserves the violation cluster's stable coordinates: the
+// shrunk workload still trips a violation of the same kind implicating the
+// same op kind. (The full cluster key's trace prefix is a rendering of the
+// op sequence, so a successful shrink necessarily changes it — which is why
+// the fleet's post-minimization re-verification also checks kind and FS,
+// not the prefix.)
+func TestMinimizePreservesCluster(t *testing.T) {
+	cfg := core.Config{
+		NewFS: func(pm *persist.PM) vfs.FS {
+			return nova.New(pm, bugs.Of(bugs.NovaRenameInPlaceDelete))
+		},
+		Cap: 2,
+	}
+	w := workload.Workload{Name: "bloated", Ops: []workload.Op{
+		{Kind: workload.OpMkdir, Path: "/junk1"},
+		{Kind: workload.OpCreat, Path: "/f0", FDSlot: -1},
+		{Kind: workload.OpPwrite, Path: "/f0", FDSlot: -1, Size: 64, Seed: 1},
+		{Kind: workload.OpRename, Path: "/f0", Path2: "/f1"},
+	}}
+	orig, err := core.RunContext(context.Background(), cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig.Violations) == 0 {
+		t.Fatal("original workload not buggy; test needs a reproducer")
+	}
+	wantKeys := map[string]bool{}
+	for _, v := range orig.Violations {
+		op := ""
+		if v.Syscall >= 0 && v.Syscall < len(v.Workload.Ops) {
+			op = v.Workload.Ops[v.Syscall].Kind.String()
+		}
+		wantKeys[v.Kind.String()+"|"+v.FS+"|"+op] = true
+	}
+	min, _, err := Minimize(cfg, w, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Ops) >= len(w.Ops) {
+		t.Fatalf("nothing shrunk: %d ops -> %d ops", len(w.Ops), len(min.Ops))
+	}
+	res, err := core.RunContext(context.Background(), cfg, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		op := ""
+		if v.Syscall >= 0 && v.Syscall < len(v.Workload.Ops) {
+			op = v.Workload.Ops[v.Syscall].Kind.String()
+		}
+		if wantKeys[v.Kind.String()+"|"+v.FS+"|"+op] {
+			return
+		}
+	}
+	t.Fatalf("minimized workload preserves no original (kind, fs, op) triple; got %d violations", len(res.Violations))
+}

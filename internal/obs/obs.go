@@ -149,6 +149,20 @@ const (
 	// CtrFaultsInjected: recorded per check attempt, so sandbox retries
 	// (rare, transient) recount a state's hit.
 	CtrOracleSnapshotHits
+	// CtrFuzzExecs counts fuzzing iterations (engine runs driven by the
+	// coverage-guided mutator) credited by a fleet-fuzzing coordinator.
+	// Measurement-class: a duration-budgeted soak credits however many
+	// rounds wall-clock allowed, so the value is progress, not contract.
+	CtrFuzzExecs
+	// CtrCorpusEntries counts workloads admitted to the global fuzzing
+	// corpus (each carried a syscall-coverage signature not yet seen).
+	CtrCorpusEntries
+	// CtrCoverageEdges counts distinct syscall-coverage signatures in the
+	// global corpus — the union of admitted entries' signature sets.
+	CtrCoverageEdges
+	// CtrDistinctBugs counts deduplicated violation clusters in the fleet
+	// bug census: distinct (kind, FS, trace prefix) triples.
+	CtrDistinctBugs
 	numCounters
 )
 
@@ -172,6 +186,11 @@ var counterNames = [numCounters]string{
 	CtrShardsQuarantined:  "shards-quarantined",
 	CtrSpansCoalesced:     "spans-coalesced",
 	CtrOracleSnapshotHits: "oracle-snapshot-hits",
+
+	CtrFuzzExecs:     "fuzz-execs",
+	CtrCorpusEntries: "corpus-entries",
+	CtrCoverageEdges: "coverage-edges",
+	CtrDistinctBugs:  "distinct-bugs",
 }
 
 func (c Counter) String() string {
@@ -191,7 +210,8 @@ func (c Counter) Deterministic() bool {
 	switch c {
 	case CtrFaultsInjected, CtrImagePrimes, CtrImagesRetired,
 		CtrBytesMaterialized, CtrBytesPrimed, CtrBytesRolledBack,
-		CtrShardsQuarantined, CtrOracleSnapshotHits:
+		CtrShardsQuarantined, CtrOracleSnapshotHits,
+		CtrFuzzExecs, CtrCorpusEntries, CtrCoverageEdges, CtrDistinctBugs:
 		return false
 	}
 	return true

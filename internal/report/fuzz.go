@@ -1,0 +1,146 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FuzzBug is one deduplicated bug in a fleet-fuzzing census: a triage
+// cluster plus its reproducer. Reproducer is the serialized workload
+// (workload.Format); when Minimized it is the shrunk form, and Verified
+// reports that the minimized workload was re-run and still tripped the same
+// (kind, FS, trace prefix) cluster.
+type FuzzBug struct {
+	TriageCluster
+	Reproducer string
+	Minimized  bool
+	Verified   bool
+}
+
+// FuzzCensus is everything FUZZCENSUS.md renders. Deliberately free of
+// wall-clock fields: with an exec budget the census is a pure function of
+// the fuzz spec, and two soaks over the same spec — whatever the worker
+// count, arrival order, or coordinator kill pattern — must render
+// byte-identical files.
+type FuzzCensus struct {
+	// Soak identity.
+	SpecHash string
+	FS       string
+	Bugs     string
+	App      string
+	// Budget: exactly one of BudgetExecs / BudgetNanos is nonzero.
+	BudgetExecs int
+	BudgetNanos int64
+
+	// Progress totals over credited rounds.
+	Execs             int
+	StatesChecked     int
+	QuarantinedChecks int
+	RoundsCredited    int
+	// RoundsDropped counts rounds that spent their dispatch attempts — a
+	// nonzero value means the soak completed degraded (like quarantined
+	// campaign shards, the dropped rounds' work is simply missing).
+	RoundsDropped int
+
+	// Corpus accounting.
+	CorpusSize    int
+	CoverageEdges int
+
+	// Minimization accounting.
+	MinTasks    int
+	MinVerified int
+
+	Clusters []FuzzBug
+}
+
+// WriteFuzzCensus renders the deduplicated bug census as markdown. Same
+// census value, same bytes — the distributed-determinism tests diff this
+// output directly.
+func WriteFuzzCensus(w io.Writer, c FuzzCensus) error {
+	fmt.Fprintf(w, "# Chipmunk fleet fuzzing census\n\n")
+	fmt.Fprintf(w, "- spec: `%s` (fs %s, bugs %s", c.SpecHash, c.FS, orNone(c.Bugs))
+	if c.App != "" {
+		fmt.Fprintf(w, ", app %s", c.App)
+	}
+	fmt.Fprintf(w, ")\n")
+	switch {
+	case c.BudgetExecs > 0:
+		fmt.Fprintf(w, "- budget: %d execs\n", c.BudgetExecs)
+	case c.BudgetNanos > 0:
+		fmt.Fprintf(w, "- budget: %dns wall-clock\n", c.BudgetNanos)
+	}
+	fmt.Fprintf(w, "- progress: %d execs in %d rounds, %d crash states checked\n",
+		c.Execs, c.RoundsCredited, c.StatesChecked)
+	if c.QuarantinedChecks > 0 {
+		fmt.Fprintf(w, "- sandbox: %d crash states quarantined\n", c.QuarantinedChecks)
+	}
+	if c.RoundsDropped > 0 {
+		fmt.Fprintf(w, "- **DEGRADED**: %d rounds dropped after exhausting their dispatch attempts\n",
+			c.RoundsDropped)
+	}
+	fmt.Fprintf(w, "- corpus: %d entries, %d coverage edges\n", c.CorpusSize, c.CoverageEdges)
+	if c.MinTasks > 0 {
+		fmt.Fprintf(w, "- minimization: %d/%d reproducers minimized and re-verified\n",
+			c.MinVerified, c.MinTasks)
+	}
+	fmt.Fprintf(w, "\n## Distinct bugs: %d\n", len(c.Clusters))
+	if len(c.Clusters) == 0 {
+		fmt.Fprintf(w, "\nNo violations found.\n")
+		return nil
+	}
+	for i, b := range c.Clusters {
+		fmt.Fprintf(w, "\n### [%d] %s on %s — %d reports\n\n", i+1, b.Kind, b.FS, b.Count)
+		if b.Prefix != "" {
+			fmt.Fprintf(w, "- trace prefix: `%s`\n", b.Prefix)
+		}
+		if len(b.Workloads) > 0 {
+			fmt.Fprintf(w, "- workloads (%d): %s\n", len(b.Workloads),
+				strings.Join(capList(b.Workloads, 8), ", "))
+		}
+		if len(b.Phases) > 0 {
+			fmt.Fprintf(w, "- crash phases: %s\n", strings.Join(b.Phases, "; "))
+		}
+		if b.Detail != "" {
+			fmt.Fprintf(w, "- detail: %s\n", b.Detail)
+		}
+		if b.Reproducer != "" {
+			label := "reproducer"
+			if b.Minimized && b.Verified {
+				label = "minimized reproducer (re-verified)"
+			}
+			fmt.Fprintf(w, "\n%s:\n\n```\n%s```\n", label, ensureNewline(b.Reproducer))
+		}
+	}
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func ensureNewline(s string) string {
+	if s == "" || s[len(s)-1] == '\n' {
+		return s
+	}
+	return s + "\n"
+}
+
+// WriteFuzzCensus persists the census as FUZZCENSUS.md under the writer's
+// root, returning the path.
+func (w *Writer) WriteFuzzCensus(c FuzzCensus) (string, error) {
+	var b strings.Builder
+	if err := WriteFuzzCensus(&b, c); err != nil {
+		return "", err
+	}
+	path := filepath.Join(w.root, "FUZZCENSUS.md")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return path, nil
+}
